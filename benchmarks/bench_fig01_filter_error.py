@@ -1,0 +1,87 @@
+"""Figure 1 — energy error per atom vs. system size for several eps_filter.
+
+Paper: liquid-water systems up to ~25,000 atoms, SZV basis, 2nd-order
+Newton–Schulz purification; the error per atom (vs. a eps_filter = 1e-12
+reference) is roughly independent of the system size for a fixed threshold
+and grows with the threshold.
+
+Reproduction: water boxes of 32–256 molecules (96–768 atoms), the same
+Newton–Schulz purification on the filtered orthogonalized Kohn–Sham matrix,
+errors measured against the dense cubic-scaling reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import energy_error_per_atom
+from repro.chem import (
+    build_matrices,
+    orthogonalized_ks,
+    reference_density_matrix,
+    water_box,
+)
+from repro.chem.density import band_structure_energy, density_from_sign
+from repro.signfn import sign_newton_schulz_filtered_dense
+
+from common import bench_scale, report
+
+SYSTEM_REPLICATIONS = [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2)]
+FILTER_THRESHOLDS = [1e-4, 1e-5, 1e-6, 1e-7]
+
+
+def _purified_energy(pair, mu, eps_filter):
+    """Band-structure energy from filtered Newton–Schulz purification."""
+    k_ortho, s_inv_sqrt = orthogonalized_ks(pair.K, pair.S, eps_filter=eps_filter)
+    n = k_ortho.shape[0]
+    shifted = (k_ortho - mu * sp.identity(n, format="csr")).tocsr()
+    sign = sign_newton_schulz_filtered_dense(shifted, eps_filter=eps_filter).sign
+    density = density_from_sign(sign, s_inv_sqrt)
+    return band_structure_energy(density, pair.K.toarray())
+
+
+def run_figure1(szv_model, gap_mu):
+    replications = SYSTEM_REPLICATIONS
+    if bench_scale() < 1.0:
+        replications = SYSTEM_REPLICATIONS[:2]
+    rows = []
+    for factors in replications:
+        system = water_box(factors)
+        pair = build_matrices(system, model=szv_model)
+        reference = reference_density_matrix(pair.K, pair.S, mu=gap_mu)
+        for eps in FILTER_THRESHOLDS:
+            energy = _purified_energy(pair, gap_mu, eps)
+            error = energy_error_per_atom(
+                energy, reference.band_energy, system.n_atoms
+            )
+            rows.append([system.n_atoms, eps, error])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_filter_error(benchmark, szv_model, gap_mu):
+    rows = benchmark.pedantic(
+        lambda: run_figure1(szv_model, gap_mu), rounds=1, iterations=1
+    )
+    report(
+        "fig01_filter_error",
+        ["atoms", "eps_filter", "error (meV/atom)"],
+        rows,
+        "Figure 1: energy error per atom vs. system size and eps_filter",
+    )
+    rows = np.array(rows, dtype=float)
+    # shape check 1: for each system, looser filters give larger errors
+    for atoms in np.unique(rows[:, 0]):
+        subset = rows[rows[:, 0] == atoms]
+        loose = subset[subset[:, 1] == 1e-4][0, 2]
+        tight = subset[subset[:, 1] == 1e-7][0, 2]
+        assert tight <= loose
+    # shape check 2: the error per atom does not blow up with system size
+    # (it stays within two orders of magnitude across sizes per threshold)
+    for eps in FILTER_THRESHOLDS:
+        subset = rows[rows[:, 1] == eps][:, 2]
+        positive = subset[subset > 0]
+        if len(positive) >= 2:
+            assert positive.max() / positive.min() < 100.0

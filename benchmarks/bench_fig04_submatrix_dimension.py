@@ -1,0 +1,82 @@
+"""Figure 4 — submatrix dimension vs. system size for SZV and DZVP.
+
+Paper: the dimension of the (block-based) submatrices grows with the system
+size only until the interaction radius fits into the box (~200 molecules for
+the SZV water system at eps = 1e-5); beyond that it saturates, which is what
+makes the submatrix method linear-scaling.  The DZVP basis produces both a
+larger total dimension and larger submatrices.
+
+Reproduction: the same analysis at the sparsity-pattern level for water boxes
+of 32–2048 molecules (pattern-level construction handles these sizes easily).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chem import HamiltonianModel, build_block_pattern, water_box
+from repro.chem.basis import DZVP, SZV
+from repro.core import single_column_groups
+from repro.dbcsr import CooBlockList
+
+from common import bench_scale, report
+
+EPS_FILTER = 1e-5
+
+
+def run_figure4():
+    replications = [1, 2, 3, 4]
+    if bench_scale() < 1.0:
+        replications = [1, 2]
+    rows = []
+    for basis in (SZV, DZVP):
+        model = HamiltonianModel(basis=basis)
+        for nrep in replications:
+            system = water_box(nrep)
+            pattern, blocks = build_block_pattern(
+                system, model=model, eps_filter=EPS_FILTER
+            )
+            coo = CooBlockList.from_pattern(pattern)
+            grouping = single_column_groups(system.n_molecules)
+            dims = grouping.submatrix_dimensions(coo, blocks.block_sizes)
+            rows.append(
+                [
+                    basis.name.split("-")[0],
+                    system.n_molecules,
+                    int(blocks.n_basis),
+                    int(np.max(dims)),
+                    float(np.mean(dims)),
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_submatrix_dimension(benchmark):
+    rows = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    report(
+        "fig04_submatrix_dimension",
+        ["basis", "molecules", "dim(K)", "max dim(SM)", "mean dim(SM)"],
+        rows,
+        "Figure 4: submatrix dimension vs. overall matrix dimension "
+        f"(eps_filter={EPS_FILTER:g})",
+    )
+    by_basis = {}
+    for basis, molecules, dim_k, max_dim, mean_dim in rows:
+        by_basis.setdefault(basis, []).append((molecules, dim_k, max_dim, mean_dim))
+    for basis, series in by_basis.items():
+        series.sort()
+        dim_k = [entry[1] for entry in series]
+        max_dim = [entry[2] for entry in series]
+        # the total dimension keeps growing with the system ...
+        assert dim_k[-1] > dim_k[0]
+        # ... while the submatrix dimension saturates: the last doubling of
+        # the system grows the submatrix by far less than 2x
+        if len(series) >= 3:
+            assert max_dim[-1] <= max_dim[-2] * 1.3
+    if "DZVP" in by_basis and "SZV" in by_basis:
+        # DZVP submatrices are larger than SZV ones at the same system size
+        szv_largest = by_basis["SZV"][-1][2]
+        dzvp_largest = by_basis["DZVP"][-1][2]
+        assert dzvp_largest > szv_largest

@@ -1,0 +1,88 @@
+"""Figure 10 — weak scaling of the submatrix method vs. Newton–Schulz.
+
+Paper: starting from 12,000 atoms on 40 cores, system size and core count are
+grown together (replication along one dimension only) up to 384,000 atoms on
+1280 cores.  Both methods lose some efficiency, but the submatrix method's
+weak-scaling efficiency stays consistently above Newton–Schulz's.
+
+Reproduction: the distributed cost model on pattern-level water slabs
+(one-dimensional replication, like the paper's weak-scaling systems), growing
+the slab and the simulated rank count by the same factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import parallel_efficiency
+from repro.chem import build_block_pattern, water_box
+from repro.core import newton_schulz_cost, submatrix_method_cost
+from repro.core.runner import estimate_newton_schulz_iterations
+
+from common import bench_scale, report
+
+EPS_FILTER = 1e-5
+BASE_RANKS = 40
+SCALES = [1, 2, 4, 8]
+BASE_SLAB = 3  # replications of the 32-molecule cell along x at scale 1
+
+
+def run_figure10(machine):
+    scales = SCALES if bench_scale() >= 1.0 else SCALES[:2]
+    iterations = estimate_newton_schulz_iterations(EPS_FILTER)
+    rows = []
+    submatrix_times = []
+    newton_times = []
+    for scale in scales:
+        system = water_box((BASE_SLAB * scale, 1, 1))
+        pattern, blocks = build_block_pattern(system, eps_filter=EPS_FILTER)
+        ranks = BASE_RANKS * scale
+        submatrix = submatrix_method_cost(pattern, blocks.block_sizes, ranks, machine)
+        newton = newton_schulz_cost(
+            pattern, blocks.block_sizes, ranks, machine, n_iterations=iterations
+        )
+        submatrix_times.append(submatrix.simulated.total)
+        newton_times.append(newton.simulated.total)
+        rows.append(
+            [
+                system.n_atoms,
+                ranks,
+                submatrix.simulated.total,
+                newton.simulated.total,
+            ]
+        )
+    submatrix_eff = parallel_efficiency(
+        submatrix_times, [BASE_RANKS * s for s in scales], mode="weak"
+    )
+    newton_eff = parallel_efficiency(
+        newton_times, [BASE_RANKS * s for s in scales], mode="weak"
+    )
+    for row, se, ne in zip(rows, submatrix_eff, newton_eff):
+        row.extend([float(se), float(ne)])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_weak_scaling(benchmark, machine):
+    rows = benchmark.pedantic(lambda: run_figure10(machine), rounds=1, iterations=1)
+    report(
+        "fig10_weak_scaling",
+        [
+            "atoms",
+            "cores",
+            "submatrix (s)",
+            "newton-schulz (s)",
+            "submatrix efficiency",
+            "newton-schulz efficiency",
+        ],
+        rows,
+        f"Figure 10: weak scaling (eps={EPS_FILTER:g}, {BASE_RANKS} cores per unit)",
+    )
+    submatrix_eff = np.array([row[4] for row in rows])
+    newton_eff = np.array([row[5] for row in rows])
+    # the submatrix method weak-scales at least as well as Newton-Schulz at
+    # the largest scale (the paper's headline observation for Fig. 10)
+    assert submatrix_eff[-1] >= newton_eff[-1]
+    # efficiencies are <= 1 and not absurdly low
+    assert submatrix_eff[-1] > 0.2

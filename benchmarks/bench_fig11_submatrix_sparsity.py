@@ -1,0 +1,96 @@
+"""Figure 11 — block-wise and element-wise sparsity of the submatrices.
+
+Paper: for growing water systems (SZV and DZVP, eps = 1e-5) the block-wise
+occupation of the orthogonalized Kohn–Sham matrix keeps dropping with system
+size (linear scaling), while the block-wise and element-wise occupations of
+the *submatrices* become size-independent.  DZVP submatrices are slightly
+sparser block-wise and much sparser element-wise (below ~20%), which
+motivates element-wise sparse algebra inside the submatrices as future work.
+
+Reproduction: same analysis at the pattern level for 32–2048 molecules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    block_occupation,
+    submatrix_block_occupation,
+    submatrix_element_occupation,
+)
+from repro.chem import HamiltonianModel, build_block_pattern, water_box
+from repro.chem.basis import DZVP, SZV
+from repro.core.submatrix import submatrix_block_rows
+from repro.dbcsr import CooBlockList
+
+from common import bench_scale, report
+
+EPS_FILTER = 1e-5
+
+
+def run_figure11():
+    replications = [1, 2, 3, 4] if bench_scale() >= 1.0 else [1, 2]
+    rows = []
+    for basis in (SZV, DZVP):
+        model = HamiltonianModel(basis=basis)
+        for nrep in replications:
+            system = water_box(nrep)
+            pattern, blocks = build_block_pattern(
+                system, model=model, eps_filter=EPS_FILTER
+            )
+            coo = CooBlockList.from_pattern(pattern)
+            # probe the submatrix of a molecule in the middle of the box
+            probe = system.n_molecules // 2
+            retained = submatrix_block_rows(coo, probe)
+            rows.append(
+                [
+                    basis.name.split("-")[0],
+                    system.n_molecules,
+                    block_occupation(pattern),
+                    submatrix_block_occupation(pattern, retained),
+                    submatrix_element_occupation(
+                        pattern, retained, blocks.block_sizes
+                    ),
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_submatrix_sparsity(benchmark):
+    rows = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    report(
+        "fig11_submatrix_sparsity",
+        [
+            "basis",
+            "molecules",
+            "K block occupation",
+            "SM block occupation",
+            "SM element occupation",
+        ],
+        rows,
+        f"Figure 11: sparsity of K vs. submatrices (eps={EPS_FILTER:g})",
+    )
+    by_basis = {}
+    for basis, molecules, k_occ, sm_block, sm_elem in rows:
+        by_basis.setdefault(basis, []).append((molecules, k_occ, sm_block, sm_elem))
+    for basis, series in by_basis.items():
+        series.sort()
+        k_occupations = [entry[1] for entry in series]
+        sm_block_occupations = [entry[2] for entry in series]
+        # the full matrix keeps getting sparser with system size ...
+        assert k_occupations[-1] < k_occupations[0]
+        # ... while the submatrices stay much denser than the full matrix
+        assert sm_block_occupations[-1] > k_occupations[-1]
+    if {"SZV", "DZVP"} <= set(by_basis):
+        # at the block-pattern level the element-wise occupation of the
+        # submatrices is similar for both basis sets (the paper's < 20 %
+        # element-wise DZVP sparsity comes from structure *inside* the blocks,
+        # which a pattern-level analysis cannot resolve); check they are in
+        # the same range and both well below a dense submatrix
+        szv_element = by_basis["SZV"][-1][3]
+        dzvp_element = by_basis["DZVP"][-1][3]
+        assert 0.2 < dzvp_element / szv_element < 5.0
+        assert dzvp_element < 1.0

@@ -1,0 +1,87 @@
+"""Table I — GEMM and end-to-end sign-algorithm throughput on accelerators.
+
+Paper (Table I, RTX 2080 Ti, submatrix dimension 3972):
+
+    precision   peak        matrix-multiplies   sign algorithm
+    FP16        108 TFLOP/s 56.4 TFLOP/s        35.2 TFLOP/s
+    FP16'        56 TFLOP/s 38.2 TFLOP/s        27.8 TFLOP/s
+    FP32         13 TFLOP/s 12.2 TFLOP/s        10.4 TFLOP/s
+    FP64        0.5 TFLOP/s  0.5 TFLOP/s         0.5 TFLOP/s
+
+plus, in the text (Sec. VI-B), the Stratix 10 FPGA: 2.7 TFLOP/s for FP32
+matrix multiplies and 1.75 TFLOP/s for the sign algorithm end-to-end.
+
+Reproduction: the analytic device model recomputes the "sign algorithm"
+column from the published peak/GEMM rates and the non-GEMM overheads (type
+conversions, host-device transfer, convergence tests).  The absolute numbers
+are the paper's own device characteristics; what is being validated is the
+overhead accounting that turns GEMM throughput into end-to-end throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import RTX_2080_TI, STRATIX_10, performance_table
+
+from common import report
+
+PAPER_SIGN_TFLOPS = {"FP16": 35.2, "FP16'": 27.8, "FP32": 10.4, "FP64": 0.5}
+PAPER_FPGA_SIGN_TFLOPS = 1.75
+
+
+def run_table1():
+    rows = []
+    for entry in performance_table(RTX_2080_TI, matrix_dimension=3972, iterations=8):
+        rows.append(
+            [
+                entry.device,
+                entry.precision,
+                entry.peak_tflops,
+                entry.gemm_tflops,
+                entry.overall_tflops,
+                PAPER_SIGN_TFLOPS[entry.precision],
+                entry.gflops_per_watt_second,
+            ]
+        )
+    for entry in performance_table(STRATIX_10, matrix_dimension=3972, iterations=8):
+        rows.append(
+            [
+                entry.device,
+                entry.precision,
+                entry.peak_tflops,
+                entry.gemm_tflops,
+                entry.overall_tflops,
+                PAPER_FPGA_SIGN_TFLOPS,
+                entry.gflops_per_watt_second,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_device_performance(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report(
+        "table1_device_performance",
+        [
+            "device",
+            "precision",
+            "peak (TFLOP/s)",
+            "GEMM (TFLOP/s)",
+            "sign algorithm (TFLOP/s, model)",
+            "sign algorithm (TFLOP/s, paper)",
+            "GFLOP/(W s)",
+        ],
+        rows,
+        "Table I: device throughput of the third-order sign iteration (n=3972)",
+    )
+    for row in rows:
+        modelled = row[4]
+        paper = row[5]
+        # the modelled end-to-end throughput lands within a factor of ~1.6 of
+        # the paper's measurement for every precision and device
+        assert modelled / paper < 1.6
+        assert paper / modelled < 1.6
+        # and never exceeds the practical GEMM rate
+        assert modelled <= row[3] + 1e-9

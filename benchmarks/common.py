@@ -1,0 +1,75 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a scaled-down
+system (the substitutions are documented in DESIGN.md).  The helpers here
+centralise system construction, result formatting and persistence so that the
+individual benchmarks read like the experiment descriptions in the paper.
+
+Scaling note: the paper's systems range from 768 to 384,000 atoms on 40-1280
+cores; the reproduction uses systems of 32-4,000 molecules (96-12,000 atoms)
+and simulated ranks.  Environment variable ``REPRO_BENCH_SCALE`` (default 1.0,
+set it below 1 for smoke runs and above 1 for more thorough sweeps) scales
+the per-benchmark workloads where meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Iterable, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_scale() -> float:
+    """Workload scale factor from the environment (default 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def save_results(name: str, payload: Dict) -> pathlib.Path:
+    """Persist a benchmark's rows as JSON under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Format rows as a fixed-width text table (printed by every benchmark)."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e4 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def report(name: str, headers: Sequence[str], rows: Sequence[Sequence], title: str) -> None:
+    """Print a table and persist it."""
+    text = format_table(headers, rows, title=title)
+    print("\n" + text + "\n")
+    save_results(name, {"title": title, "headers": list(headers), "rows": [list(r) for r in rows]})

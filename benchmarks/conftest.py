@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chem import HamiltonianModel, build_matrices, water_box
+from repro.parallel import MachineModel
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """Machine model calibrated to the paper's evaluation platform."""
+    return MachineModel()
+
+
+@pytest.fixture(scope="session")
+def szv_model():
+    return HamiltonianModel()
+
+
+@pytest.fixture(scope="session")
+def gap_mu(szv_model):
+    """Chemical potential in the HOMO-LUMO gap (grand-canonical runs)."""
+    return szv_model.homo_lumo_gap_center()
+
+
+@pytest.fixture(scope="session")
+def water64_pair(szv_model):
+    """64-molecule slab and its model matrices (shared by several benches)."""
+    system = water_box((2, 1, 1))
+    return system, build_matrices(system, model=szv_model)
+
+
+@pytest.fixture(scope="session")
+def water128_pair(szv_model):
+    """128-molecule box (2x2x1) and its model matrices."""
+    system = water_box((2, 2, 1))
+    return system, build_matrices(system, model=szv_model)

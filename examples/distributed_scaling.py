@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Distributed cost analysis: transfers, strong and weak scaling.
+
+The scaling experiments of the paper (Figs. 8-10) depend on how work and
+communication are distributed over MPI ranks.  This example uses the
+reproduction's distributed cost model to
+
+* plan the deduplicated block transfers of a submatrix-method run
+  (Sec. IV-B) and report how much volume the deduplication saves,
+* compare simulated strong scaling of the submatrix method (80 -> 320 ranks)
+  at fixed system size,
+* compare the weak-scaling behaviour of the submatrix method against the
+  Newton-Schulz baseline when system size and rank count grow together.
+
+Run with:  python examples/distributed_scaling.py
+"""
+
+from repro.analysis import parallel_efficiency
+from repro.chem import build_block_pattern, water_box
+from repro.core import (
+    newton_schulz_cost,
+    plan_transfers,
+    single_column_groups,
+    submatrix_method_cost,
+    assign_consecutive_chunks,
+    submatrix_flop_costs,
+)
+from repro.core.runner import estimate_newton_schulz_iterations
+from repro.dbcsr import BlockDistribution, CooBlockList, ProcessGrid2D
+from repro.parallel import MachineModel
+from repro.parallel.topology import balanced_dims
+
+EPS_FILTER = 1e-5
+
+
+def transfer_planning(machine: MachineModel) -> None:
+    system = water_box(3)
+    pattern, blocks = build_block_pattern(system, eps_filter=EPS_FILTER)
+    coo = CooBlockList.from_pattern(pattern)
+    n_ranks = 80
+    grid = ProcessGrid2D(n_ranks, balanced_dims(n_ranks))
+    distribution = BlockDistribution(coo.n_block_rows, coo.n_block_cols, grid)
+    grouping = single_column_groups(system.n_molecules)
+    dims = grouping.submatrix_dimensions(coo, blocks.block_sizes)
+    chunks = assign_consecutive_chunks(submatrix_flop_costs(dims), n_ranks)
+    rank_of_group = [0] * grouping.n_submatrices
+    for rank, (start, stop) in enumerate(chunks):
+        for index in range(start, stop):
+            rank_of_group[index] = rank
+    plan = plan_transfers(coo, blocks.block_sizes, distribution, grouping, rank_of_group)
+    print(f"transfer planning ({system.n_molecules} molecules, {n_ranks} ranks):")
+    print(f"  deduplicated fetch volume : {plan.total_fetch_bytes / 1e6:10.1f} MB")
+    print(
+        f"  without deduplication     : "
+        f"{plan.total_fetch_bytes_without_dedup / 1e6:10.1f} MB"
+    )
+    print(f"  savings                   : {plan.deduplication_savings:10.1%}")
+    print(f"  write-back volume         : {plan.total_writeback_bytes / 1e6:10.1f} MB\n")
+
+
+def strong_scaling(machine: MachineModel) -> None:
+    system = water_box(3)
+    pattern, blocks = build_block_pattern(system, eps_filter=EPS_FILTER)
+    ranks = [80, 160, 240, 320]
+    times = [
+        submatrix_method_cost(pattern, blocks.block_sizes, r, machine).simulated.total
+        for r in ranks
+    ]
+    efficiency = parallel_efficiency(times, ranks, mode="strong")
+    print(f"strong scaling of the submatrix method ({system.n_atoms} atoms):")
+    for r, t, e in zip(ranks, times, efficiency):
+        print(f"  {r:>4d} cores: {t:8.3f} s   efficiency {e:5.1%}")
+    print()
+
+
+def weak_scaling(machine: MachineModel) -> None:
+    scales = [1, 2, 4, 8]
+    base_ranks = 40
+    iterations = estimate_newton_schulz_iterations(EPS_FILTER)
+    submatrix_times, newton_times, cores = [], [], []
+    print("weak scaling (slab replicated along one dimension):")
+    for scale in scales:
+        system = water_box((3 * scale, 1, 1))
+        pattern, blocks = build_block_pattern(system, eps_filter=EPS_FILTER)
+        ranks = base_ranks * scale
+        sm = submatrix_method_cost(pattern, blocks.block_sizes, ranks, machine)
+        ns = newton_schulz_cost(
+            pattern, blocks.block_sizes, ranks, machine, n_iterations=iterations
+        )
+        submatrix_times.append(sm.simulated.total)
+        newton_times.append(ns.simulated.total)
+        cores.append(ranks)
+        print(
+            f"  {system.n_atoms:>6d} atoms on {ranks:>4d} cores: "
+            f"submatrix {sm.simulated.total:7.3f} s   "
+            f"newton-schulz {ns.simulated.total:7.3f} s"
+        )
+    sm_eff = parallel_efficiency(submatrix_times, cores, mode="weak")
+    ns_eff = parallel_efficiency(newton_times, cores, mode="weak")
+    print(
+        f"  weak-scaling efficiency at the largest scale: "
+        f"submatrix {sm_eff[-1]:5.1%} vs. newton-schulz {ns_eff[-1]:5.1%}"
+    )
+
+
+def main() -> None:
+    machine = MachineModel()
+    print(f"machine model: {machine.name}\n")
+    transfer_planning(machine)
+    strong_scaling(machine)
+    weak_scaling(machine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of the submatrix method for approximate matrix function
+evaluation in linear-scaling DFT (Lass, Schade, Kühne, Plessl; SC 2020).
+
+The package is organised into substrates and the core contribution:
+
+``repro.chem``
+    Synthetic liquid-water systems, model Kohn–Sham / overlap matrix builders,
+    Löwdin orthogonalization and dense reference density-matrix solvers.
+``repro.dbcsr``
+    A block-compressed sparse matrix library modelled after CP2K's libDBCSR,
+    including a 2D process-grid distribution and a Cannon-style distributed
+    multiplication.
+``repro.parallel``
+    A simulated communicator with traffic accounting, a machine model used to
+    convert FLOP/byte counts into simulated wall-clock times, and thread/process
+    executors for genuinely parallel submatrix solves.
+``repro.signfn``
+    Matrix sign function algorithms (Newton–Schulz, higher-order Padé,
+    eigendecomposition-based) and inverse p-th roots.
+``repro.clustering``
+    k-means and graph partitioning used to combine block columns into
+    submatrices.
+``repro.core``
+    The submatrix method itself: submatrix extraction and result scatter-back,
+    column grouping, block-transfer planning, load balancing, the DFT
+    density-matrix driver (grand-canonical and canonical) and the distributed
+    run cost model.
+``repro.accel``
+    Emulated low/mixed-precision sign iterations and a GPU/FPGA performance
+    model.
+``repro.analysis``
+    Sparsity statistics and evaluation metrics.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,122 @@
+"""Evaluation metrics: errors per atom, scaling efficiencies, fits.
+
+These helpers convert raw results into the quantities plotted in the paper's
+figures (meV per atom, strong/weak-scaling efficiency, linear-scaling fits,
+runtime crossover points).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "energy_error_per_atom",
+    "parallel_efficiency",
+    "linear_fit",
+    "crossover_point",
+]
+
+
+def energy_error_per_atom(
+    energy: float, reference_energy: float, n_atoms: int, unit: str = "meV"
+) -> float:
+    """Absolute energy error per atom.
+
+    Parameters
+    ----------
+    energy, reference_energy:
+        Energies in eV.
+    n_atoms:
+        Number of atoms of the system.
+    unit:
+        ``"meV"`` (default, as in the paper's Figs. 1 and 7) or ``"eV"``.
+    """
+    if n_atoms < 1:
+        raise ValueError("n_atoms must be positive")
+    error = abs(energy - reference_energy) / n_atoms
+    if unit == "meV":
+        return 1000.0 * error
+    if unit == "eV":
+        return error
+    raise ValueError("unit must be 'meV' or 'eV'")
+
+
+def parallel_efficiency(
+    times: Sequence[float],
+    resources: Sequence[float],
+    mode: str = "strong",
+) -> np.ndarray:
+    """Strong- or weak-scaling efficiency relative to the first data point.
+
+    Parameters
+    ----------
+    times:
+        Wall-clock (or simulated) times.
+    resources:
+        Core/node counts corresponding to the times.
+    mode:
+        ``"strong"``: efficiency = t0·r0 / (t·r) (perfect scaling keeps the
+        core-time product constant at fixed problem size);
+        ``"weak"``: efficiency = t0 / t (perfect scaling keeps the time
+        constant while problem size and resources grow together).
+    """
+    times = np.asarray(times, dtype=float)
+    resources = np.asarray(resources, dtype=float)
+    if times.shape != resources.shape:
+        raise ValueError("times and resources must have the same length")
+    if np.any(times <= 0) or np.any(resources <= 0):
+        raise ValueError("times and resources must be positive")
+    if mode == "strong":
+        return (times[0] * resources[0]) / (times * resources)
+    if mode == "weak":
+        return times[0] / times
+    raise ValueError("mode must be 'strong' or 'weak'")
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares line y = a·x + b and the coefficient of determination R².
+
+    Used to verify the linear-scaling behaviour of Fig. 8: runtime vs. number
+    of atoms should fit a straight line with R² close to 1.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matching data points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r_squared
+
+
+def crossover_point(
+    x: Sequence[float], y_a: Sequence[float], y_b: Sequence[float]
+) -> float:
+    """x value where curve a crosses below curve b (log-linear interpolation).
+
+    Used for the runtime-vs-eps_filter comparison (Fig. 6): the paper reports
+    that the submatrix method becomes faster than Newton–Schulz for
+    eps_filter > 1e-5.  Returns ``nan`` when the curves do not cross.
+    """
+    x = np.asarray(x, dtype=float)
+    a = np.asarray(y_a, dtype=float)
+    b = np.asarray(y_b, dtype=float)
+    if not (x.size == a.size == b.size):
+        raise ValueError("all inputs must have the same length")
+    difference = a - b
+    for i in range(1, len(x)):
+        if difference[i - 1] == 0.0:
+            return float(x[i - 1])
+        if difference[i - 1] * difference[i] < 0:
+            # linear interpolation in log-x if x is positive and spans decades
+            if np.all(x > 0):
+                lx0, lx1 = np.log10(x[i - 1]), np.log10(x[i])
+                t = difference[i - 1] / (difference[i - 1] - difference[i])
+                return float(10 ** (lx0 + t * (lx1 - lx0)))
+            t = difference[i - 1] / (difference[i - 1] - difference[i])
+            return float(x[i - 1] + t * (x[i] - x[i - 1]))
+    return float("nan")

@@ -1,0 +1,95 @@
+"""Löwdin symmetric orthogonalization.
+
+The paper's implementation (Sec. IV-F) symmetrises the argument of the sign
+function by multiplying the Kohn–Sham matrix from both sides with S^{-1/2}
+(Löwdin orthogonalization) instead of using the unsymmetric product S^{-1}K:
+
+    K̃ = S^{-1/2} K S^{-1/2}
+    D = 1/2 S^{-1/2} (I - sign(K̃ - μ I)) S^{-1/2}            (Eq. 16)
+
+This module provides the dense reference S^{-1/2} (via symmetric
+eigendecomposition) as well as a sparse, filtered orthogonalized Kohn–Sham
+matrix for use by the sparse solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "loewdin_inverse_sqrt",
+    "orthogonalized_ks",
+]
+
+
+def loewdin_inverse_sqrt(
+    S: Union[np.ndarray, sp.spmatrix], min_eigenvalue: float = 1e-10
+) -> np.ndarray:
+    """Compute S^{-1/2} of a symmetric positive-definite overlap matrix.
+
+    Parameters
+    ----------
+    S:
+        Overlap matrix, dense or sparse (densified internally — the overlap
+        matrices of the reproduction's benchmark systems are small enough for
+        the dense reference path; the large-system analyses are performed at
+        the sparsity-pattern level and never call this function).
+    min_eigenvalue:
+        Eigenvalues below this threshold trigger an error; the overlap of a
+        physically meaningful, non-redundant basis is strictly positive
+        definite.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense S^{-1/2}.
+    """
+    S_dense = S.toarray() if sp.issparse(S) else np.asarray(S, dtype=float)
+    if S_dense.shape[0] != S_dense.shape[1]:
+        raise ValueError("overlap matrix must be square")
+    if not np.allclose(S_dense, S_dense.T, atol=1e-10):
+        raise ValueError("overlap matrix must be symmetric")
+    eigenvalues, eigenvectors = np.linalg.eigh(S_dense)
+    if eigenvalues.min() < min_eigenvalue:
+        raise ValueError(
+            f"overlap matrix is not positive definite enough "
+            f"(min eigenvalue {eigenvalues.min():.3e} < {min_eigenvalue:.0e})"
+        )
+    inv_sqrt = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
+    return 0.5 * (inv_sqrt + inv_sqrt.T)
+
+
+def orthogonalized_ks(
+    K: Union[np.ndarray, sp.spmatrix],
+    S: Union[np.ndarray, sp.spmatrix],
+    eps_filter: float = 0.0,
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Symmetrically orthogonalized Kohn–Sham matrix K̃ = S^{-1/2} K S^{-1/2}.
+
+    Parameters
+    ----------
+    K, S:
+        Kohn–Sham and overlap matrices (dense or sparse).
+    eps_filter:
+        CP2K-style element truncation threshold applied to K̃.  Elements with
+        absolute value below this threshold are dropped, which is what
+        establishes the sparsity exploited by both the Newton–Schulz baseline
+        and the submatrix method.  ``0.0`` keeps everything.
+
+    Returns
+    -------
+    (K_ortho, S_inv_sqrt):
+        The filtered orthogonalized Kohn–Sham matrix as CSR and the dense
+        S^{-1/2} used to build it (needed again to back-transform the density
+        matrix, Eq. 16).
+    """
+    S_inv_sqrt = loewdin_inverse_sqrt(S)
+    K_dense = K.toarray() if sp.issparse(K) else np.asarray(K, dtype=float)
+    K_ortho = S_inv_sqrt @ K_dense @ S_inv_sqrt
+    K_ortho = 0.5 * (K_ortho + K_ortho.T)
+    if eps_filter > 0.0:
+        K_ortho = np.where(np.abs(K_ortho) >= eps_filter, K_ortho, 0.0)
+    return sp.csr_matrix(K_ortho), S_inv_sqrt

@@ -1,0 +1,25 @@
+"""Clustering algorithms used to combine block columns into submatrices.
+
+The paper proposes two heuristics for deciding which block columns to combine
+into a single submatrix (Sec. IV-C2):
+
+* k-means clustering of the real-space positions of the atoms/molecules
+  behind each block column (the paper uses scikit-learn; here a from-scratch
+  k-means++ / Lloyd implementation is provided), and
+* graph partitioning of the block-sparsity graph (the paper uses METIS
+  multilevel k-way partitioning; here a greedy BFS-growing partitioner with
+  boundary refinement stands in).
+
+Both produce balanced groups of spatially/graph-adjacent block columns, which
+is all the estimated-speedup analysis (Fig. 5) requires.
+"""
+
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.graph_partition import GraphPartitionResult, partition_graph
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "GraphPartitionResult",
+    "partition_graph",
+]

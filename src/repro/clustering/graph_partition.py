@@ -1,0 +1,222 @@
+"""Graph partitioning of the block-sparsity graph (METIS stand-in).
+
+The second heuristic of Sec. IV-C2 represents the block-sparsity pattern of
+the orthogonalized Kohn–Sham matrix as a graph — block columns are nodes,
+non-zero off-diagonal blocks are edges — and partitions it into k parts such
+that strongly connected block columns end up in the same part and are
+combined into a single submatrix.  The paper uses METIS multilevel k-way
+partitioning with total-communication-volume minimisation.
+
+METIS is not available offline; this module provides a deterministic greedy
+partitioner: parts are grown one at a time by BFS from a peripheral seed
+node, preferring frontier nodes with the most edges into the growing part
+(a Kernighan–Lin-flavoured gain function), followed by a boundary-refinement
+pass that moves nodes between adjacent parts when this reduces the edge cut
+without violating the balance constraint.  This reproduces the property that
+matters for the estimated speedup S of Fig. 5: balanced clusters of
+graph-adjacent block columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["GraphPartitionResult", "partition_graph", "edge_cut"]
+
+
+@dataclasses.dataclass
+class GraphPartitionResult:
+    """Result of a k-way graph partitioning.
+
+    Attributes
+    ----------
+    labels:
+        Part index per node.
+    n_parts:
+        Number of parts.
+    edge_cut:
+        Number of graph edges whose endpoints are in different parts.
+    part_sizes:
+        Number of nodes per part.
+    """
+
+    labels: np.ndarray
+    n_parts: int
+    edge_cut: int
+    part_sizes: np.ndarray
+
+
+def _adjacency_sets(pattern: sp.spmatrix) -> List[Set[int]]:
+    """Adjacency sets from a (possibly non-symmetric) sparsity pattern."""
+    n = pattern.shape[0]
+    if pattern.shape[0] != pattern.shape[1]:
+        raise ValueError("the block-sparsity pattern must be square")
+    coo = pattern.tocoo()
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    for i, j in zip(coo.row, coo.col):
+        if i != j:
+            adjacency[int(i)].add(int(j))
+            adjacency[int(j)].add(int(i))
+    return adjacency
+
+
+def edge_cut(pattern: sp.spmatrix, labels: Sequence[int]) -> int:
+    """Number of edges of the sparsity graph crossing part boundaries."""
+    labels = np.asarray(labels, dtype=int)
+    adjacency = _adjacency_sets(pattern)
+    cut = 0
+    for node, neighbors in enumerate(adjacency):
+        for neighbor in neighbors:
+            if neighbor > node and labels[neighbor] != labels[node]:
+                cut += 1
+    return cut
+
+
+def _grow_part(
+    seed: int,
+    target_size: int,
+    adjacency: List[Set[int]],
+    unassigned: Set[int],
+) -> Set[int]:
+    """Grow one part from ``seed`` by greedy gain-driven BFS."""
+    part: Set[int] = {seed}
+    unassigned.discard(seed)
+    # max-heap on (edges into part), tie-broken by node id for determinism
+    frontier: List[tuple] = []
+    counted: Dict[int, int] = {}
+
+    def push_neighbors(node: int) -> None:
+        for neighbor in adjacency[node]:
+            if neighbor in unassigned:
+                counted[neighbor] = counted.get(neighbor, 0) + 1
+                heapq.heappush(frontier, (-counted[neighbor], neighbor))
+
+    push_neighbors(seed)
+    while len(part) < target_size and unassigned:
+        candidate = None
+        while frontier:
+            negative_gain, node = heapq.heappop(frontier)
+            if node in unassigned and -negative_gain == counted.get(node, 0):
+                candidate = node
+                break
+        if candidate is None:
+            # disconnected remainder: pick the smallest unassigned node
+            candidate = min(unassigned)
+        part.add(candidate)
+        unassigned.discard(candidate)
+        push_neighbors(candidate)
+    return part
+
+
+def _refine(
+    labels: np.ndarray,
+    adjacency: List[Set[int]],
+    max_size: int,
+    passes: int = 2,
+) -> np.ndarray:
+    """Boundary refinement: move nodes to a neighbouring part when that
+    strictly reduces the edge cut and keeps all parts within ``max_size``."""
+    labels = labels.copy()
+    part_sizes: Dict[int, int] = {}
+    for label in labels:
+        part_sizes[int(label)] = part_sizes.get(int(label), 0) + 1
+    n = len(labels)
+    for _ in range(passes):
+        moved = 0
+        for node in range(n):
+            current = int(labels[node])
+            # connectivity of this node to each adjacent part
+            connectivity: Dict[int, int] = {}
+            for neighbor in adjacency[node]:
+                label = int(labels[neighbor])
+                connectivity[label] = connectivity.get(label, 0) + 1
+            internal = connectivity.get(current, 0)
+            best_part, best_gain = current, 0
+            for part, edges in connectivity.items():
+                if part == current:
+                    continue
+                if part_sizes.get(part, 0) + 1 > max_size:
+                    continue
+                if part_sizes[current] <= 1:
+                    continue
+                gain = edges - internal
+                if gain > best_gain or (gain == best_gain and gain > 0 and part < best_part):
+                    best_part, best_gain = part, gain
+            if best_part != current and best_gain > 0:
+                labels[node] = best_part
+                part_sizes[current] -= 1
+                part_sizes[best_part] = part_sizes.get(best_part, 0) + 1
+                moved += 1
+        if moved == 0:
+            break
+    return labels
+
+
+def partition_graph(
+    pattern: sp.spmatrix,
+    n_parts: int,
+    balance_tolerance: float = 1.10,
+    refine_passes: int = 2,
+    seed_order: Optional[Sequence[int]] = None,
+) -> GraphPartitionResult:
+    """Partition the block-sparsity graph into ``n_parts`` balanced parts.
+
+    Parameters
+    ----------
+    pattern:
+        Square (block) sparsity pattern; off-diagonal non-zeros are edges.
+    n_parts:
+        Number of parts (1 <= n_parts <= number of nodes).
+    balance_tolerance:
+        Maximum allowed part size as a multiple of the ideal size
+        ceil(n / n_parts).
+    refine_passes:
+        Number of boundary-refinement sweeps.
+    seed_order:
+        Optional explicit order in which part seeds are chosen (mainly for
+        testing); by default the lowest-degree unassigned node seeds each
+        part, which tends to start parts at the periphery of the graph.
+    """
+    n = pattern.shape[0]
+    if not 1 <= n_parts <= n:
+        raise ValueError(f"n_parts must be in [1, {n}], got {n_parts}")
+    adjacency = _adjacency_sets(pattern)
+    base_size = -(-n // n_parts)  # ceil
+    max_size = max(base_size, int(np.floor(base_size * balance_tolerance)))
+
+    labels = np.full(n, -1, dtype=int)
+    unassigned: Set[int] = set(range(n))
+    seeds_iter = iter(seed_order) if seed_order is not None else None
+    for part in range(n_parts):
+        if not unassigned:
+            break
+        remaining_parts = n_parts - part
+        target = -(-len(unassigned) // remaining_parts)
+        if seeds_iter is not None:
+            seed = next(seeds_iter)
+            if seed not in unassigned:
+                seed = min(unassigned)
+        else:
+            seed = min(unassigned, key=lambda node: (len(adjacency[node] & unassigned), node))
+        members = _grow_part(seed, target, adjacency, unassigned)
+        for node in members:
+            labels[node] = part
+    # safety: assign any stragglers to the smallest part
+    if np.any(labels < 0):  # pragma: no cover - defensive
+        for node in np.flatnonzero(labels < 0):
+            sizes = np.bincount(labels[labels >= 0], minlength=n_parts)
+            labels[node] = int(np.argmin(sizes))
+
+    if n_parts > 1 and refine_passes > 0:
+        labels = _refine(labels, adjacency, max_size, refine_passes)
+
+    cut = edge_cut(pattern, labels)
+    part_sizes = np.bincount(labels, minlength=n_parts)
+    return GraphPartitionResult(
+        labels=labels, n_parts=n_parts, edge_cut=cut, part_sizes=part_sizes
+    )

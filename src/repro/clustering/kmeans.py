@@ -1,0 +1,142 @@
+"""k-means clustering (k-means++ seeding plus Lloyd iterations).
+
+Used for the real-space heuristic of Sec. IV-C2: block columns whose
+molecules are close in real space should be combined into one submatrix.  The
+paper uses scikit-learn's implementation; since scikit-learn is not available
+offline, this module implements the same algorithm (Lloyd's iterations with
+k-means++ seeding and several restarts) from scratch on top of NumPy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclasses.dataclass
+class KMeansResult:
+    """Result of a k-means clustering.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per input point.
+    centers:
+        Cluster centroids, shape (k, dims).
+    inertia:
+        Sum of squared distances of points to their assigned centroid.
+    iterations:
+        Lloyd iterations performed by the best restart.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+def _kmeans_plus_plus(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportional to D²."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = rng.integers(n)
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # all remaining points coincide with chosen centers
+            centers[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probabilities = closest_sq / total
+        choice = rng.choice(n, p=probabilities)
+        centers[i] = points[choice]
+        distance_sq = np.sum((points - centers[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, distance_sq)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+) -> tuple:
+    """Lloyd iterations from the given initial centers."""
+    k = centers.shape[0]
+    labels = np.zeros(points.shape[0], dtype=int)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        # assignment step
+        distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+        labels = np.argmin(distances, axis=1)
+        # update step
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                new_centers[cluster] = members.mean(axis=0)
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if shift <= tolerance:
+            break
+    distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(np.sum(np.min(distances, axis=1) ** 2))
+    return labels, centers, inertia, iterations
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: Optional[int] = 0,
+    n_init: int = 4,
+    max_iterations: int = 300,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Cluster ``points`` into ``n_clusters`` groups.
+
+    Parameters
+    ----------
+    points:
+        (n, dims) array of coordinates.
+    n_clusters:
+        Number of clusters k (1 <= k <= n).
+    seed:
+        Seed for the k-means++ initialisation; ``None`` uses fresh entropy.
+    n_init:
+        Number of restarts; the restart with the lowest inertia wins.
+    max_iterations:
+        Maximum Lloyd iterations per restart.
+    tolerance:
+        Convergence tolerance on the largest centroid movement.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2D array")
+    n = points.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must be in [1, {n}], got {n_clusters}")
+    rng = np.random.default_rng(seed)
+    best: Optional[KMeansResult] = None
+    for _ in range(max(1, n_init)):
+        centers = _kmeans_plus_plus(points, n_clusters, rng)
+        labels, centers, inertia, iterations = _lloyd(
+            points, centers, max_iterations, tolerance
+        )
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(
+                labels=labels, centers=centers, inertia=inertia, iterations=iterations
+            )
+    assert best is not None
+    return best

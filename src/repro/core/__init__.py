@@ -1,0 +1,86 @@
+"""The submatrix method (the paper's primary contribution).
+
+Workflow (Fig. 3 of the paper):
+
+1. for each (block) column i of the sparse input matrix a principal
+   submatrix a_i is assembled from the rows/columns where column i is
+   non-zero (:mod:`repro.core.submatrix`);
+2. the matrix function of interest is evaluated on every dense submatrix
+   (:mod:`repro.core.method` orchestrates this, using the solvers from
+   :mod:`repro.signfn`);
+3. the column of f(a_i) that corresponds to column i is copied back into the
+   sparse result matrix, preserving the input sparsity pattern.
+
+On top of this core, the subpackage implements the CP2K-specific machinery
+described in Sec. IV of the paper: grouping of block columns into combined
+submatrices (:mod:`repro.core.combination`), greedy load balancing
+(:mod:`repro.core.load_balance`), deduplicated block-transfer planning
+(:mod:`repro.core.transfers`), the density-matrix driver with grand-canonical
+and canonical ensembles (:mod:`repro.core.sign_dft`) and the distributed run
+cost model (:mod:`repro.core.runner`).
+"""
+
+from repro.core.submatrix import (
+    Submatrix,
+    extract_submatrix,
+    extract_block_submatrix,
+    submatrix_dimension,
+    submatrix_block_rows,
+)
+from repro.core.method import SubmatrixMethod, SubmatrixMethodResult
+from repro.core.combination import (
+    ColumnGrouping,
+    single_column_groups,
+    group_columns_kmeans,
+    group_columns_graph,
+    group_columns_greedy_chunks,
+    estimated_speedup,
+)
+from repro.core.load_balance import (
+    assign_consecutive_chunks,
+    assign_round_robin,
+    submatrix_flop_costs,
+    load_imbalance,
+)
+from repro.core.splitting import (
+    SplitSolveResult,
+    split_submatrix_solve,
+    splitting_flop_estimate,
+)
+from repro.core.transfers import TransferPlan, plan_transfers
+from repro.core.sign_dft import SubmatrixDFTSolver, SubmatrixDFTResult
+from repro.core.runner import (
+    SubmatrixRunCost,
+    submatrix_method_cost,
+    newton_schulz_cost,
+)
+
+__all__ = [
+    "Submatrix",
+    "extract_submatrix",
+    "extract_block_submatrix",
+    "submatrix_dimension",
+    "submatrix_block_rows",
+    "SubmatrixMethod",
+    "SubmatrixMethodResult",
+    "ColumnGrouping",
+    "single_column_groups",
+    "group_columns_kmeans",
+    "group_columns_graph",
+    "group_columns_greedy_chunks",
+    "estimated_speedup",
+    "assign_consecutive_chunks",
+    "assign_round_robin",
+    "submatrix_flop_costs",
+    "load_imbalance",
+    "SplitSolveResult",
+    "split_submatrix_solve",
+    "splitting_flop_estimate",
+    "TransferPlan",
+    "plan_transfers",
+    "SubmatrixDFTSolver",
+    "SubmatrixDFTResult",
+    "submatrix_method_cost",
+    "newton_schulz_cost",
+    "SubmatrixRunCost",
+]

@@ -1,0 +1,277 @@
+"""Principal-submatrix extraction and result scatter-back.
+
+This is the heart of the submatrix method (Sec. III-A of the paper):
+
+1. For a set of generating columns C of the sparse symmetric matrix A, the
+   retained index set R is the union of the rows with a non-zero entry in any
+   column of C.  The principal submatrix a_C = A[R, R] is dense (or nearly
+   dense) and much smaller than A in the linear-scaling regime.
+2. After evaluating the matrix function f on a_C, only the columns of f(a_C)
+   that correspond to the generating columns are copied back into the result
+   matrix, and only at the rows that were non-zero in the corresponding input
+   column — the result inherits the sparsity pattern of the input.
+
+Both granularities used in the paper are supported: single matrix columns
+(element-level, operating on ``scipy.sparse`` matrices) and DBCSR block
+columns (block-level, operating on :class:`BlockSparseMatrix` or on a pure
+block-sparsity pattern for the large pattern-only analyses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dbcsr.block_matrix import BlockSparseMatrix
+from repro.dbcsr.coo import CooBlockList
+
+__all__ = [
+    "Submatrix",
+    "extract_submatrix",
+    "scatter_submatrix_result",
+    "extract_block_submatrix",
+    "scatter_block_submatrix_result",
+    "submatrix_block_rows",
+    "submatrix_dimension",
+]
+
+
+@dataclasses.dataclass
+class Submatrix:
+    """A principal submatrix together with its index bookkeeping.
+
+    Attributes
+    ----------
+    generating_columns:
+        The (element or block) columns this submatrix was generated for.
+    indices:
+        The retained (element or block) rows/columns, sorted ascending, in the
+        indexing of the original matrix.
+    local_columns:
+        Positions of the generating columns inside ``indices``.
+    data:
+        The dense submatrix (``None`` for pattern-level extraction).
+    block_sizes:
+        For block-level submatrices, the sizes of the retained blocks (in the
+        same order as ``indices``); ``None`` at element level.
+    """
+
+    generating_columns: np.ndarray
+    indices: np.ndarray
+    local_columns: np.ndarray
+    data: Optional[np.ndarray] = None
+    block_sizes: Optional[np.ndarray] = None
+
+    @property
+    def dimension(self) -> int:
+        """Dense dimension of the submatrix."""
+        if self.block_sizes is not None:
+            return int(self.block_sizes.sum())
+        return int(self.indices.size)
+
+    @property
+    def n_retained(self) -> int:
+        """Number of retained (element or block) rows."""
+        return int(self.indices.size)
+
+
+# --------------------------------------------------------------------------- #
+# element-level submatrices
+# --------------------------------------------------------------------------- #
+def extract_submatrix(
+    matrix: sp.spmatrix, columns: Union[int, Sequence[int]]
+) -> Submatrix:
+    """Assemble the principal submatrix for one or several matrix columns.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse symmetric matrix (any SciPy format; converted to CSC).
+    columns:
+        Generating column index or indices.
+
+    Returns
+    -------
+    Submatrix
+        With ``data`` filled as a dense array.
+    """
+    columns = np.atleast_1d(np.asarray(columns, dtype=int))
+    csc = matrix.tocsc()
+    n = csc.shape[0]
+    if columns.size == 0:
+        raise ValueError("at least one generating column is required")
+    if columns.min() < 0 or columns.max() >= csc.shape[1]:
+        raise IndexError("generating column out of range")
+    row_sets = [csc.indices[csc.indptr[c] : csc.indptr[c + 1]] for c in columns]
+    indices = np.unique(np.concatenate(row_sets + [columns]))
+    # ensure the generating columns themselves are present even if their
+    # diagonal entry is (numerically) zero
+    local_columns = np.searchsorted(indices, columns)
+    data = csc[np.ix_(indices, indices)].toarray()
+    del n
+    return Submatrix(
+        generating_columns=columns,
+        indices=indices,
+        local_columns=local_columns,
+        data=data,
+    )
+
+
+def scatter_submatrix_result(
+    result: Dict[int, Dict[int, float]],
+    f_submatrix: np.ndarray,
+    submatrix: Submatrix,
+    input_csc: sp.csc_matrix,
+) -> None:
+    """Copy the relevant columns of f(a_C) into a result accumulator.
+
+    Parameters
+    ----------
+    result:
+        Nested dict ``result[column][row] = value`` collecting the columns of
+        the approximate result matrix.
+    f_submatrix:
+        Dense f(a_C).
+    submatrix:
+        The submatrix bookkeeping produced by :func:`extract_submatrix`.
+    input_csc:
+        The original matrix in CSC format; its per-column sparsity pattern
+        defines which rows of the result column are kept (the result retains
+        the input sparsity pattern).
+    """
+    for column, local_column in zip(
+        submatrix.generating_columns, submatrix.local_columns
+    ):
+        rows = input_csc.indices[
+            input_csc.indptr[column] : input_csc.indptr[column + 1]
+        ]
+        local_rows = np.searchsorted(submatrix.indices, rows)
+        values = f_submatrix[local_rows, local_column]
+        column_store = result.setdefault(int(column), {})
+        for row, value in zip(rows, values):
+            column_store[int(row)] = float(value)
+
+
+# --------------------------------------------------------------------------- #
+# block-level submatrices
+# --------------------------------------------------------------------------- #
+def submatrix_block_rows(
+    pattern_or_coo: Union[sp.spmatrix, CooBlockList],
+    block_columns: Union[int, Sequence[int]],
+) -> np.ndarray:
+    """Non-zero block rows of the given block columns (sorted union).
+
+    Accepts either a block-sparsity pattern matrix or a
+    :class:`~repro.dbcsr.coo.CooBlockList`.
+    """
+    block_columns = np.atleast_1d(np.asarray(block_columns, dtype=int))
+    if isinstance(pattern_or_coo, CooBlockList):
+        rows = pattern_or_coo.blocks_in_columns(block_columns)
+        rows = np.asarray(rows, dtype=int)
+    else:
+        csc = pattern_or_coo.tocsc()
+        row_sets = [
+            csc.indices[csc.indptr[c] : csc.indptr[c + 1]] for c in block_columns
+        ]
+        rows = np.unique(np.concatenate(row_sets)) if row_sets else np.empty(0, int)
+    return np.unique(np.concatenate([rows, block_columns]))
+
+
+def submatrix_dimension(
+    pattern_or_coo: Union[sp.spmatrix, CooBlockList],
+    block_sizes: Sequence[int],
+    block_columns: Union[int, Sequence[int]],
+) -> int:
+    """Dense dimension of the submatrix generated by ``block_columns``.
+
+    This is the quantity plotted in Fig. 4 of the paper (dim(SM)): the sum of
+    the block sizes of all retained block rows.
+    """
+    block_sizes = np.asarray(list(block_sizes), dtype=int)
+    rows = submatrix_block_rows(pattern_or_coo, block_columns)
+    return int(block_sizes[rows].sum())
+
+
+def extract_block_submatrix(
+    matrix: BlockSparseMatrix,
+    block_columns: Union[int, Sequence[int]],
+    coo: Optional[CooBlockList] = None,
+) -> Submatrix:
+    """Assemble the dense submatrix for one or several DBCSR block columns.
+
+    Parameters
+    ----------
+    matrix:
+        The block-sparse input matrix (must have a square block structure).
+    block_columns:
+        Generating block column(s).
+    coo:
+        Optional pre-built COO block list (the global sparsity view); built
+        on the fly when omitted.
+
+    Returns
+    -------
+    Submatrix
+        With ``data`` the dense submatrix, ``indices`` the retained block
+        rows, ``block_sizes`` their sizes and ``local_columns`` the positions
+        of the generating block columns within the retained blocks.
+    """
+    if not np.array_equal(matrix.row_block_sizes, matrix.col_block_sizes):
+        raise ValueError("the submatrix method requires a square block structure")
+    block_columns = np.atleast_1d(np.asarray(block_columns, dtype=int))
+    if coo is None:
+        coo = CooBlockList.from_block_matrix(matrix)
+    retained = submatrix_block_rows(coo, block_columns)
+    sizes = matrix.row_block_sizes[retained]
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    dimension = int(offsets[-1])
+    data = np.zeros((dimension, dimension))
+    position = {int(block): index for index, block in enumerate(retained)}
+    for local_i, bi in enumerate(retained):
+        for local_j, bj in enumerate(retained):
+            block = matrix.get_block(int(bi), int(bj))
+            if block is None:
+                continue
+            data[
+                offsets[local_i] : offsets[local_i + 1],
+                offsets[local_j] : offsets[local_j + 1],
+            ] = block
+    local_columns = np.array([position[int(c)] for c in block_columns], dtype=int)
+    return Submatrix(
+        generating_columns=block_columns,
+        indices=retained,
+        local_columns=local_columns,
+        data=data,
+        block_sizes=sizes,
+    )
+
+
+def scatter_block_submatrix_result(
+    result: BlockSparseMatrix,
+    f_submatrix: np.ndarray,
+    submatrix: Submatrix,
+    coo: CooBlockList,
+) -> None:
+    """Copy the generating block columns of f(a_C) back into ``result``.
+
+    Only blocks that were non-zero in the input pattern are written (the
+    approximate result retains the sparsity pattern of the input, step 3 of
+    the method).  ``result`` must have the same block structure as the input
+    matrix.
+    """
+    if submatrix.block_sizes is None:
+        raise ValueError("scatter_block_submatrix_result requires a block submatrix")
+    offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
+    retained = submatrix.indices
+    for column, local_column in zip(
+        submatrix.generating_columns, submatrix.local_columns
+    ):
+        column_rows = coo.blocks_in_column(int(column))
+        c0, c1 = offsets[local_column], offsets[local_column + 1]
+        for bi in column_rows:
+            local_row = int(np.searchsorted(retained, bi))
+            r0, r1 = offsets[local_row], offsets[local_row + 1]
+            result.put_block(int(bi), int(column), f_submatrix[r0:r1, c0:c1])

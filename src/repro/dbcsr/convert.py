@@ -1,0 +1,130 @@
+"""Conversions between block-sparse, SciPy sparse and dense representations.
+
+The chemistry substrate produces ``scipy.sparse`` matrices with a known block
+(molecule) structure; the DBCSR substrate and the submatrix method operate on
+:class:`~repro.dbcsr.block_matrix.BlockSparseMatrix`.  These helpers move
+data between the representations while preserving the block structure and
+dropping blocks that are entirely below a threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.dbcsr.block_matrix import BlockSparseMatrix
+
+__all__ = [
+    "block_matrix_from_dense",
+    "block_matrix_from_csr",
+    "block_matrix_to_dense",
+    "block_matrix_to_csr",
+]
+
+
+def block_matrix_from_dense(
+    matrix: np.ndarray,
+    row_block_sizes: Iterable[int],
+    col_block_sizes: Optional[Iterable[int]] = None,
+    threshold: float = 0.0,
+) -> BlockSparseMatrix:
+    """Cut a dense matrix into blocks, keeping blocks above ``threshold``.
+
+    A block is kept when its largest absolute element is strictly greater
+    than ``threshold`` (with ``threshold=0.0`` all blocks containing any
+    non-zero are kept).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    result = BlockSparseMatrix(row_block_sizes, col_block_sizes)
+    rows, cols = result.shape
+    if matrix.shape != (rows, cols):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match block structure "
+            f"({rows}, {cols})"
+        )
+    for bi in range(result.n_block_rows):
+        r0, r1 = result.row_starts[bi], result.row_starts[bi + 1]
+        for bj in range(result.n_block_cols):
+            c0, c1 = result.col_starts[bj], result.col_starts[bj + 1]
+            block = matrix[r0:r1, c0:c1]
+            peak = np.max(np.abs(block)) if block.size else 0.0
+            if peak > threshold or (threshold == 0.0 and peak > 0.0):
+                result.put_block(bi, bj, block)
+    return result
+
+
+def block_matrix_from_csr(
+    matrix: sp.spmatrix,
+    row_block_sizes: Iterable[int],
+    col_block_sizes: Optional[Iterable[int]] = None,
+    threshold: float = 0.0,
+) -> BlockSparseMatrix:
+    """Convert a SciPy sparse matrix to block-sparse storage.
+
+    Only blocks that contain at least one stored element above ``threshold``
+    are created; within a created block the full dense content of that block
+    region is stored (including elements below the threshold), matching
+    DBCSR's block-level granularity.
+    """
+    result = BlockSparseMatrix(row_block_sizes, col_block_sizes)
+    rows, cols = result.shape
+    if matrix.shape != (rows, cols):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match block structure "
+            f"({rows}, {cols})"
+        )
+    coo = matrix.tocoo()
+    if threshold > 0.0:
+        keep = np.abs(coo.data) > threshold
+        coo = sp.coo_matrix(
+            (coo.data[keep], (coo.row[keep], coo.col[keep])), shape=coo.shape
+        )
+    if coo.nnz == 0:
+        return result
+    block_row = np.searchsorted(result.row_starts, coo.row, side="right") - 1
+    block_col = np.searchsorted(result.col_starts, coo.col, side="right") - 1
+    occupied = set(zip(block_row.tolist(), block_col.tolist()))
+    csr = matrix.tocsr()
+    for bi, bj in sorted(occupied):
+        r0, r1 = result.row_starts[bi], result.row_starts[bi + 1]
+        c0, c1 = result.col_starts[bj], result.col_starts[bj + 1]
+        block = csr[r0:r1, c0:c1].toarray()
+        result.put_block(bi, bj, block)
+    return result
+
+
+def block_matrix_to_dense(matrix: BlockSparseMatrix) -> np.ndarray:
+    """Densify a block-sparse matrix."""
+    rows, cols = matrix.shape
+    dense = np.zeros((rows, cols))
+    for bi, bj, block in matrix.iter_blocks():
+        r0 = matrix.row_starts[bi]
+        c0 = matrix.col_starts[bj]
+        dense[r0 : r0 + block.shape[0], c0 : c0 + block.shape[1]] = block
+    return dense
+
+
+def block_matrix_to_csr(matrix: BlockSparseMatrix) -> sp.csr_matrix:
+    """Convert block-sparse storage to a SciPy CSR matrix."""
+    rows_idx = []
+    cols_idx = []
+    values = []
+    for bi, bj, block in matrix.iter_blocks():
+        r0 = matrix.row_starts[bi]
+        c0 = matrix.col_starts[bj]
+        nr, nc = block.shape
+        local_r, local_c = np.meshgrid(np.arange(nr), np.arange(nc), indexing="ij")
+        rows_idx.append((r0 + local_r).ravel())
+        cols_idx.append((c0 + local_c).ravel())
+        values.append(block.ravel())
+    if not values:
+        return sp.csr_matrix(matrix.shape)
+    return sp.coo_matrix(
+        (
+            np.concatenate(values),
+            (np.concatenate(rows_idx), np.concatenate(cols_idx)),
+        ),
+        shape=matrix.shape,
+    ).tocsr()

@@ -1,0 +1,73 @@
+"""Parallel execution helpers.
+
+The submatrix method is embarrassingly parallel: every submatrix can be
+solved independently (Sec. III-A of the paper).  Inside CP2K this parallelism
+is expressed with MPI ranks and OpenMP threads; here it is expressed through
+a thread pool (NumPy/LAPACK release the GIL inside the dense kernels, so
+threads give genuine speedups) or, optionally, a process pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["map_parallel", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Default number of workers: the machine's CPU count (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def map_parallel(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: Optional[int] = None,
+    backend: str = "thread",
+    chunksize: int = 1,
+) -> List[R]:
+    """Apply ``function`` to every item, optionally in parallel.
+
+    Parameters
+    ----------
+    function:
+        Callable applied to each item.  Must be picklable for the
+        ``"process"`` backend.
+    items:
+        Input sequence; results are returned in the same order.
+    max_workers:
+        Worker count; defaults to the CPU count.  A value of 1 or the
+        ``"serial"`` backend short-circuits to a plain loop, which is also
+        the fallback that keeps results deterministic in tests.
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    chunksize:
+        Chunk size for the process backend.
+
+    Returns
+    -------
+    list
+        Results in input order.
+    """
+    items = list(items)
+    if backend not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+
+    if backend == "serial" or max_workers == 1 or len(items) <= 1:
+        return [function(item) for item in items]
+
+    if backend == "thread":
+        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(function, items))
+
+    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(function, items, chunksize=max(1, chunksize)))

@@ -1,0 +1,48 @@
+"""Matrix sign function algorithms and related matrix functions.
+
+Three families of algorithms are provided, matching the paper:
+
+* the 2nd-order Newton–Schulz iteration (Eq. 11) — CP2K's default for
+  grand-canonical linear-scaling DFT and the baseline in the evaluation —
+  in dense and sparse (filtered) variants (:mod:`repro.signfn.newton_schulz`);
+* higher-order Padé-style iterations (Eq. 19 for the 3rd order) used for the
+  GPU/FPGA exploration (:mod:`repro.signfn.pade`);
+* the eigendecomposition-based evaluation with the sign(0) = 0 extension
+  (Eq. 12) and its finite-temperature generalization via the Fermi function,
+  which the paper found superior for the dense submatrices
+  (:mod:`repro.signfn.eigen`).
+
+:mod:`repro.signfn.inverse_root` implements the inverse p-th roots of the
+original submatrix-method publication, and :mod:`repro.signfn.utils` the
+shared spectral-scaling and convergence helpers.
+"""
+
+from repro.signfn.newton_schulz import (
+    NewtonSchulzResult,
+    sign_newton_schulz,
+    sign_newton_schulz_filtered_dense,
+    sign_newton_schulz_sparse,
+)
+from repro.signfn.pade import pade_polynomial_coefficients, sign_pade, PadeResult
+from repro.signfn.eigen import (
+    sign_via_eigendecomposition,
+    occupation_function_via_eigendecomposition,
+)
+from repro.signfn.inverse_root import inverse_pth_root, inverse_pth_root_newton
+from repro.signfn.utils import involutority_error, spectral_scale_estimate
+
+__all__ = [
+    "NewtonSchulzResult",
+    "sign_newton_schulz",
+    "sign_newton_schulz_filtered_dense",
+    "sign_newton_schulz_sparse",
+    "pade_polynomial_coefficients",
+    "sign_pade",
+    "PadeResult",
+    "sign_via_eigendecomposition",
+    "occupation_function_via_eigendecomposition",
+    "inverse_pth_root",
+    "inverse_pth_root_newton",
+    "involutority_error",
+    "spectral_scale_estimate",
+]

@@ -1,0 +1,209 @@
+"""Tests for orthogonalization, occupations and the dense reference solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.chem import (
+    band_structure_energy,
+    density_from_sign,
+    electron_count,
+    loewdin_inverse_sqrt,
+    orthogonalized_ks,
+    reference_density_matrix,
+)
+from repro.chem.density import (
+    KB_EV,
+    fermi_occupation,
+    find_mu_for_electron_count,
+)
+
+
+class TestLoewdin:
+    def test_inverse_sqrt_identity(self):
+        assert np.allclose(loewdin_inverse_sqrt(np.eye(5)), np.eye(5))
+
+    def test_inverse_sqrt_property(self, water32_matrices):
+        s_inv_sqrt = loewdin_inverse_sqrt(water32_matrices.S)
+        S = water32_matrices.S.toarray()
+        assert np.allclose(s_inv_sqrt @ S @ s_inv_sqrt, np.eye(S.shape[0]), atol=1e-10)
+
+    def test_symmetric_result(self, water32_matrices):
+        s_inv_sqrt = loewdin_inverse_sqrt(water32_matrices.S)
+        assert np.allclose(s_inv_sqrt, s_inv_sqrt.T)
+
+    def test_rejects_non_positive_definite(self):
+        with pytest.raises(ValueError):
+            loewdin_inverse_sqrt(np.diag([1.0, -0.5, 2.0]))
+
+    def test_rejects_asymmetric(self):
+        matrix = np.eye(3)
+        matrix[0, 1] = 0.5
+        with pytest.raises(ValueError):
+            loewdin_inverse_sqrt(matrix)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            loewdin_inverse_sqrt(np.ones((2, 3)))
+
+
+class TestOrthogonalizedKS:
+    def test_symmetry(self, water32_matrices):
+        k_ortho, _ = orthogonalized_ks(water32_matrices.K, water32_matrices.S)
+        dense = k_ortho.toarray()
+        assert np.allclose(dense, dense.T)
+
+    def test_filter_reduces_nnz(self, water32_matrices):
+        # the 32-molecule box is small, so even the weakest couplings are of
+        # order 1e-4; a 1e-2 filter is guaranteed to drop elements
+        unfiltered, _ = orthogonalized_ks(water32_matrices.K, water32_matrices.S, 0.0)
+        filtered, _ = orthogonalized_ks(water32_matrices.K, water32_matrices.S, 1e-2)
+        assert filtered.nnz < unfiltered.nnz
+
+    def test_filter_drops_only_small_elements(self, water32_matrices):
+        eps = 1e-4
+        filtered, _ = orthogonalized_ks(water32_matrices.K, water32_matrices.S, eps)
+        if filtered.nnz:
+            assert np.min(np.abs(filtered.data)) >= eps
+
+    def test_eigenvalues_match_generalized_problem(self, water32_matrices):
+        """K̃ has the same spectrum as the generalized problem K c = λ S c."""
+        from scipy.linalg import eigh
+
+        k_ortho, _ = orthogonalized_ks(water32_matrices.K, water32_matrices.S)
+        direct = np.linalg.eigvalsh(k_ortho.toarray())
+        generalized = eigh(
+            water32_matrices.K.toarray(),
+            water32_matrices.S.toarray(),
+            eigvals_only=True,
+        )
+        assert np.allclose(direct, generalized, atol=1e-8)
+
+
+class TestFermiOccupation:
+    def test_zero_temperature_step(self):
+        energies = np.array([-1.0, -0.1, 0.1, 1.0])
+        occ = fermi_occupation(energies, mu=0.0, temperature=0.0)
+        assert np.allclose(occ, [1.0, 1.0, 0.0, 0.0])
+
+    def test_half_occupation_at_mu(self):
+        occ = fermi_occupation(np.array([0.5]), mu=0.5, temperature=0.0)
+        assert occ[0] == pytest.approx(0.5)
+
+    def test_finite_temperature_smooth(self):
+        energies = np.array([-0.1, 0.0, 0.1])
+        occ = fermi_occupation(energies, mu=0.0, temperature=300.0)
+        assert occ[1] == pytest.approx(0.5)
+        assert 0.5 < occ[0] < 1.0
+        assert 0.0 < occ[2] < 0.5
+
+    def test_finite_temperature_limit_matches_step(self):
+        energies = np.array([-1.0, 1.0])
+        occ = fermi_occupation(energies, mu=0.0, temperature=1e-3)
+        assert np.allclose(occ, [1.0, 0.0], atol=1e-6)
+
+    def test_kb_value(self):
+        assert KB_EV == pytest.approx(8.6173e-5, rel=1e-3)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            fermi_occupation(np.array([0.0]), 0.0, -1.0)
+
+    def test_no_overflow_far_from_mu(self):
+        occ = fermi_occupation(np.array([1e6, -1e6]), mu=0.0, temperature=10.0)
+        assert np.isfinite(occ).all()
+
+
+class TestDensityFromSign:
+    def test_projector_from_exact_sign(self, rng):
+        n = 20
+        q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        eigenvalues = np.concatenate([-np.ones(8), np.ones(12)])
+        sign = (q * eigenvalues) @ q.T
+        density = density_from_sign(sign)
+        # projector: D² = D, trace = number of negative eigenvalues
+        assert np.allclose(density @ density, density, atol=1e-12)
+        assert np.trace(density) == pytest.approx(8.0)
+
+    def test_sparse_input(self):
+        sign = sp.identity(4, format="csr")
+        density = density_from_sign(sign)
+        assert np.allclose(density, 0.0)
+
+    def test_back_transformation(self, rng):
+        n = 10
+        sign = np.diag(np.concatenate([-np.ones(4), np.ones(6)]))
+        s_inv_sqrt = np.diag(1.0 / np.sqrt(np.linspace(0.5, 2.0, n)))
+        density = density_from_sign(sign, s_inv_sqrt)
+        expected = s_inv_sqrt @ (0.5 * (np.eye(n) - sign)) @ s_inv_sqrt
+        assert np.allclose(density, expected)
+
+
+class TestReferenceDensityMatrix:
+    def test_grand_canonical_counts(self, water32_matrices, gap_mu):
+        result = reference_density_matrix(
+            water32_matrices.K, water32_matrices.S, mu=gap_mu
+        )
+        assert result.n_electrons == pytest.approx(8 * 32)
+
+    def test_canonical_matches_grand_canonical(self, water32_matrices, gap_mu):
+        grand = reference_density_matrix(
+            water32_matrices.K, water32_matrices.S, mu=gap_mu
+        )
+        canonical = reference_density_matrix(
+            water32_matrices.K, water32_matrices.S, n_electrons=8 * 32
+        )
+        assert canonical.band_energy == pytest.approx(grand.band_energy, abs=1e-8)
+
+    def test_density_idempotent_in_ortho_basis(self, water32_reference):
+        density = water32_reference.density_ortho
+        assert np.allclose(density @ density, density, atol=1e-10)
+
+    def test_energy_equals_sum_of_occupied_levels(self, water32_reference):
+        occupied = water32_reference.orbital_energies[
+            water32_reference.occupations > 0.5
+        ]
+        assert water32_reference.band_energy == pytest.approx(
+            2.0 * occupied.sum(), rel=1e-10
+        )
+
+    def test_requires_mu_or_electrons(self, water32_matrices):
+        with pytest.raises(ValueError):
+            reference_density_matrix(water32_matrices.K, water32_matrices.S)
+
+    def test_finite_temperature_increases_entropy(self, water32_matrices, gap_mu):
+        cold = reference_density_matrix(
+            water32_matrices.K, water32_matrices.S, mu=gap_mu, temperature=0.0
+        )
+        # the model gap is ~15 eV, so a very high electronic temperature is
+        # needed before fractional occupations become visible
+        hot = reference_density_matrix(
+            water32_matrices.K, water32_matrices.S, mu=gap_mu, temperature=40000.0
+        )
+        # fractional occupations appear at high temperature
+        assert np.all((cold.occupations == 0.0) | (cold.occupations == 1.0))
+        assert np.any((hot.occupations > 1e-6) & (hot.occupations < 1 - 1e-6))
+
+
+class TestHelpers:
+    def test_electron_count_dense_and_sparse(self):
+        density = np.diag([1.0, 1.0, 0.5, 0.0])
+        assert electron_count(density) == pytest.approx(5.0)
+        assert electron_count(sp.csr_matrix(density)) == pytest.approx(5.0)
+
+    def test_band_energy_sparse_matches_dense(self, rng):
+        d = rng.random((6, 6))
+        k = rng.random((6, 6))
+        dense = band_structure_energy(d, k)
+        sparse = band_structure_energy(sp.csr_matrix(d), sp.csr_matrix(k))
+        assert dense == pytest.approx(sparse)
+
+    def test_find_mu_bisection(self):
+        energies = np.linspace(-5.0, 5.0, 11)
+        mu = find_mu_for_electron_count(energies, n_electrons=10.0)
+        # five orbitals below mu -> 10 electrons
+        assert energies[4] < mu < energies[5]
+
+    def test_find_mu_rejects_impossible_count(self):
+        with pytest.raises(ValueError):
+            find_mu_for_electron_count(np.array([0.0, 1.0]), n_electrons=10.0)

@@ -1,0 +1,162 @@
+"""Tests for k-means and graph partitioning."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.clustering import kmeans, partition_graph
+from repro.clustering.graph_partition import edge_cut
+
+
+def well_separated_points(rng, clusters=3, per_cluster=20, separation=50.0):
+    """Points in well-separated Gaussian blobs plus the true labels."""
+    points = []
+    labels = []
+    for index in range(clusters):
+        center = np.array([index * separation, 0.0, 0.0])
+        points.append(center + rng.normal(scale=1.0, size=(per_cluster, 3)))
+        labels.extend([index] * per_cluster)
+    return np.vstack(points), np.array(labels)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        points, truth = well_separated_points(rng)
+        result = kmeans(points, 3, seed=0)
+        # same-cluster points must share a label, different clusters must not
+        for cluster in range(3):
+            members = result.labels[truth == cluster]
+            assert len(np.unique(members)) == 1
+        assert len(np.unique(result.labels)) == 3
+
+    def test_inertia_decreases_with_more_clusters(self, rng):
+        points, _ = well_separated_points(rng)
+        few = kmeans(points, 2, seed=0)
+        many = kmeans(points, 6, seed=0)
+        assert many.inertia < few.inertia
+
+    def test_deterministic_for_fixed_seed(self, rng):
+        points, _ = well_separated_points(rng)
+        a = kmeans(points, 3, seed=5)
+        b = kmeans(points, 3, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_k_equals_n(self, rng):
+        points = rng.random((5, 3))
+        result = kmeans(points, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-20)
+
+    def test_single_cluster(self, rng):
+        points = rng.random((10, 2))
+        result = kmeans(points, 1, seed=0)
+        assert np.all(result.labels == 0)
+        assert np.allclose(result.centers[0], points.mean(axis=0))
+
+    def test_invalid_k(self, rng):
+        points = rng.random((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 6)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+
+    def test_duplicate_points(self):
+        points = np.zeros((10, 3))
+        result = kmeans(points, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_centers_shape(self, rng):
+        points, _ = well_separated_points(rng)
+        result = kmeans(points, 4, seed=0)
+        assert result.centers.shape == (4, 3)
+        assert result.n_clusters == 4
+
+
+def ring_graph(n):
+    """Sparsity pattern of a ring of n nodes (plus the diagonal)."""
+    rows, cols = [], []
+    for i in range(n):
+        for j in (i - 1, i, i + 1):
+            rows.append(i)
+            cols.append(j % n)
+    data = np.ones(len(rows), dtype=bool)
+    return sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+
+
+def two_cliques(n_per_clique=8):
+    """Two dense cliques connected by a single edge."""
+    n = 2 * n_per_clique
+    dense = np.zeros((n, n), dtype=bool)
+    dense[:n_per_clique, :n_per_clique] = True
+    dense[n_per_clique:, n_per_clique:] = True
+    dense[n_per_clique - 1, n_per_clique] = True
+    dense[n_per_clique, n_per_clique - 1] = True
+    return sp.csr_matrix(dense)
+
+
+class TestGraphPartition:
+    def test_two_cliques_split_cleanly(self):
+        pattern = two_cliques()
+        result = partition_graph(pattern, 2)
+        labels = result.labels
+        # the two cliques end up in different parts with exactly one cut edge
+        assert len(np.unique(labels[:8])) == 1
+        assert len(np.unique(labels[8:])) == 1
+        assert labels[0] != labels[8]
+        assert result.edge_cut == 1
+
+    def test_balanced_sizes_on_ring(self):
+        pattern = ring_graph(24)
+        result = partition_graph(pattern, 4)
+        assert result.part_sizes.sum() == 24
+        assert result.part_sizes.max() <= 8  # within tolerance of ideal 6
+
+    def test_ring_cut_is_small(self):
+        pattern = ring_graph(24)
+        result = partition_graph(pattern, 4)
+        # a ring cut into 4 contiguous arcs has exactly 4 cut edges; allow a
+        # little slack for the greedy heuristic
+        assert result.edge_cut <= 8
+
+    def test_single_part(self):
+        pattern = ring_graph(10)
+        result = partition_graph(pattern, 1)
+        assert np.all(result.labels == 0)
+        assert result.edge_cut == 0
+
+    def test_n_parts_equals_n_nodes(self):
+        pattern = ring_graph(6)
+        result = partition_graph(pattern, 6)
+        assert len(np.unique(result.labels)) == 6
+
+    def test_invalid_part_count(self):
+        pattern = ring_graph(5)
+        with pytest.raises(ValueError):
+            partition_graph(pattern, 0)
+        with pytest.raises(ValueError):
+            partition_graph(pattern, 6)
+
+    def test_non_square_pattern_rejected(self):
+        pattern = sp.csr_matrix(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            partition_graph(pattern, 2)
+
+    def test_disconnected_graph_still_covered(self):
+        pattern = sp.block_diag([ring_graph(6), ring_graph(6)]).tocsr()
+        result = partition_graph(pattern, 3)
+        assert result.part_sizes.sum() == 12
+        assert np.all(result.labels >= 0)
+
+    def test_edge_cut_helper_matches_result(self):
+        pattern = two_cliques()
+        result = partition_graph(pattern, 2)
+        assert edge_cut(pattern, result.labels) == result.edge_cut
+
+    def test_refinement_does_not_worsen_cut(self):
+        pattern = two_cliques(10)
+        unrefined = partition_graph(pattern, 2, refine_passes=0)
+        refined = partition_graph(pattern, 2, refine_passes=3)
+        assert refined.edge_cut <= unrefined.edge_cut

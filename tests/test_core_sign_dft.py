@@ -1,0 +1,224 @@
+"""Tests for the submatrix-method density-matrix solver (grand-canonical,
+canonical, finite temperature, alternative per-submatrix solvers)."""
+
+import numpy as np
+import pytest
+
+from repro.chem import reference_density_matrix
+from repro.core.combination import group_columns_greedy_chunks
+from repro.core.sign_dft import SubmatrixDFTSolver
+
+
+class TestGrandCanonical:
+    def test_matches_reference_energy(self, water32_matrices, water32_reference, gap_mu, water32):
+        solver = SubmatrixDFTSolver(eps_filter=1e-7)
+        result = solver.compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        error_mev_per_atom = (
+            abs(result.band_energy - water32_reference.band_energy)
+            / water32.n_atoms
+            * 1000.0
+        )
+        assert error_mev_per_atom < 1.0
+
+    def test_electron_count_matches(self, water32_matrices, gap_mu):
+        solver = SubmatrixDFTSolver(eps_filter=1e-7)
+        result = solver.compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        assert result.n_electrons == pytest.approx(8 * 32, abs=1e-3)
+
+    def test_looser_filter_larger_error(self, water64_matrices, gap_mu, water64):
+        reference = reference_density_matrix(
+            water64_matrices.K, water64_matrices.S, mu=gap_mu
+        )
+        errors = []
+        for eps in (1e-2, 1e-6):
+            solver = SubmatrixDFTSolver(eps_filter=eps)
+            result = solver.compute_density(
+                water64_matrices.K, water64_matrices.S, water64_matrices.blocks, mu=gap_mu
+            )
+            errors.append(abs(result.band_energy - reference.band_energy))
+        assert errors[0] > errors[1]
+
+    def test_looser_filter_smaller_submatrices(self, water64_matrices, gap_mu):
+        dims = []
+        for eps in (1e-2, 1e-7):
+            solver = SubmatrixDFTSolver(eps_filter=eps)
+            result = solver.compute_density(
+                water64_matrices.K, water64_matrices.S, water64_matrices.blocks, mu=gap_mu
+            )
+            dims.append(result.max_submatrix_dimension)
+        assert dims[0] < dims[1]
+
+    def test_density_pattern_matches_filtered_ks(self, water32_matrices, gap_mu):
+        from repro.chem import orthogonalized_ks
+
+        eps = 1e-5
+        solver = SubmatrixDFTSolver(eps_filter=eps)
+        result = solver.compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        k_ortho, _ = orthogonalized_ks(water32_matrices.K, water32_matrices.S, eps)
+        # the density matrix retains the sparsity pattern of the input
+        density_pattern = result.density_ortho.toarray() != 0
+        ks_pattern = k_ortho.toarray() != 0
+        assert np.array_equal(density_pattern & ~ks_pattern, np.zeros_like(ks_pattern))
+
+    def test_requires_exactly_one_ensemble_choice(self, water32_matrices, gap_mu):
+        solver = SubmatrixDFTSolver()
+        with pytest.raises(ValueError):
+            solver.compute_density(
+                water32_matrices.K, water32_matrices.S, water32_matrices.blocks
+            )
+        with pytest.raises(ValueError):
+            solver.compute_density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+                n_electrons=256,
+            )
+
+    def test_grouping_reduces_submatrix_count(self, water32_matrices, gap_mu):
+        grouping = group_columns_greedy_chunks(32, 8)
+        solver = SubmatrixDFTSolver(eps_filter=1e-5, grouping=grouping)
+        result = solver.compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        assert result.n_submatrices == 4
+
+    def test_grouped_result_close_to_ungrouped(self, water32_matrices, gap_mu, water32):
+        ungrouped = SubmatrixDFTSolver(eps_filter=1e-6).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        grouped = SubmatrixDFTSolver(
+            eps_filter=1e-6, grouping=group_columns_greedy_chunks(32, 4)
+        ).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        difference = abs(ungrouped.band_energy - grouped.band_energy) / water32.n_atoms
+        assert difference * 1000 < 1.0  # meV/atom
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SubmatrixDFTSolver(eps_filter=-1.0)
+        with pytest.raises(ValueError):
+            SubmatrixDFTSolver(temperature=-1.0)
+        with pytest.raises(ValueError):
+            SubmatrixDFTSolver(solver="magic")
+
+
+class TestCanonical:
+    def test_finds_mu_in_gap(self, water32_matrices, water32_reference):
+        solver = SubmatrixDFTSolver(eps_filter=1e-6)
+        result = solver.compute_density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            n_electrons=8 * 32,
+        )
+        energies = water32_reference.orbital_energies
+        homo = energies[4 * 32 - 1]
+        lumo = energies[4 * 32]
+        assert homo < result.mu < lumo
+        assert result.n_electrons == pytest.approx(8 * 32, abs=1e-2)
+        assert result.mu_iterations >= 1
+
+    def test_canonical_matches_grand_canonical_energy(
+        self, water32_matrices, gap_mu, water32
+    ):
+        grand = SubmatrixDFTSolver(eps_filter=1e-6).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        canonical = SubmatrixDFTSolver(eps_filter=1e-6).compute_density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            n_electrons=8 * 32,
+        )
+        difference = abs(grand.band_energy - canonical.band_energy) / water32.n_atoms
+        assert difference * 1000 < 0.1
+
+    def test_fractional_electron_count_adjusts_mu(self, water32_matrices, gap_mu):
+        """Removing electrons moves μ down into the occupied band."""
+        neutral = SubmatrixDFTSolver(eps_filter=1e-6).compute_density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            n_electrons=8 * 32,
+        )
+        cation = SubmatrixDFTSolver(eps_filter=1e-6).compute_density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            n_electrons=8 * 32 - 16,
+        )
+        assert cation.mu < neutral.mu
+        assert cation.n_electrons == pytest.approx(8 * 32 - 16, abs=0.5)
+
+    def test_canonical_requires_eigen_solver(self, water32_matrices):
+        solver = SubmatrixDFTSolver(solver="newton_schulz")
+        with pytest.raises(ValueError):
+            solver.compute_density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                n_electrons=256,
+            )
+
+
+class TestFiniteTemperature:
+    def test_occupations_smooth_at_high_temperature(self, water32_matrices, gap_mu):
+        cold = SubmatrixDFTSolver(eps_filter=1e-6, temperature=0.0).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        hot = SubmatrixDFTSolver(eps_filter=1e-6, temperature=40000.0).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        # at zero temperature the count is the integer number of electrons;
+        # at very high temperature fractional occupations redistribute weight
+        # between the occupied and virtual bands, so count and energy change
+        assert cold.n_electrons == pytest.approx(8 * 32, abs=1e-6)
+        assert abs(hot.n_electrons - cold.n_electrons) > 0.1
+        assert hot.band_energy != pytest.approx(cold.band_energy, abs=1e-6)
+
+    def test_finite_temperature_matches_reference(self, water32_matrices, gap_mu, water32):
+        temperature = 20000.0
+        reference = reference_density_matrix(
+            water32_matrices.K, water32_matrices.S, mu=gap_mu, temperature=temperature
+        )
+        result = SubmatrixDFTSolver(
+            eps_filter=1e-8, temperature=temperature
+        ).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        error = abs(result.band_energy - reference.band_energy) / water32.n_atoms * 1000
+        assert error < 1.0
+
+
+class TestAlternativeSolvers:
+    @pytest.mark.parametrize("solver_name", ["newton_schulz", "pade"])
+    def test_iterative_solvers_match_eigen(self, water32_matrices, gap_mu, solver_name, water32):
+        eigen = SubmatrixDFTSolver(eps_filter=1e-6, solver="eigen").compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        iterative = SubmatrixDFTSolver(
+            eps_filter=1e-6, solver=solver_name
+        ).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        difference = abs(eigen.band_energy - iterative.band_energy) / water32.n_atoms
+        assert difference * 1000 < 0.5
+
+    def test_thread_backend_matches_serial(self, water32_matrices, gap_mu):
+        serial = SubmatrixDFTSolver(eps_filter=1e-5, backend="serial").compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        threaded = SubmatrixDFTSolver(
+            eps_filter=1e-5, backend="thread", max_workers=2
+        ).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        assert serial.band_energy == pytest.approx(threaded.band_energy, abs=1e-9)

@@ -1,0 +1,85 @@
+"""Tests for sub-submatrix splitting (Sec. IV-C1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.splitting import split_submatrix_solve, splitting_flop_estimate
+from repro.signfn import sign_via_eigendecomposition
+
+from conftest import make_decay_matrix
+
+
+@pytest.fixture()
+def sparse_submatrix():
+    """A dense-stored but element-sparse submatrix with decay."""
+    matrix = make_decay_matrix(60, bandwidth=4.0, seed=11)
+    matrix[np.abs(matrix) < 1e-3] = 0.0
+    return matrix
+
+
+class TestSplitSolve:
+    def test_columns_close_to_full_solve(self, sparse_submatrix):
+        needed = [5, 6, 7]
+        result = split_submatrix_solve(
+            sparse_submatrix, needed, sign_via_eigendecomposition
+        )
+        full = sign_via_eigendecomposition(sparse_submatrix)
+        for output_index, column in enumerate(needed):
+            support = sparse_submatrix[:, column] != 0
+            difference = np.abs(
+                result.columns[support, output_index] - full[support, column]
+            )
+            assert difference.max() < 0.05
+
+    def test_zero_outside_column_support(self, sparse_submatrix):
+        result = split_submatrix_solve(
+            sparse_submatrix, [10], sign_via_eigendecomposition
+        )
+        support = sparse_submatrix[:, 10] != 0
+        assert np.all(result.columns[~support, 0] == 0.0)
+
+    def test_sub_dimensions_smaller_than_full(self, sparse_submatrix):
+        result = split_submatrix_solve(
+            sparse_submatrix, [20, 30], sign_via_eigendecomposition
+        )
+        assert all(d < sparse_submatrix.shape[0] for d in result.sub_dimensions)
+        assert result.flop_estimate == pytest.approx(
+            sum(float(d) ** 3 for d in result.sub_dimensions)
+        )
+
+    def test_dense_submatrix_gives_full_dimension(self):
+        dense = make_decay_matrix(20, bandwidth=1e6)
+        result = split_submatrix_solve(dense, [0], sign_via_eigendecomposition)
+        assert result.sub_dimensions == [20]
+
+    def test_invalid_inputs(self, sparse_submatrix):
+        with pytest.raises(ValueError):
+            split_submatrix_solve(sparse_submatrix, [], sign_via_eigendecomposition)
+        with pytest.raises(IndexError):
+            split_submatrix_solve(sparse_submatrix, [600], sign_via_eigendecomposition)
+        with pytest.raises(ValueError):
+            split_submatrix_solve(np.ones((2, 3)), [0], sign_via_eigendecomposition)
+
+    def test_function_shape_checked(self, sparse_submatrix):
+        with pytest.raises(ValueError):
+            split_submatrix_solve(sparse_submatrix, [0], lambda a: a[:1, :1])
+
+
+class TestSplittingEstimate:
+    def test_sparse_submatrix_benefits_from_splitting(self):
+        # a strongly banded submatrix where only two columns are needed:
+        # the per-column sub-submatrices are tiny compared to the full solve
+        matrix = make_decay_matrix(80, bandwidth=2.0, seed=3)
+        matrix[np.abs(matrix) < 1e-2] = 0.0
+        estimate = splitting_flop_estimate(matrix, [40, 41])
+        assert estimate < 1.0
+
+    def test_dense_submatrix_does_not_benefit(self):
+        dense = make_decay_matrix(20, bandwidth=1e6)
+        estimate = splitting_flop_estimate(dense, range(20))
+        assert estimate >= 1.0
+
+    def test_threshold_reduces_estimate(self, sparse_submatrix):
+        loose = splitting_flop_estimate(sparse_submatrix, range(5), element_threshold=0.1)
+        tight = splitting_flop_estimate(sparse_submatrix, range(5), element_threshold=0.0)
+        assert loose <= tight

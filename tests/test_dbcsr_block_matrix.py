@@ -1,0 +1,181 @@
+"""Tests for the block-compressed sparse matrix storage."""
+
+import numpy as np
+import pytest
+
+from repro.dbcsr import BlockSparseMatrix
+from repro.dbcsr.convert import block_matrix_from_dense, block_matrix_to_dense
+
+
+@pytest.fixture()
+def small_matrix(rng):
+    """A 3x3-block matrix with mixed block sizes and a few stored blocks."""
+    matrix = BlockSparseMatrix([2, 3, 1])
+    matrix.put_block(0, 0, rng.random((2, 2)))
+    matrix.put_block(1, 1, rng.random((3, 3)))
+    matrix.put_block(0, 1, rng.random((2, 3)))
+    matrix.put_block(2, 2, rng.random((1, 1)))
+    return matrix
+
+
+class TestConstruction:
+    def test_shape(self):
+        matrix = BlockSparseMatrix([2, 3], [4, 1])
+        assert matrix.shape == (5, 5)
+        assert matrix.n_block_rows == 2
+        assert matrix.n_block_cols == 2
+
+    def test_square_by_default(self):
+        matrix = BlockSparseMatrix([2, 3])
+        assert np.array_equal(matrix.row_block_sizes, matrix.col_block_sizes)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockSparseMatrix([2, 0])
+
+    def test_initial_blocks(self, rng):
+        block = rng.random((2, 2))
+        matrix = BlockSparseMatrix([2, 2], blocks={(0, 0): block})
+        assert np.allclose(matrix.get_block(0, 0), block)
+
+    def test_identity(self):
+        identity = BlockSparseMatrix.identity([2, 3])
+        assert np.allclose(block_matrix_to_dense(identity), np.eye(5))
+        assert identity.nnz_blocks == 2
+
+
+class TestBlockAccess:
+    def test_put_and_get(self, rng):
+        matrix = BlockSparseMatrix([2, 3])
+        block = rng.random((2, 3))
+        matrix.put_block(0, 1, block)
+        assert np.allclose(matrix.get_block(0, 1), block)
+        assert matrix.has_block(0, 1)
+        assert not matrix.has_block(1, 0)
+
+    def test_put_copies_data(self, rng):
+        matrix = BlockSparseMatrix([2, 2])
+        block = rng.random((2, 2))
+        matrix.put_block(0, 0, block)
+        block[0, 0] = 999.0
+        assert matrix.get_block(0, 0)[0, 0] != 999.0
+
+    def test_wrong_shape_rejected(self):
+        matrix = BlockSparseMatrix([2, 3])
+        with pytest.raises(ValueError):
+            matrix.put_block(0, 0, np.zeros((3, 3)))
+
+    def test_out_of_range_rejected(self):
+        matrix = BlockSparseMatrix([2, 3])
+        with pytest.raises(IndexError):
+            matrix.put_block(5, 0, np.zeros((2, 2)))
+
+    def test_accumulate(self):
+        matrix = BlockSparseMatrix([2])
+        matrix.put_block(0, 0, np.ones((2, 2)))
+        matrix.put_block(0, 0, np.ones((2, 2)), accumulate=True)
+        assert np.allclose(matrix.get_block(0, 0), 2.0)
+
+    def test_remove_block(self, small_matrix):
+        small_matrix.remove_block(0, 0)
+        assert not small_matrix.has_block(0, 0)
+        small_matrix.remove_block(0, 0)  # idempotent
+
+    def test_block_keys_deterministic_order(self, small_matrix):
+        keys = small_matrix.block_keys()
+        # sorted by (column, row)
+        assert keys == sorted(keys, key=lambda k: (k[1], k[0]))
+
+    def test_nonzero_block_rows(self, small_matrix):
+        assert small_matrix.nonzero_block_rows(1) == [0, 1]
+        assert small_matrix.nonzero_block_rows(0) == [0]
+
+
+class TestOccupation:
+    def test_counts(self, small_matrix):
+        assert small_matrix.nnz_blocks == 4
+        assert small_matrix.block_occupation() == pytest.approx(4 / 9)
+
+    def test_element_occupation(self, small_matrix):
+        expected = (4 + 9 + 6 + 1) / 36
+        assert small_matrix.element_occupation() == pytest.approx(expected)
+
+
+class TestArithmetic:
+    def test_add_and_subtract(self, small_matrix):
+        doubled = small_matrix + small_matrix
+        assert np.allclose(
+            block_matrix_to_dense(doubled), 2 * block_matrix_to_dense(small_matrix)
+        )
+        zero = small_matrix - small_matrix
+        assert np.allclose(block_matrix_to_dense(zero), 0.0)
+
+    def test_add_requires_same_structure(self, small_matrix):
+        other = BlockSparseMatrix([3, 2, 1])
+        with pytest.raises(ValueError):
+            _ = small_matrix + other
+
+    def test_scale(self, small_matrix):
+        scaled = small_matrix.scale(-2.0)
+        assert np.allclose(
+            block_matrix_to_dense(scaled), -2.0 * block_matrix_to_dense(small_matrix)
+        )
+
+    def test_transpose(self, small_matrix):
+        dense = block_matrix_to_dense(small_matrix)
+        assert np.allclose(block_matrix_to_dense(small_matrix.transpose()), dense.T)
+
+    def test_matmul_matches_dense(self, rng):
+        sizes = [2, 3, 4]
+        a_dense = rng.random((9, 9))
+        b_dense = rng.random((9, 9))
+        a_dense[3:6, 0:2] = 0.0
+        b_dense[0:2, 5:9] = 0.0
+        a = block_matrix_from_dense(a_dense, sizes)
+        b = block_matrix_from_dense(b_dense, sizes)
+        product = a @ b
+        assert np.allclose(block_matrix_to_dense(product), a_dense @ b_dense)
+
+    def test_matmul_flop_counter(self, rng):
+        sizes = [2, 2]
+        a = block_matrix_from_dense(rng.random((4, 4)), sizes)
+        counter = [0.0]
+        a.matmul(a, flop_counter=counter)
+        # 4 block rows x 2 inner x ... : full 2x2 block grid -> 8 block GEMMs
+        assert counter[0] == pytest.approx(8 * 2 * 2 * 2 * 2)
+
+    def test_matmul_dimension_mismatch(self):
+        a = BlockSparseMatrix([2, 2])
+        b = BlockSparseMatrix([3, 3])
+        with pytest.raises(ValueError):
+            a.matmul(b)
+
+    def test_copy_is_deep(self, small_matrix):
+        clone = small_matrix.copy()
+        clone.get_block(0, 0)[0, 0] = 123.0
+        assert small_matrix.get_block(0, 0)[0, 0] != 123.0
+
+
+class TestReductions:
+    def test_trace(self, small_matrix):
+        dense = block_matrix_to_dense(small_matrix)
+        assert small_matrix.trace() == pytest.approx(np.trace(dense))
+
+    def test_trace_requires_square_blocks(self):
+        matrix = BlockSparseMatrix([2, 3], [3, 2])
+        with pytest.raises(ValueError):
+            matrix.trace()
+
+    def test_frobenius_norm(self, small_matrix):
+        dense = block_matrix_to_dense(small_matrix)
+        assert small_matrix.frobenius_norm() == pytest.approx(np.linalg.norm(dense))
+
+    def test_max_abs(self, small_matrix):
+        dense = block_matrix_to_dense(small_matrix)
+        assert small_matrix.max_abs() == pytest.approx(np.max(np.abs(dense)))
+
+    def test_empty_matrix_norms(self):
+        matrix = BlockSparseMatrix([2, 2])
+        assert matrix.frobenius_norm() == 0.0
+        assert matrix.max_abs() == 0.0
+        assert matrix.trace() == 0.0

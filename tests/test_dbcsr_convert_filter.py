@@ -1,0 +1,136 @@
+"""Tests for block-matrix conversions and filtering."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dbcsr import (
+    BlockSparseMatrix,
+    block_matrix_from_csr,
+    block_matrix_from_dense,
+    block_matrix_to_csr,
+    block_matrix_to_dense,
+    block_norms,
+    filter_blocks,
+    filter_csr_elements,
+)
+
+
+@pytest.fixture()
+def banded_dense(rng):
+    """A 12x12 banded matrix cut into 4 blocks of size 3."""
+    dense = np.zeros((12, 12))
+    for i in range(12):
+        for j in range(12):
+            if abs(i - j) <= 4:
+                dense[i, j] = rng.normal()
+    return dense
+
+
+class TestRoundTrips:
+    def test_dense_round_trip(self, banded_dense):
+        blocked = block_matrix_from_dense(banded_dense, [3, 3, 3, 3])
+        assert np.allclose(block_matrix_to_dense(blocked), banded_dense)
+
+    def test_csr_round_trip(self, banded_dense):
+        csr = sp.csr_matrix(banded_dense)
+        blocked = block_matrix_from_csr(csr, [3, 3, 3, 3])
+        back = block_matrix_to_csr(blocked)
+        assert np.allclose(back.toarray(), banded_dense)
+
+    def test_blocked_structure_of_banded_matrix(self, banded_dense):
+        blocked = block_matrix_from_dense(banded_dense, [3, 3, 3, 3])
+        # corner blocks (0,3) and (3,0) are outside the bandwidth
+        assert not blocked.has_block(0, 3)
+        assert not blocked.has_block(3, 0)
+        assert blocked.has_block(0, 1)
+
+    def test_shape_mismatch_rejected(self, banded_dense):
+        with pytest.raises(ValueError):
+            block_matrix_from_dense(banded_dense, [3, 3, 3])
+        with pytest.raises(ValueError):
+            block_matrix_from_csr(sp.csr_matrix(banded_dense), [3, 3])
+
+    def test_rectangular_blocks(self, rng):
+        dense = rng.random((5, 7))
+        blocked = block_matrix_from_dense(dense, [2, 3], [4, 3])
+        assert np.allclose(block_matrix_to_dense(blocked), dense)
+
+    def test_empty_matrix(self):
+        empty = sp.csr_matrix((6, 6))
+        blocked = block_matrix_from_csr(empty, [3, 3])
+        assert blocked.nnz_blocks == 0
+        assert block_matrix_to_csr(blocked).nnz == 0
+
+    def test_threshold_drops_small_blocks(self):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 1.0
+        dense[2, 2] = 1e-8
+        blocked = block_matrix_from_dense(dense, [2, 2], threshold=1e-6)
+        assert blocked.has_block(0, 0)
+        assert not blocked.has_block(1, 1)
+
+
+class TestBlockNorms:
+    def test_frobenius_and_max(self):
+        matrix = BlockSparseMatrix([2, 2])
+        matrix.put_block(0, 0, np.array([[3.0, 0.0], [0.0, 4.0]]))
+        norms_f = block_norms(matrix, "frobenius")
+        norms_m = block_norms(matrix, "max")
+        assert norms_f[(0, 0)] == pytest.approx(5.0)
+        assert norms_m[(0, 0)] == pytest.approx(4.0)
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            block_norms(BlockSparseMatrix([2]), "spectral")
+
+
+class TestFilterBlocks:
+    def test_removes_weak_blocks(self):
+        matrix = BlockSparseMatrix([2, 2])
+        matrix.put_block(0, 0, np.full((2, 2), 1.0))
+        matrix.put_block(0, 1, np.full((2, 2), 1e-9))
+        filtered = filter_blocks(matrix, 1e-6)
+        assert filtered.has_block(0, 0)
+        assert not filtered.has_block(0, 1)
+
+    def test_input_unchanged(self):
+        matrix = BlockSparseMatrix([2])
+        matrix.put_block(0, 0, np.full((2, 2), 1e-9))
+        filter_blocks(matrix, 1e-6)
+        assert matrix.has_block(0, 0)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            filter_blocks(BlockSparseMatrix([2]), -1.0)
+
+    def test_zero_eps_keeps_everything(self):
+        matrix = BlockSparseMatrix([2])
+        matrix.put_block(0, 0, np.full((2, 2), 1e-300))
+        assert filter_blocks(matrix, 0.0).nnz_blocks == 1
+
+
+class TestFilterCsr:
+    def test_drops_small_elements(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 1e-9], [0.0, 2.0]]))
+        filtered = filter_csr_elements(matrix, 1e-6)
+        assert filtered.nnz == 2
+        assert filtered[0, 1] == 0.0
+
+    def test_zero_threshold_only_removes_explicit_zeros(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        matrix.data[0] = 0.0  # create an explicit zero
+        filtered = filter_csr_elements(matrix, 0.0)
+        assert filtered.nnz == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            filter_csr_elements(sp.identity(3, format="csr"), -1e-3)
+
+    def test_filter_preserves_large_values(self, rng):
+        dense = rng.normal(size=(20, 20))
+        filtered = filter_csr_elements(sp.csr_matrix(dense), 0.5)
+        kept = filtered.toarray()
+        assert np.all(np.abs(kept[kept != 0]) >= 0.5)
+        # every large element survived
+        assert np.array_equal(kept != 0, np.abs(dense) >= 0.5)

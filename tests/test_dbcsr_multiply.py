@@ -1,0 +1,112 @@
+"""Tests for the Cannon-style distributed block multiplication."""
+
+import numpy as np
+import pytest
+
+from repro.dbcsr import BlockSparseMatrix, cannon_multiply, multiply_flop_count
+from repro.dbcsr.convert import block_matrix_from_dense, block_matrix_to_dense
+from repro.dbcsr.distribution import ProcessGrid2D
+from repro.parallel.stats import TrafficLog
+
+
+def random_block_matrix(rng, sizes, density=0.4):
+    """Random block-sparse matrix with the given block sizes."""
+    n = len(sizes)
+    matrix = BlockSparseMatrix(sizes)
+    for i in range(n):
+        for j in range(n):
+            if i == j or rng.random() < density:
+                matrix.put_block(i, j, rng.normal(size=(sizes[i], sizes[j])))
+    return matrix
+
+
+class TestCannonCorrectness:
+    @pytest.mark.parametrize("grid_size", [1, 2, 3, 4])
+    def test_matches_serial_product(self, rng, grid_size):
+        sizes = [2, 3, 1, 4, 2, 3, 2]
+        a = random_block_matrix(rng, sizes)
+        b = random_block_matrix(rng, sizes)
+        reference = block_matrix_to_dense(a) @ block_matrix_to_dense(b)
+        grid = ProcessGrid2D(grid_size**2, (grid_size, grid_size))
+        product, _ = cannon_multiply(a, b, grid)
+        assert np.allclose(block_matrix_to_dense(product), reference)
+
+    def test_rectangular_block_structure(self, rng):
+        a_dense = rng.normal(size=(5, 7))
+        b_dense = rng.normal(size=(7, 6))
+        a = block_matrix_from_dense(a_dense, [2, 3], [3, 4])
+        b = block_matrix_from_dense(b_dense, [3, 4], [2, 4])
+        product, _ = cannon_multiply(a, b, ProcessGrid2D(4, (2, 2)))
+        assert np.allclose(block_matrix_to_dense(product), a_dense @ b_dense)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        a = random_block_matrix(rng, [2, 2])
+        b = random_block_matrix(rng, [3, 3])
+        with pytest.raises(ValueError):
+            cannon_multiply(a, b)
+
+    def test_non_square_grid_rejected(self, rng):
+        a = random_block_matrix(rng, [2, 2])
+        with pytest.raises(ValueError):
+            cannon_multiply(a, a, ProcessGrid2D(2, (2, 1)))
+
+    def test_default_grid(self, rng):
+        a = random_block_matrix(rng, [2, 2, 2])
+        product, log = cannon_multiply(a, a)
+        assert log.n_ranks == 4
+        assert np.allclose(
+            block_matrix_to_dense(product),
+            block_matrix_to_dense(a) @ block_matrix_to_dense(a),
+        )
+
+
+class TestAccounting:
+    def test_flop_count_matches_logged_flops(self, rng):
+        sizes = [2, 3, 4, 2]
+        a = random_block_matrix(rng, sizes)
+        b = random_block_matrix(rng, sizes)
+        expected = multiply_flop_count(a, b)
+        _, log = cannon_multiply(a, b, ProcessGrid2D(4, (2, 2)))
+        assert log.total_flops() == pytest.approx(expected)
+
+    def test_flop_count_matches_serial_counter(self, rng):
+        sizes = [3, 2, 5]
+        a = random_block_matrix(rng, sizes)
+        b = random_block_matrix(rng, sizes)
+        counter = [0.0]
+        a.matmul(b, flop_counter=counter)
+        assert multiply_flop_count(a, b) == pytest.approx(counter[0])
+
+    def test_single_rank_has_no_traffic(self, rng):
+        a = random_block_matrix(rng, [2, 2, 2])
+        _, log = cannon_multiply(a, a, ProcessGrid2D(1, (1, 1)))
+        assert log.total_bytes_sent() == 0.0
+        assert log.total_flops() > 0.0
+
+    def test_larger_grid_means_more_messages(self, rng):
+        sizes = [2] * 8
+        a = random_block_matrix(rng, sizes, density=0.8)
+        _, log2 = cannon_multiply(a, a, ProcessGrid2D(4, (2, 2)))
+        _, log4 = cannon_multiply(a, a, ProcessGrid2D(16, (4, 4)))
+        messages2 = sum(r.messages_sent for r in log2.ranks)
+        messages4 = sum(r.messages_sent for r in log4.ranks)
+        assert messages4 > messages2
+
+    def test_external_log_is_used(self, rng):
+        a = random_block_matrix(rng, [2, 2])
+        log = TrafficLog(4)
+        _, returned = cannon_multiply(a, a, ProcessGrid2D(4, (2, 2)), log=log)
+        assert returned is log
+
+    def test_flops_are_recorded_as_sparse(self, rng):
+        """DBCSR small-block products count as low-efficiency (sparse) FLOPs."""
+        a = random_block_matrix(rng, [2, 2])
+        _, log = cannon_multiply(a, a, ProcessGrid2D(1, (1, 1)))
+        assert log.ranks[0].sparse_flops > 0
+        assert log.ranks[0].flops == 0
+
+    def test_flop_count_dimension_mismatch(self, rng):
+        a = random_block_matrix(rng, [2, 2])
+        b = random_block_matrix(rng, [3, 3])
+        with pytest.raises(ValueError):
+            multiply_flop_count(a, b)

@@ -1,0 +1,250 @@
+"""Tests for the simulated-parallelism substrate."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CartesianGrid2D,
+    MachineModel,
+    SimComm,
+    TrafficLog,
+    balanced_dims,
+    map_parallel,
+)
+from repro.parallel.comm import payload_nbytes
+from repro.parallel.stats import RankCounters
+
+
+class TestTrafficLog:
+    def test_record_flops(self):
+        log = TrafficLog(2)
+        log.record_flops(0, 100.0)
+        log.record_flops(1, 50.0, sparse=True)
+        assert log.total_flops() == 150.0
+        assert log.ranks[0].flops == 100.0
+        assert log.ranks[1].sparse_flops == 50.0
+
+    def test_record_message_updates_both_ends(self):
+        log = TrafficLog(3)
+        log.record_message(0, 2, 1000.0)
+        assert log.ranks[0].bytes_sent == 1000.0
+        assert log.ranks[2].bytes_received == 1000.0
+        assert log.ranks[0].messages_sent == 1
+        assert log.ranks[2].messages_received == 1
+
+    def test_self_message_is_free(self):
+        log = TrafficLog(2)
+        log.record_message(1, 1, 1000.0)
+        assert log.total_bytes_sent() == 0.0
+
+    def test_broadcast_volume(self):
+        log = TrafficLog(4)
+        log.record_broadcast(0, 100.0)
+        assert log.ranks[0].bytes_sent == 300.0
+        assert all(log.ranks[r].bytes_received == 100.0 for r in range(1, 4))
+
+    def test_allgather_volume(self):
+        log = TrafficLog(4)
+        log.record_allgather(10.0)
+        # ring allgather: every rank sends (P-1) * nbytes
+        assert all(r.bytes_sent == 30.0 for r in log.ranks)
+
+    def test_allgather_single_rank_noop(self):
+        log = TrafficLog(1)
+        log.record_allgather(10.0)
+        assert log.total_bytes_sent() == 0.0
+
+    def test_flop_imbalance(self):
+        log = TrafficLog(2)
+        log.record_flops(0, 300.0)
+        log.record_flops(1, 100.0)
+        assert log.flop_imbalance() == pytest.approx(1.5)
+
+    def test_flop_imbalance_empty(self):
+        assert TrafficLog(3).flop_imbalance() == 1.0
+
+    def test_merge(self):
+        a = TrafficLog(2)
+        b = TrafficLog(2)
+        a.record_flops(0, 10.0)
+        b.record_flops(0, 5.0)
+        a.merge(b)
+        assert a.ranks[0].flops == 15.0
+
+    def test_merge_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            TrafficLog(2).merge(TrafficLog(3))
+
+    def test_invalid_rank(self):
+        log = TrafficLog(2)
+        with pytest.raises(IndexError):
+            log.record_flops(5, 1.0)
+        with pytest.raises(ValueError):
+            log.record_flops(0, -1.0)
+
+    def test_rank_counters_merge(self):
+        a = RankCounters(flops=1.0, bytes_sent=2.0, messages_sent=1)
+        b = RankCounters(flops=3.0, bytes_received=4.0)
+        a.merge(b)
+        assert a.flops == 4.0
+        assert a.total_bytes == 6.0
+
+
+class TestSimComm:
+    def test_send_recv(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.arange(10))
+        source, payload = comm.recv(1)
+        assert source == 0
+        assert np.array_equal(payload, np.arange(10))
+
+    def test_recv_without_message_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(LookupError):
+            comm.recv(0)
+
+    def test_recv_filtered_by_source(self):
+        comm = SimComm(3)
+        comm.send(0, 2, "from-zero")
+        comm.send(1, 2, "from-one")
+        source, payload = comm.recv(2, source=1)
+        assert source == 1 and payload == "from-one"
+        assert comm.pending_messages(2) == 1
+
+    def test_traffic_recorded(self):
+        comm = SimComm(2)
+        data = np.zeros(100, dtype=np.float64)
+        comm.send(0, 1, data)
+        assert comm.log.ranks[0].bytes_sent == 800.0
+
+    def test_bcast(self):
+        comm = SimComm(3)
+        copies = comm.bcast(0, {"a": 1})
+        assert len(copies) == 3
+        assert comm.log.total_bytes_sent() > 0
+
+    def test_allgather_requires_all_contributions(self):
+        comm = SimComm(3)
+        with pytest.raises(ValueError):
+            comm.allgather([1, 2])
+
+    def test_allreduce_sum(self):
+        comm = SimComm(4)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0, 4.0]) == 10.0
+
+    def test_alltoallv_shape_check(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.alltoallv(np.zeros((3, 3)))
+
+    def test_payload_nbytes(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+        assert payload_nbytes({"a": 1.0}) >= 8
+        assert payload_nbytes(None) == 0
+
+
+class TestTopology:
+    def test_balanced_dims(self):
+        assert balanced_dims(4) == (2, 2)
+        assert balanced_dims(12) == (4, 3)
+        assert balanced_dims(7) == (7, 1)
+        assert balanced_dims(1) == (1, 1)
+
+    def test_coords_round_trip(self):
+        grid = CartesianGrid2D(6, (2, 3))
+        for rank in range(6):
+            row, col = grid.coords(rank)
+            assert grid.rank_at(row, col) == rank
+
+    def test_rank_at_wraps(self):
+        grid = CartesianGrid2D(4, (2, 2))
+        assert grid.rank_at(2, 0) == grid.rank_at(0, 0)
+        assert grid.rank_at(-1, 0) == grid.rank_at(1, 0)
+
+    def test_shift(self):
+        grid = CartesianGrid2D(4, (2, 2))
+        source, destination = grid.shift(0, dimension=1, displacement=1)
+        assert destination == 1
+        assert source == 1  # periodic with 2 columns
+
+    def test_shift_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            CartesianGrid2D(4, (2, 2)).shift(0, 2, 1)
+
+    def test_row_and_col_ranks(self):
+        grid = CartesianGrid2D(6, (2, 3))
+        assert grid.row_ranks(0) == [0, 1, 2]
+        assert grid.col_ranks(1) == [1, 4]
+
+    def test_dims_mismatch(self):
+        with pytest.raises(ValueError):
+            CartesianGrid2D(5, (2, 2))
+
+
+class TestMachineModel:
+    def test_compute_time_scales_with_cores(self):
+        machine = MachineModel()
+        single = machine.compute_time(1e9, cores=1)
+        multi = machine.compute_time(1e9, cores=10)
+        assert multi == pytest.approx(single / 10)
+
+    def test_sparse_slower_than_dense(self):
+        machine = MachineModel()
+        assert machine.compute_time(1e9, sparse=True) > machine.compute_time(1e9)
+
+    def test_message_time(self):
+        machine = MachineModel(network_bandwidth=1e9, network_latency=1e-6)
+        assert machine.message_time(1e9, messages=1) == pytest.approx(1.0 + 1e-6)
+
+    def test_simulate_uses_critical_path(self):
+        machine = MachineModel()
+        log = TrafficLog(2)
+        log.record_flops(0, 1e9)
+        log.record_flops(1, 2e9)
+        simulated = machine.simulate(log)
+        assert simulated.compute == pytest.approx(machine.compute_time(2e9))
+
+    def test_simulate_includes_communication(self):
+        machine = MachineModel()
+        log = TrafficLog(2)
+        log.record_message(0, 1, 1e9)
+        simulated = machine.simulate(log)
+        assert simulated.communication > 0
+        assert simulated.total == simulated.compute + simulated.communication
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MachineModel(dense_flop_rate=-1.0)
+        with pytest.raises(ValueError):
+            MachineModel(cores_per_node=0)
+
+    def test_nodes_for_ranks(self):
+        machine = MachineModel(cores_per_node=40)
+        assert machine.nodes_for_ranks(40) == 1
+        assert machine.nodes_for_ranks(41) == 2
+        assert machine.nodes_for_ranks(16, ranks_per_node=8) == 2
+
+
+class TestExecutor:
+    def test_serial_matches_parallel(self):
+        items = list(range(20))
+        serial = map_parallel(lambda x: x * x, items, backend="serial")
+        threaded = map_parallel(lambda x: x * x, items, backend="thread", max_workers=2)
+        assert serial == threaded == [x * x for x in items]
+
+    def test_order_preserved(self):
+        items = [3, 1, 2]
+        result = map_parallel(lambda x: x + 10, items, backend="thread", max_workers=2)
+        assert result == [13, 11, 12]
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            map_parallel(lambda x: x, [1], backend="gpu")
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            map_parallel(lambda x: x, [1], max_workers=0)
+
+    def test_empty_input(self):
+        assert map_parallel(lambda x: x, []) == []

@@ -1,0 +1,306 @@
+"""Tests for the matrix sign function algorithms and inverse p-th roots."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.signfn import (
+    inverse_pth_root,
+    inverse_pth_root_newton,
+    involutority_error,
+    pade_polynomial_coefficients,
+    sign_newton_schulz,
+    sign_newton_schulz_sparse,
+    sign_pade,
+    sign_via_eigendecomposition,
+    spectral_scale_estimate,
+)
+from repro.signfn.eigen import (
+    extended_signum,
+    occupation_function_via_eigendecomposition,
+    symmetric_eigendecomposition,
+)
+
+
+def make_sign_test_matrix(rng, n=50, gap=0.5):
+    """Symmetric matrix with eigenvalues bounded away from zero."""
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    negative = rng.uniform(-5.0, -gap, size=n // 2)
+    positive = rng.uniform(gap, 5.0, size=n - n // 2)
+    eigenvalues = np.concatenate([negative, positive])
+    matrix = (q * eigenvalues) @ q.T
+    exact = (q * np.sign(eigenvalues)) @ q.T
+    return matrix, exact
+
+
+class TestUtils:
+    def test_spectral_scale_bounds_radius(self, rng):
+        matrix, _ = make_sign_test_matrix(rng)
+        bound = spectral_scale_estimate(matrix)
+        radius = np.max(np.abs(np.linalg.eigvalsh(matrix)))
+        assert bound >= radius
+
+    def test_spectral_scale_sparse_matches_dense(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=30)
+        assert spectral_scale_estimate(sp.csr_matrix(matrix)) == pytest.approx(
+            spectral_scale_estimate(matrix)
+        )
+
+    def test_spectral_scale_zero_matrix(self):
+        assert spectral_scale_estimate(np.zeros((4, 4))) == 1.0
+
+    def test_involutority_error_of_exact_sign(self, rng):
+        _, exact = make_sign_test_matrix(rng)
+        assert involutority_error(exact) < 1e-10
+
+    def test_involutority_error_sparse(self):
+        assert involutority_error(sp.identity(5, format="csr")) < 1e-14
+        assert involutority_error(2 * sp.identity(5, format="csr")) == pytest.approx(
+            3 * np.sqrt(5)
+        )
+
+
+class TestNewtonSchulz:
+    def test_converges_to_exact_sign(self, rng):
+        matrix, exact = make_sign_test_matrix(rng)
+        result = sign_newton_schulz(matrix)
+        assert result.converged
+        assert np.max(np.abs(result.sign - exact)) < 1e-8
+
+    def test_quadratic_convergence(self, rng):
+        matrix, _ = make_sign_test_matrix(rng)
+        result = sign_newton_schulz(matrix, convergence_threshold=1e-14)
+        residuals = np.array(result.residual_history)
+        # the residual should drop by much more than a constant factor at the end
+        assert residuals[-1] < 1e-10
+        assert result.iterations < 40
+
+    def test_sign_is_involutory(self, rng):
+        matrix, _ = make_sign_test_matrix(rng)
+        result = sign_newton_schulz(matrix)
+        assert involutority_error(result.sign) < 1e-8
+
+    def test_identity_is_fixed_point(self):
+        result = sign_newton_schulz(np.eye(8))
+        assert np.allclose(result.sign, np.eye(8))
+        assert result.iterations <= 2
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            sign_newton_schulz(np.ones((2, 3)))
+
+    def test_max_iterations_respected(self, rng):
+        matrix, _ = make_sign_test_matrix(rng)
+        result = sign_newton_schulz(matrix, max_iterations=2)
+        assert result.iterations == 2
+        assert not result.converged
+
+    def test_track_involutority(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=20)
+        result = sign_newton_schulz(matrix, track_involutority=True)
+        assert len(result.involutority_history) == result.iterations
+        assert result.involutority_history[-1] < result.involutority_history[0]
+
+    def test_flops_counted(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=20)
+        result = sign_newton_schulz(matrix)
+        assert result.flops == pytest.approx(result.iterations * 4 * 20**3)
+
+
+class TestNewtonSchulzSparse:
+    def test_matches_dense_for_tight_filter(self, rng):
+        matrix, exact = make_sign_test_matrix(rng, n=40)
+        result = sign_newton_schulz_sparse(sp.csr_matrix(matrix), eps_filter=1e-12)
+        assert result.converged
+        assert np.max(np.abs(result.sign.toarray() - exact)) < 1e-6
+
+    def test_filtering_keeps_sparsity(self, water32_matrices, gap_mu):
+        from repro.chem import orthogonalized_ks
+
+        k_ortho, _ = orthogonalized_ks(
+            water32_matrices.K, water32_matrices.S, eps_filter=1e-6
+        )
+        n = k_ortho.shape[0]
+        shifted = k_ortho - gap_mu * sp.identity(n, format="csr")
+        result = sign_newton_schulz_sparse(shifted.tocsr(), eps_filter=1e-6)
+        assert result.converged
+        assert result.sign.nnz < n * n
+        assert len(result.nnz_history) == result.iterations
+
+    def test_requires_sparse_input(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=10)
+        with pytest.raises(TypeError):
+            sign_newton_schulz_sparse(matrix)
+
+    def test_looser_filter_fewer_nonzeros(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=40)
+        tight = sign_newton_schulz_sparse(sp.csr_matrix(matrix), eps_filter=1e-12)
+        loose = sign_newton_schulz_sparse(sp.csr_matrix(matrix), eps_filter=1e-3)
+        assert loose.sign.nnz <= tight.sign.nnz
+
+    def test_flops_positive(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=20)
+        result = sign_newton_schulz_sparse(sp.csr_matrix(matrix), eps_filter=1e-10)
+        assert result.flops > 0
+
+    def test_dense_kernel_variant_matches_sparse(self, rng):
+        """The BLAS-kernel variant is numerically equivalent to the sparse one."""
+        from repro.signfn import sign_newton_schulz_filtered_dense
+
+        matrix, _ = make_sign_test_matrix(rng, n=40)
+        sparse_result = sign_newton_schulz_sparse(
+            sp.csr_matrix(matrix), eps_filter=1e-6
+        )
+        dense_result = sign_newton_schulz_filtered_dense(matrix, eps_filter=1e-6)
+        assert dense_result.iterations == sparse_result.iterations
+        assert np.max(
+            np.abs(dense_result.sign.toarray() - sparse_result.sign.toarray())
+        ) < 1e-10
+        assert dense_result.flops == pytest.approx(sparse_result.flops)
+
+    def test_dense_kernel_variant_rejects_non_square(self):
+        from repro.signfn import sign_newton_schulz_filtered_dense
+
+        with pytest.raises(ValueError):
+            sign_newton_schulz_filtered_dense(np.ones((3, 4)))
+
+
+class TestPade:
+    def test_coefficients_second_order_is_newton_schulz(self):
+        assert np.allclose(pade_polynomial_coefficients(2), [1.5, -0.5])
+
+    def test_coefficients_third_order_matches_eq19(self):
+        """Eq. 19: X (15 - 10 X^2 + 3 X^4) / 8."""
+        assert np.allclose(
+            pade_polynomial_coefficients(3), [15.0 / 8.0, -10.0 / 8.0, 3.0 / 8.0]
+        )
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            pade_polynomial_coefficients(1)
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_converges_for_all_orders(self, rng, order):
+        matrix, exact = make_sign_test_matrix(rng, n=40)
+        result = sign_pade(matrix, order=order)
+        assert result.converged
+        assert np.max(np.abs(result.sign - exact)) < 1e-7
+
+    def test_higher_order_needs_fewer_iterations(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=40)
+        second = sign_pade(matrix, order=2, convergence_threshold=1e-12)
+        third = sign_pade(matrix, order=3, convergence_threshold=1e-12)
+        assert third.iterations <= second.iterations
+
+    def test_callback_invoked(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=20)
+        seen = []
+        sign_pade(matrix, callback=lambda k, x: seen.append(k))
+        assert seen == list(range(1, len(seen) + 1))
+
+    def test_involutority_history_decreases(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=30)
+        result = sign_pade(matrix, order=3)
+        history = result.involutority_history
+        assert history[-1] < history[0]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            sign_pade(np.ones((2, 3)))
+
+
+class TestEigenSign:
+    def test_matches_iterative(self, rng):
+        matrix, exact = make_sign_test_matrix(rng)
+        assert np.allclose(sign_via_eigendecomposition(matrix), exact, atol=1e-10)
+
+    def test_shift_by_mu(self, rng):
+        n = 30
+        q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        eigenvalues = np.linspace(-2.0, 2.0, n)
+        matrix = (q * eigenvalues) @ q.T
+        mu = 0.7
+        shifted_sign = sign_via_eigendecomposition(matrix, mu=mu)
+        expected = (q * np.sign(eigenvalues - mu)) @ q.T
+        assert np.allclose(shifted_sign, expected, atol=1e-10)
+
+    def test_extended_signum_zero(self):
+        values = np.array([-1.0, 0.0, 1.0])
+        assert np.array_equal(extended_signum(values), [-1.0, 0.0, 1.0])
+
+    def test_extended_signum_tolerance(self):
+        values = np.array([-1e-12, 1e-12, 0.5])
+        result = extended_signum(values, zero_tolerance=1e-10)
+        assert np.array_equal(result, [0.0, 0.0, 1.0])
+
+    def test_eigenvalue_exactly_at_mu_maps_to_zero(self, rng):
+        """Paper Eq. 12: eigenvalues on the 'imaginary axis' give sign 0."""
+        matrix = np.diag([1.0, 2.0, 3.0])
+        sign = sign_via_eigendecomposition(matrix, mu=2.0, zero_tolerance=1e-12)
+        assert np.allclose(np.diag(sign), [-1.0, 0.0, 1.0])
+
+    def test_asymmetric_rejected(self, rng):
+        matrix = rng.normal(size=(5, 5))
+        with pytest.raises(ValueError):
+            symmetric_eigendecomposition(matrix)
+
+    def test_occupation_function_projector(self, rng):
+        matrix, _ = make_sign_test_matrix(rng, n=20)
+        occupation = occupation_function_via_eigendecomposition(matrix, mu=0.0)
+        # projector onto the negative-eigenvalue subspace
+        assert np.allclose(occupation @ occupation, occupation, atol=1e-10)
+        assert np.trace(occupation) == pytest.approx(10.0)
+
+    def test_occupation_function_finite_temperature(self):
+        matrix = np.diag([-1.0, 0.0, 1.0])
+        occupation = occupation_function_via_eigendecomposition(
+            matrix, mu=0.0, temperature=3000.0
+        )
+        diag = np.diag(occupation)
+        assert diag[1] == pytest.approx(0.5)
+        assert 0.5 < diag[0] < 1.0
+
+
+class TestInverseRoots:
+    def make_spd(self, rng, n=30):
+        a = rng.normal(size=(n, n))
+        return a @ a.T + n * np.eye(n)
+
+    def test_inverse_square_root(self, rng):
+        matrix = self.make_spd(rng)
+        root = inverse_pth_root(matrix, 2)
+        assert np.allclose(root @ matrix @ root, np.eye(matrix.shape[0]), atol=1e-9)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_inverse_pth_root_property(self, rng, p):
+        matrix = self.make_spd(rng, n=20)
+        root = inverse_pth_root(matrix, p)
+        product = np.linalg.matrix_power(root, p) @ matrix
+        assert np.allclose(product, np.eye(20), atol=1e-8)
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValueError):
+            inverse_pth_root(np.diag([1.0, -1.0]), 2)
+
+    def test_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            inverse_pth_root(self.make_spd(rng, 5), 0)
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_newton_iteration_matches_eigendecomposition(self, rng, p):
+        matrix = self.make_spd(rng, n=25)
+        direct = inverse_pth_root(matrix, p)
+        iterative = inverse_pth_root_newton(matrix, p)
+        assert iterative.converged
+        assert np.max(np.abs(iterative.root - direct)) < 1e-8
+
+    def test_newton_residual_history_decreases(self, rng):
+        matrix = self.make_spd(rng, n=15)
+        result = inverse_pth_root_newton(matrix, 2)
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_sign_from_inverse_root_identity(self, rng):
+        """sign(A) = A (A^2)^{-1/2} (Eq. 8)."""
+        matrix, exact = make_sign_test_matrix(rng, n=25)
+        via_root = matrix @ inverse_pth_root(matrix @ matrix, 2)
+        assert np.allclose(via_root, exact, atol=1e-8)
