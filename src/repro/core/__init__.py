@@ -11,6 +11,12 @@ Workflow (Fig. 3 of the paper):
 3. the column of f(a_i) that corresponds to column i is copied back into the
    sparse result matrix, preserving the input sparsity pattern.
 
+The hot path has two interchangeable engines: the naive reference kernels in
+:mod:`repro.core.submatrix` and the vectorized submatrix engine — cached
+extraction plans (:mod:`repro.core.plan`) plus bucketed batch evaluation
+(:mod:`repro.core.batch`) — which produces identical results while replacing
+the per-call Python loops with precomputed single-shot gathers/scatters.
+
 On top of this core, the subpackage implements the CP2K-specific machinery
 described in Sec. IV of the paper: grouping of block columns into combined
 submatrices (:mod:`repro.core.combination`), greedy load balancing
@@ -27,6 +33,16 @@ from repro.core.submatrix import (
     submatrix_dimension,
     submatrix_block_rows,
 )
+from repro.core.plan import (
+    SubmatrixPlan,
+    ElementSubmatrixPlan,
+    BlockSubmatrixPlan,
+    PlanCache,
+    DEFAULT_PLAN_CACHE,
+    element_plan,
+    block_plan,
+)
+from repro.core.batch import Bucket, make_buckets, evaluate_batched
 from repro.core.method import SubmatrixMethod, SubmatrixMethodResult
 from repro.core.combination import (
     ColumnGrouping,
@@ -61,6 +77,16 @@ __all__ = [
     "extract_block_submatrix",
     "submatrix_dimension",
     "submatrix_block_rows",
+    "SubmatrixPlan",
+    "ElementSubmatrixPlan",
+    "BlockSubmatrixPlan",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
+    "element_plan",
+    "block_plan",
+    "Bucket",
+    "make_buckets",
+    "evaluate_batched",
     "SubmatrixMethod",
     "SubmatrixMethodResult",
     "ColumnGrouping",

@@ -37,7 +37,9 @@ from repro.chem.density import (
 )
 from repro.chem.hamiltonian import BlockStructure
 from repro.chem.orthogonalize import orthogonalized_ks
+from repro.core.batch import make_stack_tasks
 from repro.core.combination import ColumnGrouping, single_column_groups
+from repro.core.plan import BlockSubmatrixPlan, PlanCache, block_plan
 from repro.core.submatrix import (
     Submatrix,
     extract_block_submatrix,
@@ -47,7 +49,10 @@ from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
 from repro.dbcsr.coo import CooBlockList
 from repro.parallel.executor import map_parallel
-from repro.signfn.newton_schulz import sign_newton_schulz
+from repro.signfn.newton_schulz import (
+    sign_newton_schulz,
+    sign_newton_schulz_batched,
+)
 from repro.signfn.pade import sign_pade
 
 __all__ = ["SubmatrixDFTSolver", "SubmatrixDFTResult"]
@@ -109,6 +114,16 @@ class _DecomposedSubmatrix:
     eigenvalues: np.ndarray
     eigenvectors: np.ndarray
     generating_function_rows: np.ndarray  # local dense rows of the generating columns
+    # Σ_rows Q²[generating rows, :] — the electron count at chemical potential
+    # μ is just weights · f(λ − μ), so the whole bisection works on two flat
+    # vectors instead of re-slicing the eigenvectors every iteration
+    generating_weights: Optional[np.ndarray] = None
+
+    def weights(self) -> np.ndarray:
+        if self.generating_weights is None:
+            q_rows = self.eigenvectors[self.generating_function_rows, :]
+            self.generating_weights = np.sum(q_rows**2, axis=0)
+        return self.generating_weights
 
 
 class SubmatrixDFTSolver:
@@ -135,6 +150,13 @@ class SubmatrixDFTSolver:
         Parallel execution of the per-submatrix solves.
     spin_degeneracy:
         2 for closed-shell systems.
+    use_plan:
+        Use the vectorized submatrix engine (:mod:`repro.core.plan`) for
+        extraction/scatter and bucketed batched eigendecompositions; set to
+        false for the naive reference path (same results, slower).
+    plan_cache:
+        Optional private plan cache; the process-wide default is used when
+        omitted.
     """
 
     def __init__(
@@ -146,6 +168,8 @@ class SubmatrixDFTSolver:
         backend: str = "serial",
         max_workers: Optional[int] = None,
         spin_degeneracy: float = SPIN_DEGENERACY,
+        use_plan: bool = True,
+        plan_cache: Optional[PlanCache] = None,
     ):
         if eps_filter < 0:
             raise ValueError("eps_filter must be non-negative")
@@ -160,6 +184,8 @@ class SubmatrixDFTSolver:
         self.backend = backend
         self.max_workers = max_workers
         self.spin_degeneracy = float(spin_degeneracy)
+        self.use_plan = bool(use_plan)
+        self.plan_cache = plan_cache
 
     # ------------------------------------------------------------------ #
     # public API
@@ -198,7 +224,9 @@ class SubmatrixDFTSolver:
         grouping.validate(block_k.n_block_cols)
 
         if self.solver == "eigen":
-            decomposed = self._decompose_submatrices(block_k, grouping, coo, blocks)
+            decomposed, plan = self._decompose_submatrices(
+                block_k, grouping, coo, blocks
+            )
             mu_iterations = 0
             if canonical:
                 mu, mu_iterations = self._bisect_mu(
@@ -206,7 +234,7 @@ class SubmatrixDFTSolver:
                 )
             assert mu is not None
             occupation_block = self._scatter_occupations(
-                block_k, decomposed, coo, float(mu)
+                block_k, decomposed, coo, float(mu), plan
             )
             dimensions = [d.submatrix.dimension for d in decomposed]
         else:
@@ -242,49 +270,74 @@ class SubmatrixDFTSolver:
         grouping: ColumnGrouping,
         coo: CooBlockList,
         blocks: BlockStructure,
-    ) -> List[_DecomposedSubmatrix]:
-        """Extract and eigendecompose every submatrix (Eq. 17, first step)."""
+    ) -> Tuple[List[_DecomposedSubmatrix], Optional[BlockSubmatrixPlan]]:
+        """Extract and eigendecompose every submatrix (Eq. 17, first step).
 
-        def decompose(group: Sequence[int]) -> _DecomposedSubmatrix:
-            submatrix = extract_block_submatrix(block_k, group, coo)
-            eigenvalues, eigenvectors = np.linalg.eigh(submatrix.data)
-            offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
-            generating_rows: List[np.ndarray] = []
-            for local_column in submatrix.local_columns:
-                generating_rows.append(
-                    np.arange(offsets[local_column], offsets[local_column + 1])
-                )
-            return _DecomposedSubmatrix(
-                submatrix=submatrix,
-                eigenvalues=eigenvalues,
-                eigenvectors=eigenvectors,
-                generating_function_rows=np.concatenate(generating_rows),
+        With ``use_plan`` the extraction runs through the cached vectorized
+        plan and the eigendecompositions are evaluated one bucket (stack of
+        equal-dimension submatrices) at a time.
+        """
+        del blocks  # block structure is already encoded in block_k
+        groups = list(grouping.groups)
+        if not self.use_plan:
+
+            def decompose(group: Sequence[int]) -> _DecomposedSubmatrix:
+                submatrix = extract_block_submatrix(block_k, group, coo)
+                eigenvalues, eigenvectors = np.linalg.eigh(submatrix.data)
+                return self._make_entry(submatrix, eigenvalues, eigenvectors)
+
+            return (
+                map_parallel(decompose, groups, self.max_workers, self.backend),
+                None,
             )
 
-        del blocks  # block structure is already encoded in block_k
-        return map_parallel(
-            decompose, list(grouping.groups), self.max_workers, self.backend
+        plan = block_plan(
+            coo, block_k.row_block_sizes, groups, cache=self.plan_cache
+        )
+        packed = plan.pack(block_k)
+        buckets = make_stack_tasks(plan.dimensions)
+
+        def decompose_bucket(bucket):
+            stack = plan.extract_stack(packed, bucket.members, bucket.dimension)
+            eigenvalues, eigenvectors = np.linalg.eigh(stack)
+            return [
+                self._make_entry(
+                    plan.groups[group_index].make_submatrix(),
+                    eigenvalues[slot],
+                    eigenvectors[slot],
+                )
+                for slot, group_index in enumerate(bucket.members)
+            ]
+
+        per_bucket = map_parallel(
+            decompose_bucket, buckets, self.max_workers, self.backend
+        )
+        entries: List[Optional[_DecomposedSubmatrix]] = [None] * len(groups)
+        for bucket, bucket_entries in zip(buckets, per_bucket):
+            for group_index, entry in zip(bucket.members, bucket_entries):
+                entries[group_index] = entry
+        return entries, plan  # type: ignore[return-value]
+
+    @staticmethod
+    def _make_entry(
+        submatrix: Submatrix, eigenvalues: np.ndarray, eigenvectors: np.ndarray
+    ) -> _DecomposedSubmatrix:
+        offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
+        generating_rows: List[np.ndarray] = []
+        for local_column in submatrix.local_columns:
+            generating_rows.append(
+                np.arange(offsets[local_column], offsets[local_column + 1])
+            )
+        return _DecomposedSubmatrix(
+            submatrix=submatrix,
+            eigenvalues=eigenvalues,
+            eigenvectors=eigenvectors,
+            generating_function_rows=np.concatenate(generating_rows),
         )
 
     def _occupations(self, eigenvalues: np.ndarray, mu: float) -> np.ndarray:
         """Occupation numbers f(λ − μ) (Heaviside with f=1/2 at μ, or Fermi)."""
         return fermi_occupation(eigenvalues, mu, self.temperature)
-
-    def _electron_count_from_cache(
-        self, decomposed: Sequence[_DecomposedSubmatrix], mu: float
-    ) -> float:
-        """Electron count at chemical potential μ from cached decompositions.
-
-        Implements the inner loop of Algorithm 1: only the rows of Q that
-        correspond to the generating block columns contribute, because only
-        those columns of each submatrix enter the sparse result matrix.
-        """
-        total = 0.0
-        for entry in decomposed:
-            occupations = self._occupations(entry.eigenvalues, mu)
-            q_rows = entry.eigenvectors[entry.generating_function_rows, :]
-            total += float(np.sum((q_rows**2) @ occupations))
-        return self.spin_degeneracy * total
 
     def _bisect_mu(
         self,
@@ -293,15 +346,25 @@ class SubmatrixDFTSolver:
         tolerance: float,
         max_iterations: int,
     ) -> Tuple[float, int]:
-        """Adjust μ by bisection on the cached eigendecompositions (Alg. 1)."""
+        """Adjust μ by bisection on the cached eigendecompositions (Alg. 1).
+
+        Implements Algorithm 1: only the rows of Q that correspond to the
+        generating block columns contribute (only those columns enter the
+        sparse result), and the contribution of one submatrix reduces to
+        ``weights · f(λ − μ)``.  The eigenvalues and weights of all
+        submatrices are concatenated once, so every bisection step is a
+        single vectorized occupation evaluation plus a dot product.
+        """
         all_eigenvalues = np.concatenate([d.eigenvalues for d in decomposed])
+        all_weights = np.concatenate([d.weights() for d in decomposed])
         lo = float(all_eigenvalues.min()) - 1.0
         hi = float(all_eigenvalues.max()) + 1.0
         iterations = 0
         mu = 0.5 * (lo + hi)
         for iterations in range(1, max_iterations + 1):
             mu = 0.5 * (lo + hi)
-            count = self._electron_count_from_cache(decomposed, mu)
+            occupations = self._occupations(all_eigenvalues, mu)
+            count = self.spin_degeneracy * float(np.dot(all_weights, occupations))
             error = count - n_electrons
             if abs(error) <= tolerance:
                 break
@@ -317,8 +380,23 @@ class SubmatrixDFTSolver:
         decomposed: Sequence[_DecomposedSubmatrix],
         coo: CooBlockList,
         mu: float,
+        plan: Optional[BlockSubmatrixPlan] = None,
     ) -> BlockSparseMatrix:
-        """Form f(a − μ) per submatrix and scatter the generating columns."""
+        """Form f(a − μ) per submatrix and scatter the generating columns.
+
+        With a plan, the scatter is one vectorized write per submatrix into a
+        preallocated packed output buffer and the result blocks are zero-copy
+        views into that buffer.
+        """
+        if plan is not None:
+            out = plan.new_output()
+            for group_index, entry in enumerate(decomposed):
+                occupations = self._occupations(entry.eigenvalues, mu)
+                occupation_matrix = (
+                    entry.eigenvectors * occupations
+                ) @ entry.eigenvectors.T
+                plan.scatter(out, group_index, occupation_matrix)
+            return plan.finalize(out)
         result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
         for entry in decomposed:
             occupations = self._occupations(entry.eigenvalues, mu)
@@ -340,24 +418,59 @@ class SubmatrixDFTSolver:
         coo: CooBlockList,
         mu: float,
     ) -> Tuple[BlockSparseMatrix, List[int]]:
-        """Occupation matrices via Newton–Schulz / Padé sign iterations."""
+        """Occupation matrices via Newton–Schulz / Padé sign iterations.
 
-        def solve(group: Sequence[int]):
-            submatrix = extract_block_submatrix(block_k, group, coo)
-            shifted = submatrix.data - mu * np.eye(submatrix.dimension)
-            if self.solver == "newton_schulz":
-                sign = sign_newton_schulz(shifted).sign
-            else:
-                sign = sign_pade(shifted, order=3).sign
-            occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
-            return submatrix, occupation
+        With ``use_plan``, extraction and scatter run through the cached plan
+        and the Newton–Schulz solver iterates whole equal-dimension buckets
+        at once (:func:`repro.signfn.newton_schulz.sign_newton_schulz_batched`).
+        """
+        groups = list(grouping.groups)
+        if not self.use_plan:
 
-        solved = map_parallel(
-            solve, list(grouping.groups), self.max_workers, self.backend
+            def solve(group: Sequence[int]):
+                submatrix = extract_block_submatrix(block_k, group, coo)
+                shifted = submatrix.data - mu * np.eye(submatrix.dimension)
+                if self.solver == "newton_schulz":
+                    sign = sign_newton_schulz(shifted).sign
+                else:
+                    sign = sign_pade(shifted, order=3).sign
+                occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
+                return submatrix, occupation
+
+            solved = map_parallel(solve, groups, self.max_workers, self.backend)
+            result = BlockSparseMatrix(
+                block_k.row_block_sizes, block_k.col_block_sizes
+            )
+            dimensions = []
+            for submatrix, occupation in solved:
+                dimensions.append(submatrix.dimension)
+                scatter_block_submatrix_result(result, occupation, submatrix, coo)
+            return result, dimensions
+
+        plan = block_plan(
+            coo, block_k.row_block_sizes, groups, cache=self.plan_cache
         )
-        result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
-        dimensions: List[int] = []
-        for submatrix, occupation in solved:
-            dimensions.append(submatrix.dimension)
-            scatter_block_submatrix_result(result, occupation, submatrix, coo)
-        return result, dimensions
+        packed = plan.pack(block_k)
+        dimensions = plan.dimensions
+        buckets = make_stack_tasks(dimensions)
+
+        def solve_bucket(bucket):
+            dim = bucket.dimension
+            identity = np.eye(dim)
+            stack = plan.extract_stack(packed, bucket.members, dim)
+            stack -= mu * identity
+            if self.solver == "newton_schulz":
+                signs = sign_newton_schulz_batched(stack).sign
+            else:
+                signs = np.stack(
+                    [sign_pade(stack[slot], order=3).sign for slot in range(len(bucket.members))]
+                )
+            return 0.5 * (identity - signs)
+
+        per_bucket = map_parallel(
+            solve_bucket, buckets, self.max_workers, self.backend
+        )
+        out = plan.new_output()
+        for bucket, occupations in zip(buckets, per_bucket):
+            plan.scatter_stack(out, bucket.members, occupations, bucket.dimension)
+        return plan.finalize(out), list(dimensions)

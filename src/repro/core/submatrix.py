@@ -15,6 +15,12 @@ Both granularities used in the paper are supported: single matrix columns
 (element-level, operating on ``scipy.sparse`` matrices) and DBCSR block
 columns (block-level, operating on :class:`BlockSparseMatrix` or on a pure
 block-sparsity pattern for the large pattern-only analyses).
+
+These kernels are the *naive reference implementations*: they rebuild all
+index bookkeeping on every call and move data with Python loops.  The
+production hot path is the vectorized engine in :mod:`repro.core.plan`
+(cached extraction plans) and :mod:`repro.core.batch` (bucketed batch
+evaluation), which is property-tested to produce bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -100,7 +106,6 @@ def extract_submatrix(
     """
     columns = np.atleast_1d(np.asarray(columns, dtype=int))
     csc = matrix.tocsc()
-    n = csc.shape[0]
     if columns.size == 0:
         raise ValueError("at least one generating column is required")
     if columns.min() < 0 or columns.max() >= csc.shape[1]:
@@ -110,8 +115,11 @@ def extract_submatrix(
     # ensure the generating columns themselves are present even if their
     # diagonal entry is (numerically) zero
     local_columns = np.searchsorted(indices, columns)
-    data = csc[np.ix_(indices, indices)].toarray()
-    del n
+    # two-step slicing (column slice, then row slice) is much faster than the
+    # equivalent csc[np.ix_(indices, indices)] fancy indexing; the C-ordered
+    # copy keeps the memory layout identical to the planned engine's buffers
+    # so both paths feed BLAS bitwise-identical inputs
+    data = np.ascontiguousarray(csc[:, indices][indices, :].toarray())
     return Submatrix(
         generating_columns=columns,
         indices=indices,
@@ -269,9 +277,11 @@ def scatter_block_submatrix_result(
     for column, local_column in zip(
         submatrix.generating_columns, submatrix.local_columns
     ):
-        column_rows = coo.blocks_in_column(int(column))
+        column_rows = np.asarray(coo.blocks_in_column(int(column)), dtype=int)
         c0, c1 = offsets[local_column], offsets[local_column + 1]
-        for bi in column_rows:
-            local_row = int(np.searchsorted(retained, bi))
+        # one vectorized lookup per generating column instead of one
+        # searchsorted call per block row
+        local_rows = np.searchsorted(retained, column_rows)
+        for bi, local_row in zip(column_rows, local_rows):
             r0, r1 = offsets[local_row], offsets[local_row + 1]
             result.put_block(int(bi), int(column), f_submatrix[r0:r1, c0:c1])

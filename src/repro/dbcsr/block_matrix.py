@@ -113,7 +113,12 @@ class BlockSparseMatrix:
     # block access
     # ------------------------------------------------------------------ #
     def put_block(
-        self, bi: int, bj: int, data: np.ndarray, accumulate: bool = False
+        self,
+        bi: int,
+        bj: int,
+        data: np.ndarray,
+        accumulate: bool = False,
+        copy: bool = True,
     ) -> None:
         """Store a dense block at (bi, bj).
 
@@ -121,6 +126,11 @@ class BlockSparseMatrix:
         ----------
         accumulate:
             If true, add to an existing block instead of replacing it.
+        copy:
+            If false, store ``data`` without copying (zero-copy).  The caller
+            must guarantee the array is float64 and not mutated afterwards;
+            the vectorized scatter path uses this to hand out views into one
+            preallocated result buffer.
         """
         self._check_block(bi, bj)
         data = np.asarray(data, dtype=float)
@@ -132,7 +142,7 @@ class BlockSparseMatrix:
         if accumulate and (bi, bj) in self._blocks:
             self._blocks[(bi, bj)] = self._blocks[(bi, bj)] + data
         else:
-            self._blocks[(bi, bj)] = data.copy()
+            self._blocks[(bi, bj)] = data.copy() if copy else data
 
     def get_block(self, bi: int, bj: int) -> Optional[np.ndarray]:
         """The dense block at (bi, bj), or ``None`` if it is zero."""
@@ -148,6 +158,14 @@ class BlockSparseMatrix:
         """Delete block (bi, bj) if present."""
         self._check_block(bi, bj)
         self._blocks.pop((bi, bj), None)
+
+    def raw_blocks(self) -> Dict[BlockKey, np.ndarray]:
+        """The underlying block dictionary, without copying.
+
+        Performance accessor for bulk operations (packing all block values
+        into one flat buffer); treat the returned mapping as read-only.
+        """
+        return self._blocks
 
     def block_keys(self) -> List[BlockKey]:
         """Stored block coordinates, sorted by (column, row).

@@ -133,6 +133,50 @@ class CooBlockList:
         pieces = [self.rows[s:e] for s, e in zip(starts, stops)]
         return np.unique(np.concatenate(pieces)).tolist()
 
+    def column_ranges(self, columns: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Start/stop positions of the given block columns in the sorted list.
+
+        Because the list is sorted by column, the entries of column ``c``
+        occupy the contiguous ID range ``[start, stop)``; this is the lookup
+        the extraction plans build on.
+        """
+        columns = np.atleast_1d(np.asarray(columns, dtype=int))
+        starts = np.searchsorted(self.cols, columns)
+        stops = np.searchsorted(self.cols, columns + 1)
+        return starts, stops
+
+    def entries_in_columns(
+        self, columns: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All COO entries of the given block columns, as flat arrays.
+
+        Returns ``(block_ids, rows, cols)`` where ``block_ids`` are the unique
+        IDs (positions in the sorted list), concatenated column by column in
+        the order the columns were given.
+        """
+        starts, stops = self.column_ranges(columns)
+        if starts.size == 0:
+            empty = np.empty(0, dtype=int)
+            return empty, empty.copy(), empty.copy()
+        ids = np.concatenate(
+            [np.arange(s, e) for s, e in zip(starts, stops)]
+        ).astype(int)
+        return ids, self.rows[ids], self.cols[ids]
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the sparsity pattern.
+
+        Used as (part of) the cache key for extraction plans: two block
+        matrices with bitwise-identical patterns share their plans.
+        """
+        import hashlib
+
+        digest = hashlib.sha1()
+        digest.update(np.int64([self.n_block_rows, self.n_block_cols]).tobytes())
+        digest.update(np.ascontiguousarray(self.rows, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(self.cols, dtype=np.int64).tobytes())
+        return digest.hexdigest()
+
     def column_counts(self) -> np.ndarray:
         """Number of non-zero blocks per block column."""
         counts = np.zeros(self.n_block_cols, dtype=int)

@@ -16,12 +16,26 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["map_parallel", "default_worker_count"]
+__all__ = ["map_parallel", "default_worker_count", "split_chunks"]
 
 
 def default_worker_count() -> int:
     """Default number of workers: the machine's CPU count (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+def split_chunks(items: Sequence[T], max_chunk: int) -> List[List[T]]:
+    """Split a sequence into consecutive chunks of at most ``max_chunk`` items.
+
+    Used by the bucketed batch evaluator to bound the memory of one 3-D
+    submatrix stack (and to create enough tasks for the pool): a bucket with
+    many members is processed as several stacks of at most ``max_chunk``
+    matrices each.  Order is preserved; the last chunk may be shorter.
+    """
+    if max_chunk < 1:
+        raise ValueError("max_chunk must be at least 1")
+    items = list(items)
+    return [items[i : i + max_chunk] for i in range(0, len(items), max_chunk)]
 
 
 def map_parallel(

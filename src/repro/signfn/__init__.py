@@ -18,29 +18,37 @@ shared spectral-scaling and convergence helpers.
 """
 
 from repro.signfn.newton_schulz import (
+    BatchedNewtonSchulzResult,
     NewtonSchulzResult,
     sign_newton_schulz,
+    sign_newton_schulz_batched,
     sign_newton_schulz_filtered_dense,
     sign_newton_schulz_sparse,
 )
 from repro.signfn.pade import pade_polynomial_coefficients, sign_pade, PadeResult
 from repro.signfn.eigen import (
     sign_via_eigendecomposition,
+    sign_via_eigendecomposition_batched,
     occupation_function_via_eigendecomposition,
+    occupation_function_via_eigendecomposition_batched,
 )
 from repro.signfn.inverse_root import inverse_pth_root, inverse_pth_root_newton
 from repro.signfn.utils import involutority_error, spectral_scale_estimate
 
 __all__ = [
     "NewtonSchulzResult",
+    "BatchedNewtonSchulzResult",
     "sign_newton_schulz",
+    "sign_newton_schulz_batched",
     "sign_newton_schulz_filtered_dense",
     "sign_newton_schulz_sparse",
     "pade_polynomial_coefficients",
     "sign_pade",
     "PadeResult",
     "sign_via_eigendecomposition",
+    "sign_via_eigendecomposition_batched",
     "occupation_function_via_eigendecomposition",
+    "occupation_function_via_eigendecomposition_batched",
     "inverse_pth_root",
     "inverse_pth_root_newton",
     "involutority_error",

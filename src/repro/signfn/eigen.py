@@ -27,6 +27,9 @@ __all__ = [
     "sign_via_eigendecomposition",
     "occupation_function_via_eigendecomposition",
     "symmetric_eigendecomposition",
+    "symmetric_eigendecomposition_batched",
+    "sign_via_eigendecomposition_batched",
+    "occupation_function_via_eigendecomposition_batched",
 ]
 
 
@@ -88,6 +91,69 @@ def sign_via_eigendecomposition(
     eigenvalues, eigenvectors = symmetric_eigendecomposition(matrix)
     signs = extended_signum(eigenvalues - mu, zero_tolerance)
     return (eigenvectors * signs) @ eigenvectors.T
+
+
+def symmetric_eigendecomposition_batched(
+    stack: np.ndarray,
+    symmetry_tolerance: float = 1e-8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eigendecomposition of a ``(k, n, n)`` stack of symmetric matrices.
+
+    One C-level loop over the stack (``numpy.linalg.eigh`` broadcasts over
+    leading axes) instead of ``k`` Python calls; used by the bucketed batch
+    evaluator of the submatrix engine.  Returns ``(eigenvalues, eigenvectors)``
+    of shapes ``(k, n)`` and ``(k, n, n)``.
+    """
+    stack = np.asarray(stack, dtype=float)
+    if stack.ndim != 3 or stack.shape[-1] != stack.shape[-2]:
+        raise ValueError("expected a (k, n, n) stack of square matrices")
+    transposed = np.swapaxes(stack, -1, -2)
+    asymmetry = float(np.max(np.abs(stack - transposed))) if stack.size else 0.0
+    if asymmetry > symmetry_tolerance:
+        raise ValueError(
+            f"stack is not symmetric (max asymmetry {asymmetry:.3e} exceeds "
+            f"{symmetry_tolerance:.0e})"
+        )
+    return np.linalg.eigh(0.5 * (stack + transposed))
+
+
+def _reconstruct_batched(
+    eigenvectors: np.ndarray, diagonal: np.ndarray
+) -> np.ndarray:
+    """Batched Q·diag(d)·Qᵀ for a stack of decompositions."""
+    return (eigenvectors * diagonal[:, None, :]) @ np.swapaxes(eigenvectors, -1, -2)
+
+
+def sign_via_eigendecomposition_batched(
+    stack: np.ndarray,
+    mu: float = 0.0,
+    zero_tolerance: float = 0.0,
+) -> np.ndarray:
+    """sign(A − μI) for every matrix of a ``(k, n, n)`` stack (Eq. 17).
+
+    Batched counterpart of :func:`sign_via_eigendecomposition`; one call
+    evaluates the whole stack.
+    """
+    eigenvalues, eigenvectors = symmetric_eigendecomposition_batched(stack)
+    signs = extended_signum(eigenvalues - mu, zero_tolerance)
+    return _reconstruct_batched(eigenvectors, signs)
+
+
+def occupation_function_via_eigendecomposition_batched(
+    stack: np.ndarray,
+    mu: float = 0.0,
+    temperature: float = 0.0,
+) -> np.ndarray:
+    """Occupation matrices f(A) = Q f(Λ − μ) Qᵀ for a ``(k, n, n)`` stack.
+
+    Batched counterpart of
+    :func:`occupation_function_via_eigendecomposition`.
+    """
+    from repro.chem.density import fermi_occupation
+
+    eigenvalues, eigenvectors = symmetric_eigendecomposition_batched(stack)
+    occupations = fermi_occupation(eigenvalues, mu, temperature)
+    return _reconstruct_batched(eigenvectors, occupations)
 
 
 def occupation_function_via_eigendecomposition(

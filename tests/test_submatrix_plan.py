@@ -1,0 +1,411 @@
+"""Tests for the vectorized submatrix engine (plans, caching, batching).
+
+The central claim of :mod:`repro.core.plan` is equivalence: the plan-based
+gather/scatter paths must produce *bitwise-identical* results to the naive
+reference kernels, across random sparsity patterns, random column groupings
+and both granularities.  The batched evaluator is additionally checked with
+and without bucket padding.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    DEFAULT_PLAN_CACHE,
+    BlockSubmatrixPlan,
+    ElementSubmatrixPlan,
+    PlanCache,
+    SubmatrixMethod,
+    SubmatrixDFTSolver,
+    make_buckets,
+)
+from repro.core.batch import evaluate_batched
+from repro.core.plan import block_plan, element_plan
+from repro.core.submatrix import extract_block_submatrix, extract_submatrix
+from repro.dbcsr import BlockSparseMatrix, CooBlockList
+from repro.dbcsr.convert import block_matrix_from_dense, block_matrix_to_dense
+from repro.parallel.executor import split_chunks
+from repro.signfn import (
+    sign_newton_schulz,
+    sign_newton_schulz_batched,
+    sign_via_eigendecomposition,
+    sign_via_eigendecomposition_batched,
+    occupation_function_via_eigendecomposition,
+    occupation_function_via_eigendecomposition_batched,
+)
+
+from conftest import make_decay_matrix
+
+
+def random_sparse_symmetric(n, density, seed):
+    """Random sparse symmetric matrix with a non-trivial pattern."""
+    generator = np.random.default_rng(seed)
+    dense = generator.normal(size=(n, n))
+    dense = (dense + dense.T) / 2.0
+    mask = generator.random((n, n)) < density
+    mask = mask | mask.T
+    dense = np.where(mask, dense, 0.0)
+    dense[np.diag_indices(n)] = 3.0 + generator.random(n)
+    return sp.csr_matrix(dense)
+
+
+def random_block_symmetric(n_blocks, block_size, bandwidth, seed):
+    """Random banded symmetric block matrix."""
+    generator = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    dense = np.zeros((n, n))
+    for i in range(n_blocks):
+        for j in range(n_blocks):
+            if abs(i - j) <= bandwidth and (i <= j or generator.random() < 0.8):
+                block = generator.normal(size=(block_size, block_size))
+                dense[
+                    i * block_size : (i + 1) * block_size,
+                    j * block_size : (j + 1) * block_size,
+                ] = block
+    dense = (dense + dense.T) / 2.0
+    return block_matrix_from_dense(dense, [block_size] * n_blocks)
+
+
+def random_partition(n, seed):
+    """Random partition of range(n) into contiguous-free random groups."""
+    generator = np.random.default_rng(seed)
+    order = generator.permutation(n)
+    groups = []
+    position = 0
+    while position < n:
+        size = int(generator.integers(1, 4))
+        groups.append(sorted(int(c) for c in order[position : position + size]))
+        position += size
+    return groups
+
+
+class TestElementPlanEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("density", [0.05, 0.2])
+    def test_plan_matches_naive_bitwise(self, seed, density):
+        matrix = random_sparse_symmetric(50, density, seed)
+        method = SubmatrixMethod(lambda a: a @ a)
+        for groups in (None, random_partition(50, seed + 100)):
+            naive = method.apply_elementwise(matrix, groups, engine="naive")
+            planned = method.apply_elementwise(matrix, groups, engine="plan")
+            assert naive.submatrix_dimensions == planned.submatrix_dimensions
+            assert (naive.result != planned.result).nnz == 0
+            assert np.array_equal(
+                naive.result.toarray(), planned.result.toarray()
+            )
+
+    def test_extraction_matches_reference(self):
+        matrix = random_sparse_symmetric(40, 0.1, 7)
+        csc = matrix.tocsc()
+        groups = random_partition(40, 8)
+        plan = ElementSubmatrixPlan(csc, groups)
+        packed = plan.pack(csc)
+        for index, group in enumerate(groups):
+            reference = extract_submatrix(csc, group)
+            dense = plan.extract(packed, index)
+            assert np.array_equal(reference.data, dense)
+            assert np.array_equal(reference.indices, plan.groups[index].indices)
+            assert np.array_equal(
+                reference.local_columns, plan.groups[index].local_columns
+            )
+
+    def test_pack_rejects_different_pattern(self):
+        matrix = random_sparse_symmetric(30, 0.1, 1)
+        other = random_sparse_symmetric(30, 0.1, 2)
+        plan = ElementSubmatrixPlan(matrix.tocsc(), [[c] for c in range(30)])
+        with pytest.raises(ValueError):
+            plan.pack(other)
+
+    def test_pack_accepts_same_pattern_new_values(self):
+        matrix = random_sparse_symmetric(30, 0.1, 1)
+        scaled = matrix * 2.0
+        groups = [[c] for c in range(30)]
+        plan = ElementSubmatrixPlan(matrix.tocsc(), groups)
+        method = SubmatrixMethod(lambda a: a @ a)
+        planned = method.apply_elementwise(scaled, groups, engine="plan", plan=plan)
+        naive = method.apply_elementwise(scaled, groups, engine="naive")
+        assert np.array_equal(naive.result.toarray(), planned.result.toarray())
+
+
+class TestBlockPlanEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("bandwidth", [1, 3])
+    def test_plan_matches_naive_bitwise(self, seed, bandwidth):
+        matrix = random_block_symmetric(12, 3, bandwidth, seed)
+        method = SubmatrixMethod(lambda a: a @ a + a)
+        for groups in (None, random_partition(12, seed + 50)):
+            naive = method.apply_blockwise(matrix, groups, engine="naive")
+            planned = method.apply_blockwise(matrix, groups, engine="plan")
+            assert naive.submatrix_dimensions == planned.submatrix_dimensions
+            dense_naive = block_matrix_to_dense(naive.result)
+            dense_plan = block_matrix_to_dense(planned.result)
+            assert np.array_equal(dense_naive, dense_plan)
+
+    def test_heterogeneous_block_sizes(self):
+        generator = np.random.default_rng(5)
+        sizes = [2, 4, 3, 1, 5, 2]
+        n = sum(sizes)
+        dense = generator.normal(size=(n, n))
+        dense = (dense + dense.T) / 2.0
+        matrix = block_matrix_from_dense(dense, sizes)
+        method = SubmatrixMethod(lambda a: a @ a)
+        groups = [[0, 2], [1], [3, 4], [5]]
+        naive = method.apply_blockwise(matrix, groups, engine="naive")
+        planned = method.apply_blockwise(matrix, groups, engine="plan")
+        assert np.array_equal(
+            block_matrix_to_dense(naive.result), block_matrix_to_dense(planned.result)
+        )
+
+    def test_extraction_matches_reference(self):
+        matrix = random_block_symmetric(10, 3, 2, 9)
+        coo = CooBlockList.from_block_matrix(matrix)
+        groups = random_partition(10, 11)
+        plan = BlockSubmatrixPlan(coo, matrix.row_block_sizes, groups)
+        packed = plan.pack(matrix)
+        for index, group in enumerate(groups):
+            reference = extract_block_submatrix(matrix, group, coo)
+            dense = plan.extract(packed, index)
+            assert np.array_equal(reference.data, dense)
+            assert np.array_equal(reference.indices, plan.groups[index].indices)
+            assert np.array_equal(
+                reference.block_sizes, plan.groups[index].block_sizes
+            )
+
+    def test_pattern_superset_packs_missing_blocks_as_zero(self):
+        """A pattern that is a superset of the stored blocks matches naive."""
+        matrix = random_block_symmetric(8, 2, 1, 3)
+        coo = CooBlockList.from_block_matrix(matrix)
+        smaller = matrix.copy()
+        bi, bj = matrix.block_keys()[0]
+        smaller.remove_block(bi, bj)
+        method = SubmatrixMethod(lambda a: a @ a)
+        naive = method.apply_blockwise(smaller, coo=coo, engine="naive")
+        planned = method.apply_blockwise(smaller, coo=coo, engine="plan")
+        assert np.array_equal(
+            block_matrix_to_dense(naive.result), block_matrix_to_dense(planned.result)
+        )
+
+    def test_finalize_blocks_are_views(self):
+        """The zero-copy scatter hands out views into one output buffer."""
+        matrix = random_block_symmetric(6, 2, 1, 4)
+        coo = CooBlockList.from_block_matrix(matrix)
+        plan = BlockSubmatrixPlan(
+            coo, matrix.row_block_sizes, [[c] for c in range(6)]
+        )
+        out = plan.new_output()
+        result = plan.finalize(out)
+        key = result.block_keys()[0]
+        block = result.get_block(*key)
+        assert block.base is out
+
+
+class TestPlanCache:
+    def test_cache_hit_on_unchanged_pattern(self):
+        cache = PlanCache()
+        matrix = random_sparse_symmetric(30, 0.1, 1)
+        groups = [[c] for c in range(30)]
+        first = cache.element_plan(matrix, groups)
+        assert cache.stats == {"hits": 0, "misses": 1, "plans": 1}
+        second = cache.element_plan(matrix * 3.0, groups)
+        assert second is first
+        assert cache.stats == {"hits": 1, "misses": 1, "plans": 1}
+
+    def test_cache_miss_on_new_pattern_or_grouping(self):
+        cache = PlanCache()
+        matrix = random_sparse_symmetric(30, 0.1, 1)
+        other = random_sparse_symmetric(30, 0.1, 2)
+        groups = [[c] for c in range(30)]
+        cache.element_plan(matrix, groups)
+        cache.element_plan(other, groups)
+        assert cache.misses == 2
+        cache.element_plan(matrix, random_partition(30, 3))
+        assert cache.misses == 3
+
+    def test_block_cache_keyed_by_pattern_content(self):
+        cache = PlanCache()
+        matrix = random_block_symmetric(8, 2, 1, 3)
+        coo_a = CooBlockList.from_block_matrix(matrix)
+        coo_b = CooBlockList.from_block_matrix(matrix.copy())
+        groups = [[c] for c in range(8)]
+        plan_a = cache.block_plan(coo_a, matrix.row_block_sizes, groups)
+        plan_b = cache.block_plan(coo_b, matrix.row_block_sizes, groups)
+        assert plan_b is plan_a
+        assert cache.stats["hits"] == 1
+
+    def test_eviction_respects_max_plans(self):
+        cache = PlanCache(max_plans=2)
+        groups = [[c] for c in range(20)]
+        for seed in range(4):
+            cache.element_plan(random_sparse_symmetric(20, 0.1, seed), groups)
+        assert len(cache) == 2
+
+    def test_method_uses_private_cache_even_when_empty(self):
+        """Regression: an empty PlanCache is falsy (__len__) but must be used."""
+        cache = PlanCache()
+        matrix = random_sparse_symmetric(20, 0.1, 12)
+        method = SubmatrixMethod(lambda a: a @ a, plan_cache=cache)
+        method.apply_elementwise(matrix, engine="plan")
+        method.apply_elementwise(matrix, engine="plan")
+        assert cache.stats == {"hits": 1, "misses": 1, "plans": 1}
+
+    def test_method_uses_default_cache(self):
+        matrix = random_sparse_symmetric(25, 0.1, 6)
+        method = SubmatrixMethod(lambda a: a @ a)
+        before = DEFAULT_PLAN_CACHE.stats["hits"]
+        method.apply_elementwise(matrix, engine="plan")
+        method.apply_elementwise(matrix, engine="plan")
+        assert DEFAULT_PLAN_CACHE.stats["hits"] > before
+
+
+class TestBuckets:
+    def test_exact_bucketing_groups_equal_dims(self):
+        buckets = make_buckets([4, 7, 4, 7, 9])
+        assert [(b.dimension, b.members) for b in buckets] == [
+            (4, [0, 2]),
+            (7, [1, 3]),
+            (9, [4]),
+        ]
+
+    def test_padded_bucketing_rounds_up(self):
+        buckets = make_buckets([3, 5, 8, 13], pad_to=8)
+        assert [(b.dimension, b.members) for b in buckets] == [
+            (8, [0, 1, 2]),
+            (16, [3]),
+        ]
+
+    def test_split_chunks(self):
+        assert split_chunks([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert split_chunks([], 3) == []
+        with pytest.raises(ValueError):
+            split_chunks([1], 0)
+
+
+class TestBatchedEvaluation:
+    def test_batched_engine_matches_naive(self):
+        matrix = random_block_symmetric(12, 3, 2, 1)
+        method = SubmatrixMethod(lambda a: a @ a)
+        naive = method.apply_blockwise(matrix, engine="naive")
+        batched = method.apply_blockwise(matrix, engine="batched")
+        assert np.array_equal(
+            block_matrix_to_dense(naive.result), block_matrix_to_dense(batched.result)
+        )
+
+    def test_padded_batched_sign_matches_unpadded(self):
+        """Identity padding is exact for genuine matrix functions."""
+        dense = make_decay_matrix(36, bandwidth=3.0)
+        dense[np.abs(dense) < 1e-2] = 0.0
+        matrix = block_matrix_from_dense(dense, [3] * 12)
+        method = SubmatrixMethod(
+            sign_via_eigendecomposition,
+            batch_function=sign_via_eigendecomposition_batched,
+            bucket_pad=8,
+        )
+        naive = method.apply_blockwise(matrix, engine="naive")
+        batched = method.apply_blockwise(matrix, engine="batched")
+        assert np.allclose(
+            block_matrix_to_dense(naive.result),
+            block_matrix_to_dense(batched.result),
+            atol=1e-11,
+        )
+
+    def test_small_stack_cap_still_covers_all_groups(self):
+        matrix = random_block_symmetric(10, 2, 1, 2)
+        coo = CooBlockList.from_block_matrix(matrix)
+        groups = [[c] for c in range(10)]
+        plan = block_plan(coo, matrix.row_block_sizes, groups, cache=PlanCache())
+        packed = plan.pack(matrix)
+        results = evaluate_batched(
+            plan, packed, function=lambda a: a @ a, max_batch_elements=1
+        )
+        assert len(results) == plan.n_groups
+        for index in range(plan.n_groups):
+            reference = plan.extract(packed, index)
+            assert np.array_equal(results[index], reference @ reference)
+
+
+class TestBatchedSignKernels:
+    def test_batched_eigen_sign_matches_single(self, rng):
+        stack = np.stack(
+            [make_decay_matrix(12, seed=seed) for seed in range(5)]
+        )
+        batched = sign_via_eigendecomposition_batched(stack, mu=0.1)
+        for index in range(stack.shape[0]):
+            single = sign_via_eigendecomposition(stack[index], mu=0.1)
+            assert np.allclose(batched[index], single, atol=1e-12)
+
+    def test_batched_occupation_matches_single(self):
+        stack = np.stack(
+            [make_decay_matrix(10, seed=seed) for seed in range(4)]
+        )
+        batched = occupation_function_via_eigendecomposition_batched(
+            stack, mu=0.05, temperature=300.0
+        )
+        for index in range(stack.shape[0]):
+            single = occupation_function_via_eigendecomposition(
+                stack[index], mu=0.05, temperature=300.0
+            )
+            assert np.allclose(batched[index], single, atol=1e-12)
+
+    def test_batched_newton_schulz_matches_single(self):
+        stack = np.stack(
+            [make_decay_matrix(14, seed=seed) for seed in range(6)]
+        )
+        batched = sign_newton_schulz_batched(stack)
+        assert batched.converged.all()
+        for index in range(stack.shape[0]):
+            single = sign_newton_schulz(stack[index])
+            assert single.converged
+            assert batched.iterations[index] == single.iterations
+            assert np.allclose(batched.sign[index], single.sign, atol=1e-12)
+
+    def test_batched_newton_schulz_rejects_non_stack(self):
+        with pytest.raises(ValueError):
+            sign_newton_schulz_batched(np.eye(3))
+
+
+class TestSignDFTPlanEquivalence:
+    def test_grand_canonical_plan_matches_naive(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        settings = dict(eps_filter=1e-5, solver="eigen")
+        fast = SubmatrixDFTSolver(use_plan=True, **settings)
+        slow = SubmatrixDFTSolver(use_plan=False, **settings)
+        result_fast = fast.compute_density(
+            pair.K, pair.S, pair.blocks, mu=gap_mu
+        )
+        result_slow = slow.compute_density(
+            pair.K, pair.S, pair.blocks, mu=gap_mu
+        )
+        assert result_fast.n_electrons == pytest.approx(result_slow.n_electrons)
+        assert result_fast.band_energy == pytest.approx(result_slow.band_energy)
+        assert np.allclose(
+            result_fast.density_ao, result_slow.density_ao, atol=1e-10
+        )
+        assert sorted(result_fast.submatrix_dimensions) == sorted(
+            result_slow.submatrix_dimensions
+        )
+
+    def test_canonical_bisection_plan_matches_naive(self, water32_matrices):
+        pair = water32_matrices
+        n_electrons = 8.0 * 32  # 8 valence electrons per water molecule
+        fast = SubmatrixDFTSolver(eps_filter=1e-5, use_plan=True)
+        slow = SubmatrixDFTSolver(eps_filter=1e-5, use_plan=False)
+        result_fast = fast.compute_density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons
+        )
+        result_slow = slow.compute_density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons
+        )
+        assert result_fast.mu == pytest.approx(result_slow.mu, abs=1e-6)
+        assert result_fast.n_electrons == pytest.approx(n_electrons, abs=1e-6)
+
+    def test_iterative_solver_plan_matches_naive(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        settings = dict(eps_filter=1e-5, solver="newton_schulz")
+        fast = SubmatrixDFTSolver(use_plan=True, **settings)
+        slow = SubmatrixDFTSolver(use_plan=False, **settings)
+        result_fast = fast.compute_density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        result_slow = slow.compute_density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        assert np.allclose(
+            result_fast.density_ao, result_slow.density_ao, atol=1e-8
+        )
