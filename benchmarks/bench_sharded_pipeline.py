@@ -1,0 +1,183 @@
+"""Benchmark — rank-sharded submatrix pipeline across rank counts.
+
+Runs the :class:`repro.core.runner.DistributedSubmatrixPipeline` on the
+256-block-column water system (same system as ``bench_submatrix_engine``)
+for rank counts {1, 2, 4, 8} and records, per rank count:
+
+* wall-clock seconds of a full sharded evaluation (shard extraction →
+  bucketed batched eigendecomposition sign → zero-copy scatter),
+* the exact packed-segment fetch volume of the modelled initialization
+  exchange vs the two whole-block approximations it improves on:
+  per-submatrix shipping (no deduplication) and the fast pattern-level
+  required-set estimate (``per_group_dedup=False``),
+* the FLOP imbalance of the greedy chunked assignment vs the bucket-aware
+  whole-stack (LPT) assignment,
+* a bitwise-equivalence check against the single-process batched engine.
+
+Writes ``BENCH_sharded_pipeline.json`` at the repository root so future PRs
+can track the trajectory, plus the usual table under ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedSubmatrixPipeline, PlanCache, SubmatrixMethod
+from repro.dbcsr.convert import block_matrix_to_dense
+from repro.signfn import (
+    sign_via_eigendecomposition,
+    sign_via_eigendecomposition_batched,
+)
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from bench_submatrix_engine import build_system  # noqa: E402
+from common import bench_scale, report  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ROOT_JSON = REPO_ROOT / "BENCH_sharded_pipeline.json"
+
+RANK_COUNTS = (1, 2, 4, 8)
+
+
+def run_pipeline_benchmark():
+    system, blocked, coo, mu = build_system()
+    sizes = blocked.row_block_sizes
+    repeats = max(3, int(round(5 * bench_scale())))
+    cache = PlanCache()
+
+    function = lambda a: sign_via_eigendecomposition(a, mu)  # noqa: E731
+    batch_function = lambda s: sign_via_eigendecomposition_batched(s, mu)  # noqa: E731
+
+    reference = SubmatrixMethod(
+        function,
+        batch_function=batch_function,
+        engine="batched",
+        plan_cache=cache,
+    ).apply_blockwise(blocked, coo=coo)
+    reference_dense = block_matrix_to_dense(reference.result)
+
+    per_rank_count = []
+    rows = []
+    for n_ranks in RANK_COUNTS:
+        pipeline = DistributedSubmatrixPipeline(
+            coo, sizes, n_ranks, plan_cache=cache
+        )
+        stacks = DistributedSubmatrixPipeline(
+            coo, sizes, n_ranks, balance="stacks", plan_cache=cache
+        )
+        fast = DistributedSubmatrixPipeline(
+            coo, sizes, n_ranks, exact_transfers=False, plan_cache=cache
+        )
+        result = pipeline.run(
+            blocked, function=function, batch_function=batch_function
+        )  # warm-up: builds and caches the shards
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = pipeline.run(
+                blocked, function=function, batch_function=batch_function
+            )
+            samples.append(time.perf_counter() - start)
+        wall = float(np.median(samples))
+        difference = float(
+            np.max(np.abs(reference_dense - block_matrix_to_dense(result.result)))
+        )
+        plan = pipeline.transfer_plan
+        entry = {
+            "n_ranks": n_ranks,
+            "median_wall_time_s": wall,
+            "segment_fetch_mb": plan.total_segment_fetch_bytes / 1e6,
+            "block_fetch_mb": plan.total_fetch_bytes / 1e6,
+            "block_fetch_no_dedup_mb": plan.total_fetch_bytes_without_dedup / 1e6,
+            "block_fetch_fast_estimate_mb": fast.transfer_plan.total_fetch_bytes
+            / 1e6,
+            "writeback_mb": plan.total_writeback_bytes / 1e6,
+            "flop_imbalance_chunks": pipeline.traffic_log().flop_imbalance(),
+            "flop_imbalance_stacks": stacks.traffic_log().flop_imbalance(),
+            "max_abs_diff_vs_batched": difference,
+            "bitwise_identical": difference == 0.0,
+        }
+        per_rank_count.append(entry)
+        rows.append(
+            [
+                n_ranks,
+                wall,
+                entry["segment_fetch_mb"],
+                entry["block_fetch_no_dedup_mb"],
+                entry["block_fetch_fast_estimate_mb"],
+                entry["flop_imbalance_chunks"],
+                entry["flop_imbalance_stacks"],
+                difference,
+            ]
+        )
+
+    payload = {
+        "benchmark": "sharded_pipeline",
+        "system": {
+            "molecules": int(system.n_molecules),
+            "n_block_cols": int(blocked.n_block_cols),
+            "nnz_blocks": int(blocked.nnz_blocks),
+        },
+        "repeats": repeats,
+        "rank_counts": list(RANK_COUNTS),
+        "per_rank_count": per_rank_count,
+    }
+    with open(ROOT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return rows, payload
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_sharded_pipeline(benchmark):
+    rows, payload = benchmark.pedantic(run_pipeline_benchmark, rounds=1, iterations=1)
+    report(
+        "sharded_pipeline",
+        [
+            "ranks",
+            "median seconds",
+            "segment fetch [MB]",
+            "blocks w/o dedup [MB]",
+            "blocks fast est. [MB]",
+            "imbalance (chunks)",
+            "imbalance (stacks)",
+            "max |diff|",
+        ],
+        rows,
+        "Rank-sharded pipeline across rank counts "
+        f"({payload['system']['molecules']} molecules)",
+    )
+    for entry in payload["per_rank_count"]:
+        assert entry["bitwise_identical"]
+        # exact segment accounting never exceeds either whole-block model
+        assert entry["segment_fetch_mb"] <= entry["block_fetch_mb"] + 1e-9
+        assert (
+            entry["segment_fetch_mb"]
+            <= entry["block_fetch_fast_estimate_mb"] + 1e-9
+        )
+
+
+if __name__ == "__main__":
+    table_rows, result_payload = run_pipeline_benchmark()
+    report(
+        "sharded_pipeline",
+        [
+            "ranks",
+            "median seconds",
+            "segment fetch [MB]",
+            "blocks w/o dedup [MB]",
+            "blocks fast est. [MB]",
+            "imbalance (chunks)",
+            "imbalance (stacks)",
+            "max |diff|",
+        ],
+        table_rows,
+        "Rank-sharded pipeline across rank counts "
+        f"({result_payload['system']['molecules']} molecules)",
+    )
+    print(f"wrote {ROOT_JSON}")

@@ -19,11 +19,13 @@ the per-call Python loops with precomputed single-shot gathers/scatters.
 
 On top of this core, the subpackage implements the CP2K-specific machinery
 described in Sec. IV of the paper: grouping of block columns into combined
-submatrices (:mod:`repro.core.combination`), greedy load balancing
-(:mod:`repro.core.load_balance`), deduplicated block-transfer planning
-(:mod:`repro.core.transfers`), the density-matrix driver with grand-canonical
-and canonical ensembles (:mod:`repro.core.sign_dft`) and the distributed run
-cost model (:mod:`repro.core.runner`).
+submatrices (:mod:`repro.core.combination`), greedy and bucket-aware load
+balancing (:mod:`repro.core.load_balance`), rank-sharding of extraction
+plans (:mod:`repro.core.shard`), deduplicated block- and packed-segment
+transfer planning (:mod:`repro.core.transfers`), the density-matrix driver
+with grand-canonical and canonical ensembles (:mod:`repro.core.sign_dft`)
+and the rank-sharded execution pipeline plus distributed run cost models
+(:mod:`repro.core.runner`).
 """
 
 from repro.core.submatrix import (
@@ -54,10 +56,14 @@ from repro.core.combination import (
 )
 from repro.core.load_balance import (
     assign_consecutive_chunks,
+    assign_consecutive_chunks_reference,
     assign_round_robin,
+    assign_balanced_stacks,
+    choose_bucket_pad,
     submatrix_flop_costs,
     load_imbalance,
 )
+from repro.core.shard import RankShard, ShardView, ShardedPlan
 from repro.core.splitting import (
     SplitSolveResult,
     split_submatrix_solve,
@@ -66,6 +72,8 @@ from repro.core.splitting import (
 from repro.core.transfers import TransferPlan, plan_transfers
 from repro.core.sign_dft import SubmatrixDFTSolver, SubmatrixDFTResult
 from repro.core.runner import (
+    DistributedSubmatrixPipeline,
+    PipelineResult,
     SubmatrixRunCost,
     submatrix_method_cost,
     newton_schulz_cost,
@@ -96,9 +104,15 @@ __all__ = [
     "group_columns_greedy_chunks",
     "estimated_speedup",
     "assign_consecutive_chunks",
+    "assign_consecutive_chunks_reference",
     "assign_round_robin",
+    "assign_balanced_stacks",
+    "choose_bucket_pad",
     "submatrix_flop_costs",
     "load_imbalance",
+    "RankShard",
+    "ShardView",
+    "ShardedPlan",
     "SplitSolveResult",
     "split_submatrix_solve",
     "splitting_flop_estimate",
@@ -106,6 +120,8 @@ __all__ = [
     "plan_transfers",
     "SubmatrixDFTSolver",
     "SubmatrixDFTResult",
+    "DistributedSubmatrixPipeline",
+    "PipelineResult",
     "submatrix_method_cost",
     "newton_schulz_cost",
     "SubmatrixRunCost",

@@ -26,10 +26,17 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.load_balance import pad_dimensions
 from repro.core.plan import SubmatrixPlan
 from repro.parallel.executor import map_parallel, split_chunks
 
-__all__ = ["Bucket", "make_buckets", "make_stack_tasks", "evaluate_batched"]
+__all__ = [
+    "Bucket",
+    "make_buckets",
+    "make_stack_tasks",
+    "count_stack_tasks",
+    "evaluate_batched",
+]
 
 #: Soft cap on the element count of one 3-D stack (k·d² ≤ this); large
 #: buckets are split into several stacks to bound peak memory.
@@ -67,13 +74,9 @@ def make_buckets(
         bucket (fewer, larger stacks at the cost of padded flops).  With
         ``None`` only exactly equal dimensions are batched.
     """
-    if pad_to is not None and pad_to < 1:
-        raise ValueError("pad_to must be a positive integer")
     by_dim: Dict[int, List[int]] = {}
-    for index, dim in enumerate(dimensions):
-        dim = int(dim)
-        key = dim if pad_to is None else -(-dim // pad_to) * pad_to
-        by_dim.setdefault(key, []).append(index)
+    for index, key in enumerate(pad_dimensions(dimensions, pad_to)):
+        by_dim.setdefault(int(key), []).append(index)
     return [Bucket(dimension=dim, members=by_dim[dim]) for dim in sorted(by_dim)]
 
 
@@ -96,6 +99,24 @@ def make_stack_tasks(
     return tasks
 
 
+def count_stack_tasks(
+    dimensions: Sequence[int],
+    pad_to: Optional[int] = None,
+    max_batch_elements: int = MAX_BATCH_ELEMENTS,
+) -> int:
+    """Number of stack tasks :func:`make_stack_tasks` would produce.
+
+    Arithmetic only — no task objects are built, so callers that merely
+    report the stack count (e.g. the pipeline's per-rank summaries) don't
+    duplicate the bucketing work the evaluator performs anyway.
+    """
+    total = 0
+    for bucket in make_buckets(dimensions, pad_to=pad_to):
+        per_stack = max(1, max_batch_elements // max(1, bucket.dimension**2))
+        total += -(-len(bucket.members) // per_stack)
+    return total
+
+
 def evaluate_batched(
     plan: SubmatrixPlan,
     packed: np.ndarray,
@@ -107,6 +128,7 @@ def evaluate_batched(
     max_workers: Optional[int] = None,
     backend: str = "serial",
     out: Optional[np.ndarray] = None,
+    executor=None,
 ) -> Optional[List[np.ndarray]]:
     """Evaluate f on every planned submatrix via bucketed 3-D stacks.
 
@@ -132,9 +154,11 @@ def evaluate_batched(
         default 1.0 suits sign/occupation functions).
     max_batch_elements:
         Soft cap on ``k·d²`` per stack.
-    max_workers, backend:
+    max_workers, backend, executor:
         Stacks are independent and dispatched through
-        :func:`repro.parallel.executor.map_parallel`.
+        :func:`repro.parallel.executor.map_parallel`; a pre-built
+        ``executor`` is reused across calls instead of creating a pool per
+        evaluation.
     out:
         Optional preallocated packed output vector (``plan.new_output()``).
         When given, every evaluated stack is scattered straight into it with
@@ -183,7 +207,7 @@ def evaluate_batched(
             for slot, gi in enumerate(task.members)
         ]
 
-    per_task = map_parallel(run, tasks, max_workers, backend)
+    per_task = map_parallel(run, tasks, max_workers, backend, executor=executor)
     if out is not None:
         return None
     results: List[Optional[np.ndarray]] = [None] * plan.n_groups

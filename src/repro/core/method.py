@@ -41,6 +41,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.batch import evaluate_batched
+from repro.core.load_balance import resolve_bucket_pad
 from repro.core.plan import (
     PlanCache,
     SubmatrixPlan,
@@ -118,7 +119,9 @@ class SubmatrixMethod:
     bucket_pad:
         Padding granularity for the ``"batched"`` engine (see
         :func:`repro.core.batch.make_buckets`); padding requires ``function``
-        to be a genuine matrix function.
+        to be a genuine matrix function.  ``"auto"`` picks the granularity
+        from the plan's measured dimension histogram
+        (:func:`repro.core.load_balance.choose_bucket_pad`).
     plan_cache:
         Optional private :class:`~repro.core.plan.PlanCache`; the process-wide
         default cache is used when omitted.
@@ -131,7 +134,7 @@ class SubmatrixMethod:
         backend: str = "serial",
         engine: str = "plan",
         batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-        bucket_pad: Optional[int] = None,
+        bucket_pad: Optional[Union[int, str]] = None,
         plan_cache: Optional[PlanCache] = None,
     ):
         if not callable(function):
@@ -312,7 +315,7 @@ class SubmatrixMethod:
                 packed,
                 function=self.function,
                 batch_function=self.batch_function,
-                pad_to=self.bucket_pad,
+                pad_to=resolve_bucket_pad(self.bucket_pad, dimensions),
                 max_workers=self.max_workers,
                 backend=self.backend,
                 out=out,

@@ -142,6 +142,19 @@ class SubmatrixPlan:
         """Flatten the values of ``matrix`` into the plan's packed layout."""
         raise NotImplementedError
 
+    def segment_offsets(self) -> np.ndarray:  # pragma: no cover - interface
+        """Boundaries of the natural transfer segments of the packed layout.
+
+        Returns an array of length ``n_segments + 1`` such that segment ``s``
+        owns the packed value range ``[offsets[s], offsets[s+1])``.  A
+        segment is the unit in which values are owned and shipped between
+        ranks: one non-zero block at block level, one column's stored
+        entries at element level.  :class:`repro.core.shard.ShardedPlan`
+        builds its rank-local buffers and the block→segment transfer index
+        on top of this structure.
+        """
+        raise NotImplementedError
+
     def extract(
         self, packed: np.ndarray, group_index: int, out: Optional[np.ndarray] = None
     ) -> np.ndarray:
@@ -366,6 +379,10 @@ class ElementSubmatrixPlan(SubmatrixPlan):
             (out, self.indices, self.indptr), shape=self.shape
         ).tocsr()
 
+    def segment_offsets(self) -> np.ndarray:
+        """One segment per matrix column (its stored CSC entries)."""
+        return np.asarray(self.indptr, dtype=np.int64)
+
 
 # --------------------------------------------------------------------------- #
 # block level
@@ -510,6 +527,16 @@ class BlockSubmatrixPlan(SubmatrixPlan):
         for key, start, stop, shape in self._pack_entries:
             blocks[key] = out[start:stop].reshape(shape)
         return result
+
+    def segment_offsets(self) -> np.ndarray:
+        """One segment per non-zero block (its raveled values, COO order).
+
+        A segment index therefore *is* a block ID of the underlying
+        :class:`~repro.dbcsr.coo.CooBlockList`, which is what lets the
+        transfer planner translate shard segment requirements into
+        per-(owner, consumer) traffic.
+        """
+        return np.asarray(self.value_offsets, dtype=np.int64)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,47 +1,83 @@
-"""Distributed-run cost models for the submatrix method and Newton–Schulz.
+"""The distributed submatrix pipeline and run cost models.
 
 The paper's scaling experiments (Figs. 6, 8, 9, 10) ran on 40–1280 cores.
-This reproduction executes the numerics inside one process, but the *work and
-traffic distribution across ranks* — which is what determines the scaling
-behaviour — can be computed exactly from the block-sparsity pattern:
+This reproduction executes the numerics inside one process, but models the
+*work and traffic distribution across ranks* — which is what determines the
+scaling behaviour — exactly, from the block-sparsity pattern.
 
-* for the **submatrix method**: the per-rank FLOPs follow from the greedy
-  load balancing over the O(n³) submatrix costs (Sec. IV-E), and the per-rank
-  traffic from the deduplicated block-transfer plan (Sec. IV-B) plus the COO
-  allgather of the initialization (Sec. IV-A1);
-* for the **Newton–Schulz baseline**: every iteration performs two sparse
-  block multiplications whose FLOPs follow from the (filtered) block pattern
-  and whose traffic follows from libDBCSR's Cannon algorithm (each rank ships
-  its panels √P times per multiplication).
+Since this refactor the distributed layer executes *through* the vectorized
+plan engine instead of beside it:
 
-The machine model (:class:`repro.parallel.machine.MachineModel`) then
-converts both into simulated wall-clock times.
+* :class:`DistributedSubmatrixPipeline` splits the extraction plan across
+  simulated ranks (:class:`~repro.core.shard.ShardedPlan`), plans the
+  packed-segment initialization exchange
+  (:func:`~repro.core.transfers.plan_transfers`), and per rank runs shard
+  extraction → bucketed batch evaluation (:mod:`repro.core.batch`) →
+  zero-copy scatter into the shared output, one
+  :func:`~repro.parallel.executor.map_parallel` task per rank.  Results are
+  bitwise identical to the single-process ``engine="batched"`` path for any
+  rank count (scatter ranges are disjoint across ranks and every submatrix
+  sees the same dense values).
+* :func:`submatrix_method_cost` is a thin wrapper over that pipeline: it
+  builds the same assignment, transfer plan and
+  :class:`~repro.parallel.stats.TrafficLog` the execution path uses and
+  feeds them to the machine model — no separate standalone cost formula.
+* for the **Newton–Schulz baseline**, :func:`newton_schulz_cost` keeps the
+  analytic model: every iteration performs two sparse block multiplications
+  whose FLOPs follow from the (filtered) block pattern and whose traffic
+  follows from libDBCSR's Cannon algorithm (each rank ships its panels √P
+  times per multiplication).
+
+The machine model (:class:`repro.parallel.machine.MachineModel`) converts
+both into simulated wall-clock times.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import math
-from typing import Dict, List, Optional, Sequence, Union
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.batch import (
+    MAX_BATCH_ELEMENTS,
+    count_stack_tasks,
+    evaluate_batched,
+    make_stack_tasks,
+)
 from repro.core.combination import ColumnGrouping, single_column_groups
-from repro.core.load_balance import assign_consecutive_chunks, submatrix_flop_costs
-from repro.core.transfers import plan_transfers
+from repro.core.load_balance import (
+    assign_balanced_stacks,
+    assign_consecutive_chunks,
+    pad_dimensions,
+    resolve_bucket_pad,
+    submatrix_flop_costs,
+)
+from repro.core.plan import BlockSubmatrixPlan, PlanCache, block_plan
+from repro.core.shard import ShardedPlan
+from repro.core.transfers import TransferPlan, plan_transfers
+from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.coo import CooBlockList
 from repro.dbcsr.distribution import BlockDistribution, ProcessGrid2D
+from repro.parallel.executor import map_parallel
 from repro.parallel.machine import MachineModel, SimulatedTime
 from repro.parallel.stats import TrafficLog
 from repro.parallel.topology import balanced_dims
 
 __all__ = [
+    "DistributedSubmatrixPipeline",
+    "PipelineRankReport",
+    "PipelineResult",
     "SubmatrixRunCost",
     "submatrix_method_cost",
     "newton_schulz_cost",
     "estimate_newton_schulz_iterations",
     "EIGENSOLVE_FLOP_CONSTANT",
+    "BALANCE_STRATEGIES",
 ]
 
 #: FLOPs of a dense symmetric eigendecomposition plus the two back
@@ -49,6 +85,9 @@ __all__ = [
 #: roughly 4/3·n³ for the tridiagonal reduction plus ~4·n³ for the
 #: divide-and-conquer back-transformation; forming Q Λ' Qᵀ adds ~4·n³.
 EIGENSOLVE_FLOP_CONSTANT = 9.0
+
+#: Submatrix→rank assignment strategies of the pipeline.
+BALANCE_STRATEGIES = ("chunks", "stacks", "round_robin")
 
 PatternLike = Union[sp.spmatrix, CooBlockList]
 
@@ -71,10 +110,396 @@ class SubmatrixRunCost:
         return self.simulated.total
 
 
+@dataclasses.dataclass
+class PipelineRankReport:
+    """Per-rank summary of one pipeline execution."""
+
+    rank: int
+    n_submatrices: int
+    n_stacks: int
+    flops: float
+    segment_fetch_bytes: float
+    block_fetch_bytes: float
+    writeback_bytes: float
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Result of one :class:`DistributedSubmatrixPipeline` execution."""
+
+    result: BlockSparseMatrix
+    traffic: TrafficLog
+    transfer_plan: TransferPlan
+    per_rank: List[PipelineRankReport]
+    rank_of_group: np.ndarray
+    submatrix_dimensions: List[int]
+    wall_time: float
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def total_segment_fetch_bytes(self) -> float:
+        return float(sum(r.segment_fetch_bytes for r in self.per_rank))
+
+    @property
+    def total_block_fetch_bytes(self) -> float:
+        return float(sum(r.block_fetch_bytes for r in self.per_rank))
+
+
 def _as_coo(pattern: PatternLike) -> CooBlockList:
     if isinstance(pattern, CooBlockList):
         return pattern
     return CooBlockList.from_pattern(pattern)
+
+
+class DistributedSubmatrixPipeline:
+    """Rank-sharded execution of the submatrix method through the plan engine.
+
+    The pipeline fixes, once per (pattern, grouping, rank count):
+
+    1. the submatrix→rank assignment (``balance=`` strategy),
+    2. the sharded extraction plan — per rank, the gather/scatter arrays of
+       its own groups re-based onto a rank-local packed buffer,
+    3. the transfer plan of the initialization exchange, reporting both
+       whole-block and packed-segment volumes.
+
+    :meth:`run` then evaluates a matrix function on actual values (bitwise
+    identical to the single-process batched engine), while
+    :meth:`traffic_log` / :meth:`cost` expose the same execution's work and
+    traffic distribution to the machine model without running numerics —
+    which is all :func:`submatrix_method_cost` does.
+
+    Parameters
+    ----------
+    pattern:
+        Block-sparsity pattern (SciPy pattern matrix or COO block list).
+    block_sizes:
+        Basis functions per block column.
+    n_ranks:
+        Number of simulated ranks.
+    grouping:
+        Block-column grouping (default: one submatrix per block column).
+    distribution:
+        Block ownership; defaults to a round-robin distribution over a
+        near-square process grid, like DBCSR's default.
+    balance:
+        ``"chunks"`` (default) — the paper's greedy consecutive chunks over
+        c·n³ costs (Sec. IV-E, maximises block reuse);
+        ``"stacks"`` — bucket-aware: groups are bucketed by (padded)
+        dimension exactly as the batched evaluator will execute them and
+        whole stacks are balanced over ranks with an LPT heuristic;
+        ``"round_robin"`` — equal counts, the ablation baseline.
+    bucket_pad:
+        Padding granularity of the batched evaluator: an integer, ``None``
+        (exact-dimension buckets, keeps results bitwise identical) or
+        ``"auto"`` (chosen from the dimension histogram via
+        :func:`repro.core.load_balance.choose_bucket_pad`).
+    flop_constant:
+        Cost of the per-submatrix solve as a multiple of n³.
+    plan_cache:
+        Optional private plan cache for the extraction plan.
+    exact_transfers:
+        ``True`` (default) builds the sharded plan eagerly and plans
+        per-submatrix deduplicated transfers including packed-segment
+        volumes.  ``False`` defers the sharded plan until :meth:`run` and
+        uses the fast pattern-level transfer planning — preferred for very
+        large cost sweeps.
+    bytes_per_element:
+        Storage size of a matrix element (8 for float64).
+    """
+
+    def __init__(
+        self,
+        pattern: PatternLike,
+        block_sizes: Sequence[int],
+        n_ranks: int,
+        grouping: Optional[ColumnGrouping] = None,
+        distribution: Optional[BlockDistribution] = None,
+        balance: str = "chunks",
+        bucket_pad: Optional[Union[int, str]] = None,
+        flop_constant: float = EIGENSOLVE_FLOP_CONSTANT,
+        plan_cache: Optional[PlanCache] = None,
+        exact_transfers: bool = True,
+        bytes_per_element: int = 8,
+    ):
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        if balance not in BALANCE_STRATEGIES:
+            raise ValueError(f"balance must be one of {BALANCE_STRATEGIES}")
+        self.coo = _as_coo(pattern)
+        self.block_sizes = np.asarray(list(block_sizes), dtype=int)
+        self.n_ranks = int(n_ranks)
+        n_blocks = self.coo.n_block_cols
+        self.grouping = grouping or single_column_groups(n_blocks)
+        if distribution is None:
+            grid = ProcessGrid2D(n_ranks, balanced_dims(n_ranks))
+            distribution = BlockDistribution(n_blocks, n_blocks, grid)
+        if distribution.n_ranks != self.n_ranks:
+            raise ValueError("distribution rank count does not match n_ranks")
+        self.distribution = distribution
+        self.balance = balance
+        self.flop_constant = float(flop_constant)
+        self.plan_cache = plan_cache
+        self.bytes_per_element = int(bytes_per_element)
+
+        self.dimensions = self.grouping.submatrix_dimensions(
+            self.coo, self.block_sizes
+        )
+        self.bucket_pad = resolve_bucket_pad(bucket_pad, self.dimensions)
+        self.costs = submatrix_flop_costs(self.dimensions, self.flop_constant)
+        self.rank_of_group = self._assign_ranks()
+        self.rank_flops = np.zeros(self.n_ranks)
+        np.add.at(self.rank_flops, self.rank_of_group, self._executed_costs())
+
+        self.plan: Optional[BlockSubmatrixPlan] = None
+        self.sharded: Optional[ShardedPlan] = None
+        self._exact_transfers = bool(exact_transfers)
+        # Cost-model side planning needs no extraction plan: with exact
+        # per-group planning, the required-block sets *are* the shard's
+        # segment index (a shard references exactly the blocks of its
+        # submatrices' retained sub-patterns), so the packed-segment volumes
+        # come for free.  The extraction plan and shards are built lazily on
+        # the first run().
+        self.transfer_plan: TransferPlan = plan_transfers(
+            self.coo,
+            self.block_sizes,
+            self.distribution,
+            self.grouping,
+            self.rank_of_group,
+            bytes_per_element=self.bytes_per_element,
+            per_group_dedup=self._exact_transfers,
+            segment_index="required" if self._exact_transfers else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def _assign_ranks(self) -> np.ndarray:
+        n_groups = self.grouping.n_submatrices
+        rank_of_group = np.zeros(n_groups, dtype=int)
+        if self.balance == "chunks":
+            for rank, (start, stop) in enumerate(
+                assign_consecutive_chunks(self.costs, self.n_ranks)
+            ):
+                rank_of_group[start:stop] = rank
+        elif self.balance == "round_robin":
+            rank_of_group[:] = np.arange(n_groups) % self.n_ranks
+        else:  # "stacks": balance whole padded-dimension stacks (LPT)
+            padded = pad_dimensions(self.dimensions, self.bucket_pad)
+            # split large buckets into enough indivisible stack tasks that
+            # the LPT heuristic has room to balance (~4 stacks per rank),
+            # while never splitting below one full stack slot
+            total_elements = int(np.sum(padded.astype(np.int64) ** 2))
+            cap = max(
+                int(padded.max()) ** 2 if padded.size else 1,
+                total_elements // max(1, 4 * self.n_ranks),
+            )
+            stacks = make_stack_tasks(
+                self.dimensions, pad_to=self.bucket_pad, max_batch_elements=cap
+            )
+            stack_costs = [
+                self.flop_constant * len(stack.members) * float(stack.dimension) ** 3
+                for stack in stacks
+            ]
+            for rank, stack_ids in enumerate(
+                assign_balanced_stacks(stack_costs, self.n_ranks)
+            ):
+                for stack_id in stack_ids:
+                    rank_of_group[stacks[stack_id].members] = rank
+        return rank_of_group
+
+    def _executed_costs(self) -> np.ndarray:
+        """Per-group FLOPs the batched evaluator will actually execute.
+
+        With bucket padding a group of dimension d runs inside a stack of
+        dimension pad(d) ≥ d, so the executed (and balanced, and logged)
+        cost is c·pad(d)³ rather than c·d³.
+        """
+        if self.bucket_pad is None:
+            return self.costs
+        return submatrix_flop_costs(
+            pad_dimensions(self.dimensions, self.bucket_pad), self.flop_constant
+        )
+
+    def _ensure_execution(self) -> None:
+        """Build the extraction plan and shards lazily (first run() only)."""
+        if self.sharded is not None:
+            return
+        self.plan = block_plan(
+            self.coo,
+            self.block_sizes,
+            self.grouping.groups,
+            cache=self.plan_cache,
+        )
+        self.sharded = ShardedPlan(self.plan, self.rank_of_group, self.n_ranks)
+        # in fast-transfer mode, replace the pattern-level segment
+        # approximation (none) with the volumes measured on the actual shard
+        # gather arrays; exact mode already has the identical index and
+        # skips the second (expensive) planning pass
+        if not self.transfer_plan.has_segments:
+            self.transfer_plan = plan_transfers(
+                self.coo,
+                self.block_sizes,
+                self.distribution,
+                self.grouping,
+                self.rank_of_group,
+                bytes_per_element=self.bytes_per_element,
+                per_group_dedup=self._exact_transfers,
+                segment_index=self.sharded.required_segments_per_rank(),
+            )
+
+    # ------------------------------------------------------------------ #
+    # cost-model side
+    # ------------------------------------------------------------------ #
+    def traffic_log(
+        self, include_coo_allgather: bool = True, use_segments: Optional[bool] = None
+    ) -> TrafficLog:
+        """Work and traffic of one pipeline execution, per rank.
+
+        The initialization exchange is charged at packed-segment granularity
+        whenever segment volumes are available (``use_segments=None``), and
+        every rank's assigned submatrix solves are charged as dense FLOPs.
+        """
+        if use_segments is None:
+            use_segments = self.transfer_plan.has_segments
+        log = self.transfer_plan.to_traffic_log(
+            include_coo_allgather=include_coo_allgather,
+            coo_length=len(self.coo),
+            use_segments=use_segments,
+        )
+        for rank in range(self.n_ranks):
+            log.record_flops(rank, float(self.rank_flops[rank]), sparse=False)
+        return log
+
+    def cost(
+        self, machine: MachineModel, cores_per_rank: int = 1
+    ) -> SubmatrixRunCost:
+        """Simulated run cost of this pipeline on ``machine``."""
+        log = self.traffic_log()
+        simulated = machine.simulate(log, cores_per_rank=cores_per_rank)
+        plan = self.transfer_plan
+        dimensions = self.dimensions
+        details: Dict[str, float] = {
+            "n_submatrices": float(self.grouping.n_submatrices),
+            "max_submatrix_dimension": float(max(dimensions) if dimensions else 0),
+            "mean_submatrix_dimension": float(
+                np.mean(dimensions) if dimensions else 0
+            ),
+            "dedup_savings": plan.deduplication_savings,
+            "fetch_bytes": plan.total_fetch_bytes,
+            "writeback_bytes": plan.total_writeback_bytes,
+            "flop_imbalance": log.flop_imbalance(),
+        }
+        if plan.has_segments:
+            details["segment_fetch_bytes"] = float(plan.total_segment_fetch_bytes)
+            details["segment_savings"] = plan.segment_savings
+        if self.bucket_pad is not None:
+            details["bucket_pad"] = float(self.bucket_pad)
+        return SubmatrixRunCost(
+            method="submatrix",
+            n_ranks=self.n_ranks,
+            traffic=log,
+            simulated=simulated,
+            total_flops=log.total_flops(),
+            total_comm_bytes=log.total_bytes_sent(),
+            details=details,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution side
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        matrix: BlockSparseMatrix,
+        function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        pad_value: float = 1.0,
+        max_workers: Optional[int] = None,
+        backend: str = "serial",
+        executor=None,
+        max_batch_elements: int = MAX_BATCH_ELEMENTS,
+    ) -> PipelineResult:
+        """Evaluate f on every submatrix through the sharded pipeline.
+
+        Per rank: gather the rank-local packed buffer (the modelled
+        initialization fetch), run the bucketed batch evaluator on the
+        rank's shard, and scatter every evaluated stack straight into the
+        shared packed output (disjoint across ranks — the zero-copy
+        write-back).  One ``map_parallel`` task per rank; pass a pre-built
+        ``executor`` to reuse one pool across repeated evaluations (e.g.
+        μ-bisection iterations).
+
+        Ranks scatter into shared process memory, so only the serial and
+        thread backends are supported (a process pool could neither pickle
+        the rank closure nor write back into the shared output).
+        """
+        if backend == "process" or isinstance(
+            executor, concurrent.futures.ProcessPoolExecutor
+        ):
+            raise ValueError(
+                "the pipeline's per-rank tasks share the packed output "
+                "buffer; use the 'serial' or 'thread' backend"
+            )
+        start = time.perf_counter()
+        self._ensure_execution()
+        assert self.plan is not None and self.sharded is not None
+        packed = self.plan.pack(matrix)
+        out = self.plan.new_output()
+
+        def run_rank(rank: int) -> int:
+            shard = self.sharded.shards[rank]
+            if shard.n_groups == 0:
+                return 0
+            local = shard.pack_local(packed)
+            evaluate_batched(
+                shard.view,
+                local,
+                function=function,
+                batch_function=batch_function,
+                pad_to=self.bucket_pad,
+                pad_value=pad_value,
+                max_batch_elements=max_batch_elements,
+                backend="serial",
+                out=out,
+            )
+            return count_stack_tasks(
+                shard.dimensions,
+                pad_to=self.bucket_pad,
+                max_batch_elements=max_batch_elements,
+            )
+
+        stacks_per_rank = map_parallel(
+            run_rank,
+            list(range(self.n_ranks)),
+            max_workers,
+            backend,
+            executor=executor,
+        )
+        result = self.plan.finalize(out)
+        transfer_plan = self.transfer_plan
+        per_rank = [
+            PipelineRankReport(
+                rank=rank,
+                n_submatrices=summary.n_submatrices,
+                n_stacks=int(stacks_per_rank[rank]),
+                flops=float(self.rank_flops[rank]),
+                segment_fetch_bytes=float(summary.segment_fetch_bytes or 0.0),
+                block_fetch_bytes=float(summary.fetch_bytes),
+                writeback_bytes=float(summary.writeback_bytes),
+            )
+            for rank, summary in enumerate(transfer_plan.per_rank)
+        ]
+        return PipelineResult(
+            result=result,
+            traffic=self.traffic_log(),
+            transfer_plan=transfer_plan,
+            per_rank=per_rank,
+            rank_of_group=self.rank_of_group.copy(),
+            submatrix_dimensions=list(self.dimensions),
+            wall_time=time.perf_counter() - start,
+        )
 
 
 def submatrix_method_cost(
@@ -87,8 +512,15 @@ def submatrix_method_cost(
     cores_per_rank: int = 1,
     distribution: Optional[BlockDistribution] = None,
     exact_transfers: bool = True,
+    balance: str = "chunks",
+    bucket_pad: Optional[Union[int, str]] = None,
 ) -> SubmatrixRunCost:
     """Cost of a distributed submatrix-method sign evaluation.
+
+    A thin wrapper over :class:`DistributedSubmatrixPipeline`: the work and
+    traffic fed to the machine model are exactly those of an actual pipeline
+    execution (same assignment, same transfer plan, same per-rank FLOPs) —
+    only the numerics are skipped.
 
     Parameters
     ----------
@@ -113,56 +545,25 @@ def submatrix_method_cost(
         near-square process grid, like DBCSR's default.
     exact_transfers:
         ``True`` plans block transfers per submatrix (exact deduplication
-        bookkeeping); ``False`` uses the faster per-rank planning of
-        :func:`repro.core.transfers.plan_transfers` — preferred for very
-        large pattern-level cost sweeps.
+        bookkeeping, including packed-segment volumes); ``False`` uses the
+        faster pattern-level planning — preferred for very large
+        pattern-level cost sweeps.
+    balance, bucket_pad:
+        Assignment strategy and bucket padding of the pipeline (see
+        :class:`DistributedSubmatrixPipeline`).
     """
-    coo = _as_coo(pattern)
-    block_sizes = np.asarray(list(block_sizes), dtype=int)
-    n_blocks = coo.n_block_cols
-    if grouping is None:
-        grouping = single_column_groups(n_blocks)
-    if distribution is None:
-        grid = ProcessGrid2D(n_ranks, balanced_dims(n_ranks))
-        distribution = BlockDistribution(n_blocks, n_blocks, grid)
-
-    dimensions = grouping.submatrix_dimensions(coo, block_sizes)
-    costs = submatrix_flop_costs(dimensions, flop_constant)
-    chunks = assign_consecutive_chunks(costs, n_ranks)
-    rank_of_group = np.empty(grouping.n_submatrices, dtype=int)
-    for rank, (start, stop) in enumerate(chunks):
-        rank_of_group[start:stop] = rank
-
-    plan = plan_transfers(
-        coo,
+    pipeline = DistributedSubmatrixPipeline(
+        pattern,
         block_sizes,
-        distribution,
-        grouping,
-        rank_of_group,
-        per_group_dedup=exact_transfers,
+        n_ranks,
+        grouping=grouping,
+        distribution=distribution,
+        balance=balance,
+        bucket_pad=bucket_pad,
+        flop_constant=flop_constant,
+        exact_transfers=exact_transfers,
     )
-    log = plan.to_traffic_log(include_coo_allgather=True, coo_length=len(coo))
-    for rank, (start, stop) in enumerate(chunks):
-        log.record_flops(rank, float(costs[start:stop].sum()), sparse=False)
-
-    simulated = machine.simulate(log, cores_per_rank=cores_per_rank)
-    return SubmatrixRunCost(
-        method="submatrix",
-        n_ranks=n_ranks,
-        traffic=log,
-        simulated=simulated,
-        total_flops=log.total_flops(),
-        total_comm_bytes=log.total_bytes_sent(),
-        details={
-            "n_submatrices": float(grouping.n_submatrices),
-            "max_submatrix_dimension": float(max(dimensions) if dimensions else 0),
-            "mean_submatrix_dimension": float(np.mean(dimensions) if dimensions else 0),
-            "dedup_savings": plan.deduplication_savings,
-            "fetch_bytes": plan.total_fetch_bytes,
-            "writeback_bytes": plan.total_writeback_bytes,
-            "flop_imbalance": log.flop_imbalance(),
-        },
-    )
+    return pipeline.cost(machine, cores_per_rank=cores_per_rank)
 
 
 def estimate_newton_schulz_iterations(eps_filter: float, base_iterations: int = 14) -> int:

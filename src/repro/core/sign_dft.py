@@ -39,6 +39,7 @@ from repro.chem.hamiltonian import BlockStructure
 from repro.chem.orthogonalize import orthogonalized_ks
 from repro.core.batch import make_stack_tasks
 from repro.core.combination import ColumnGrouping, single_column_groups
+from repro.core.load_balance import resolve_bucket_pad
 from repro.core.plan import BlockSubmatrixPlan, PlanCache, block_plan
 from repro.core.submatrix import (
     Submatrix,
@@ -48,7 +49,7 @@ from repro.core.submatrix import (
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
 from repro.dbcsr.coo import CooBlockList
-from repro.parallel.executor import map_parallel
+from repro.parallel.executor import make_executor, map_parallel
 from repro.signfn.newton_schulz import (
     sign_newton_schulz,
     sign_newton_schulz_batched,
@@ -154,6 +155,14 @@ class SubmatrixDFTSolver:
         Use the vectorized submatrix engine (:mod:`repro.core.plan`) for
         extraction/scatter and bucketed batched eigendecompositions; set to
         false for the naive reference path (same results, slower).
+    bucket_pad:
+        Padding granularity of the bucketed stacks used by the *iterative*
+        solvers (an integer, ``None`` for exact-dimension buckets or
+        ``"auto"`` to pick from the dimension histogram).  The
+        eigendecomposition path always uses exact-dimension buckets:
+        Algorithm 1 reuses the cached per-submatrix eigendecompositions
+        during the μ-bisection, and a padded block-diagonal embedding has a
+        different spectrum bookkeeping.
     plan_cache:
         Optional private plan cache; the process-wide default is used when
         omitted.
@@ -169,6 +178,7 @@ class SubmatrixDFTSolver:
         max_workers: Optional[int] = None,
         spin_degeneracy: float = SPIN_DEGENERACY,
         use_plan: bool = True,
+        bucket_pad: Optional[Union[int, str]] = None,
         plan_cache: Optional[PlanCache] = None,
     ):
         if eps_filter < 0:
@@ -185,6 +195,7 @@ class SubmatrixDFTSolver:
         self.max_workers = max_workers
         self.spin_degeneracy = float(spin_degeneracy)
         self.use_plan = bool(use_plan)
+        self.bucket_pad = bucket_pad
         self.plan_cache = plan_cache
 
     # ------------------------------------------------------------------ #
@@ -223,25 +234,33 @@ class SubmatrixDFTSolver:
         grouping = self.grouping or single_column_groups(block_k.n_block_cols)
         grouping.validate(block_k.n_block_cols)
 
-        if self.solver == "eigen":
-            decomposed, plan = self._decompose_submatrices(
-                block_k, grouping, coo, blocks
-            )
-            mu_iterations = 0
-            if canonical:
-                mu, mu_iterations = self._bisect_mu(
-                    decomposed, float(n_electrons), mu_tolerance, max_mu_iterations
+        # one pool for the whole computation: decomposition, any repeated
+        # (μ-bisection style) evaluations and the iterative solvers all map
+        # through the same executor instead of re-creating one per call
+        executor = make_executor(self.backend, self.max_workers)
+        try:
+            if self.solver == "eigen":
+                decomposed, plan = self._decompose_submatrices(
+                    block_k, grouping, coo, blocks, executor=executor
                 )
-            assert mu is not None
-            occupation_block = self._scatter_occupations(
-                block_k, decomposed, coo, float(mu), plan
-            )
-            dimensions = [d.submatrix.dimension for d in decomposed]
-        else:
-            occupation_block, dimensions = self._iterative_occupations(
-                block_k, grouping, coo, float(mu)
-            )
-            mu_iterations = 0
+                mu_iterations = 0
+                if canonical:
+                    mu, mu_iterations = self._bisect_mu(
+                        decomposed, float(n_electrons), mu_tolerance, max_mu_iterations
+                    )
+                assert mu is not None
+                occupation_block = self._scatter_occupations(
+                    block_k, decomposed, coo, float(mu), plan
+                )
+                dimensions = [d.submatrix.dimension for d in decomposed]
+            else:
+                occupation_block, dimensions = self._iterative_occupations(
+                    block_k, grouping, coo, float(mu), executor=executor
+                )
+                mu_iterations = 0
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
         density_ortho = block_matrix_to_csr(occupation_block)
         density_ao = s_inv_sqrt @ density_ortho.toarray() @ s_inv_sqrt
@@ -270,6 +289,7 @@ class SubmatrixDFTSolver:
         grouping: ColumnGrouping,
         coo: CooBlockList,
         blocks: BlockStructure,
+        executor=None,
     ) -> Tuple[List[_DecomposedSubmatrix], Optional[BlockSubmatrixPlan]]:
         """Extract and eigendecompose every submatrix (Eq. 17, first step).
 
@@ -287,7 +307,10 @@ class SubmatrixDFTSolver:
                 return self._make_entry(submatrix, eigenvalues, eigenvectors)
 
             return (
-                map_parallel(decompose, groups, self.max_workers, self.backend),
+                map_parallel(
+                    decompose, groups, self.max_workers, self.backend,
+                    executor=executor,
+                ),
                 None,
             )
 
@@ -310,7 +333,8 @@ class SubmatrixDFTSolver:
             ]
 
         per_bucket = map_parallel(
-            decompose_bucket, buckets, self.max_workers, self.backend
+            decompose_bucket, buckets, self.max_workers, self.backend,
+            executor=executor,
         )
         entries: List[Optional[_DecomposedSubmatrix]] = [None] * len(groups)
         for bucket, bucket_entries in zip(buckets, per_bucket):
@@ -417,12 +441,18 @@ class SubmatrixDFTSolver:
         grouping: ColumnGrouping,
         coo: CooBlockList,
         mu: float,
+        executor=None,
     ) -> Tuple[BlockSparseMatrix, List[int]]:
         """Occupation matrices via Newton–Schulz / Padé sign iterations.
 
         With ``use_plan``, extraction and scatter run through the cached plan
-        and the Newton–Schulz solver iterates whole equal-dimension buckets
-        at once (:func:`repro.signfn.newton_schulz.sign_newton_schulz_batched`).
+        and the Newton–Schulz solver iterates whole equal-or-padded-dimension
+        buckets at once
+        (:func:`repro.signfn.newton_schulz.sign_newton_schulz_batched`).
+        Bucket padding embeds a small submatrix block-diagonally with
+        ``1 + μ`` on the padding diagonal, so after the μ-shift the padding
+        eigenvalues sit at exactly 1 (well inside the sign iteration's
+        convergence region) and the padded rows never reach the scatter.
         """
         groups = list(grouping.groups)
         if not self.use_plan:
@@ -437,7 +467,9 @@ class SubmatrixDFTSolver:
                 occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
                 return submatrix, occupation
 
-            solved = map_parallel(solve, groups, self.max_workers, self.backend)
+            solved = map_parallel(
+                solve, groups, self.max_workers, self.backend, executor=executor
+            )
             result = BlockSparseMatrix(
                 block_k.row_block_sizes, block_k.col_block_sizes
             )
@@ -452,12 +484,15 @@ class SubmatrixDFTSolver:
         )
         packed = plan.pack(block_k)
         dimensions = plan.dimensions
-        buckets = make_stack_tasks(dimensions)
+        pad = resolve_bucket_pad(self.bucket_pad, dimensions)
+        buckets = make_stack_tasks(dimensions, pad_to=pad)
 
         def solve_bucket(bucket):
             dim = bucket.dimension
             identity = np.eye(dim)
-            stack = plan.extract_stack(packed, bucket.members, dim)
+            stack = plan.extract_stack(
+                packed, bucket.members, dim, pad_value=1.0 + mu
+            )
             stack -= mu * identity
             if self.solver == "newton_schulz":
                 signs = sign_newton_schulz_batched(stack).sign
@@ -468,7 +503,8 @@ class SubmatrixDFTSolver:
             return 0.5 * (identity - signs)
 
         per_bucket = map_parallel(
-            solve_bucket, buckets, self.max_workers, self.backend
+            solve_bucket, buckets, self.max_workers, self.backend,
+            executor=executor,
         )
         out = plan.new_output()
         for bucket, occupations in zip(buckets, per_bucket):

@@ -15,12 +15,26 @@ it derives, per rank, which blocks must be fetched (deduplicated), how many
 bytes that is, how much would have been transferred without deduplication,
 and the write-back volume — and can convert the plan into a
 :class:`~repro.parallel.stats.TrafficLog` for the machine model.
+
+Two granularities of the fetch volume are reported:
+
+* **whole-block** — every required remote block's full storage, derived from
+  the pattern (the classic model, and the only one available without an
+  extraction plan);
+* **packed-segment** — the bytes of the value segments actually referenced
+  by the rank's sharded gather arrays
+  (:class:`repro.core.shard.ShardedPlan`).  Each segment is shipped once
+  into the rank-local packed buffer, so this volume is deduplicated by
+  construction and never exceeds the whole-block volume; it is strictly
+  smaller whenever the pattern-level model over-approximates the required
+  set (e.g. the fast ``per_group_dedup=False`` planning, which merges all of
+  a rank's columns into one retained set).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -48,10 +62,14 @@ class RankTransferSummary:
         as a sorted ID array.
     fetch_bytes:
         Bytes fetched from remote ranks (each remote block counted once —
-        the deduplicated volume).
+        the deduplicated whole-block volume).
     fetch_bytes_without_dedup:
         Bytes that would be fetched if every submatrix transferred its blocks
         independently (each block counted once per submatrix that uses it).
+    segment_fetch_bytes:
+        Bytes of the deduplicated packed value segments the rank's shard
+        actually references (``None`` when no segment index was supplied).
+        Always ≤ ``fetch_bytes``.
     writeback_bytes:
         Bytes of result blocks sent back to their owning ranks.
     n_submatrices:
@@ -64,6 +82,7 @@ class RankTransferSummary:
     fetch_bytes_without_dedup: float
     writeback_bytes: float
     n_submatrices: int
+    segment_fetch_bytes: Optional[float] = None
 
 
 @dataclasses.dataclass
@@ -73,6 +92,9 @@ class TransferPlan:
     per_rank: List[RankTransferSummary]
     fetch_matrix: np.ndarray  # (n_ranks, n_ranks) bytes, owner -> consumer
     writeback_matrix: np.ndarray  # (n_ranks, n_ranks) bytes, consumer -> owner
+    #: (n_ranks, n_ranks) packed-segment bytes, owner -> consumer; None when
+    #: the plan was built without a segment index.
+    segment_fetch_matrix: Optional[np.ndarray] = None
 
     @property
     def n_ranks(self) -> int:
@@ -80,7 +102,7 @@ class TransferPlan:
 
     @property
     def total_fetch_bytes(self) -> float:
-        """Total deduplicated fetch volume."""
+        """Total deduplicated whole-block fetch volume."""
         return float(sum(summary.fetch_bytes for summary in self.per_rank))
 
     @property
@@ -88,6 +110,20 @@ class TransferPlan:
         """Total fetch volume without deduplication."""
         return float(
             sum(summary.fetch_bytes_without_dedup for summary in self.per_rank)
+        )
+
+    @property
+    def has_segments(self) -> bool:
+        """Whether packed-segment volumes were planned."""
+        return self.segment_fetch_matrix is not None
+
+    @property
+    def total_segment_fetch_bytes(self) -> Optional[float]:
+        """Total deduplicated packed-segment fetch volume (None if absent)."""
+        if not self.has_segments:
+            return None
+        return float(
+            sum(summary.segment_fetch_bytes or 0.0 for summary in self.per_rank)
         )
 
     @property
@@ -99,11 +135,25 @@ class TransferPlan:
         return 1.0 - self.total_fetch_bytes / without
 
     @property
+    def segment_savings(self) -> float:
+        """Fraction of the whole-block volume saved by segment shipping."""
+        segments = self.total_segment_fetch_bytes
+        blocks = self.total_fetch_bytes
+        if segments is None or blocks == 0:
+            return 0.0
+        return 1.0 - segments / blocks
+
+    @property
     def total_writeback_bytes(self) -> float:
         """Total write-back volume."""
         return float(sum(summary.writeback_bytes for summary in self.per_rank))
 
-    def to_traffic_log(self, include_coo_allgather: bool = True, coo_length: int = 0) -> TrafficLog:
+    def to_traffic_log(
+        self,
+        include_coo_allgather: bool = True,
+        coo_length: int = 0,
+        use_segments: bool = False,
+    ) -> TrafficLog:
         """Convert the plan into a per-rank traffic log.
 
         Parameters
@@ -115,18 +165,20 @@ class TransferPlan:
             every other rank).
         coo_length:
             Number of non-zero blocks (needed for the allgather volume).
+        use_segments:
+            Charge the initialization exchange at packed-segment granularity
+            instead of whole blocks.  Requires the plan to have been built
+            with a segment index (raises otherwise).
         """
+        if use_segments and not self.has_segments:
+            raise ValueError(
+                "transfer plan has no packed-segment volumes; build it with "
+                "a ShardedPlan segment index"
+            )
+        fetch = self.segment_fetch_matrix if use_segments else self.fetch_matrix
         log = TrafficLog(self.n_ranks)
-        for owner in range(self.n_ranks):
-            for consumer in range(self.n_ranks):
-                if owner == consumer:
-                    continue
-                fetched = self.fetch_matrix[owner, consumer]
-                if fetched > 0:
-                    log.record_message(owner, consumer, float(fetched))
-                written = self.writeback_matrix[consumer, owner]
-                if written > 0:
-                    log.record_message(consumer, owner, float(written))
+        log.record_message_matrix(fetch)
+        log.record_message_matrix(self.writeback_matrix)
         if include_coo_allgather and self.n_ranks > 1 and coo_length > 0:
             log.record_allgather(8.0 * coo_length / self.n_ranks)
         return log
@@ -140,6 +192,7 @@ def plan_transfers(
     rank_of_group: Sequence[int],
     bytes_per_element: int = 8,
     per_group_dedup: bool = True,
+    segment_index: Union[Sequence[np.ndarray], str, None] = None,
 ) -> TransferPlan:
     """Plan all block transfers of a distributed submatrix-method run.
 
@@ -168,12 +221,37 @@ def plan_transfers(
         and no "without deduplication" figure (it is reported equal to the
         fetch volume).  The fast path is used by the large-system cost
         models.
+    segment_index:
+        Optional per-rank arrays of required segment (block) IDs, e.g.
+        ``ShardedPlan.required_segments_per_rank()``.  When given, the plan
+        additionally reports the packed-segment fetch volume: the bytes of
+        exactly those segments, shipped once each into the rank-local
+        buffer.  The string ``"required"`` derives the index from the exact
+        per-group required-block sets computed here — at block granularity a
+        shard references exactly the blocks of its submatrices' retained
+        sub-patterns, so this equals the sharded plan's index without
+        building an extraction plan (requires ``per_group_dedup=True``; used
+        by the cost models).
     """
     block_sizes = np.asarray(list(block_sizes), dtype=int)
     rank_of_group = list(rank_of_group)
     if len(rank_of_group) != grouping.n_submatrices:
         raise ValueError("rank_of_group must assign a rank to every group")
     n_ranks = distribution.n_ranks
+    segments_from_required = False
+    if isinstance(segment_index, str):
+        if segment_index != "required":
+            raise ValueError("segment_index must be 'required', arrays or None")
+        if not per_group_dedup:
+            raise ValueError(
+                "segment_index='required' needs the exact per-group planning "
+                "(per_group_dedup=True); the fast path over-approximates the "
+                "required sets"
+            )
+        segments_from_required = True
+        segment_index = None
+    if segment_index is not None and len(segment_index) != n_ranks:
+        raise ValueError("segment_index must provide one ID array per rank")
 
     # CSR matrix whose stored values are (block ID + 1); indexing a
     # sub-pattern of it recovers the global block IDs of the retained blocks
@@ -188,10 +266,7 @@ def plan_transfers(
     ).tocsr()
 
     # per-block-ID lookup tables
-    owners_by_id = (
-        distribution.row_distribution[coo.rows] * distribution.grid.cols
-        + distribution.col_distribution[coo.cols]
-    )
+    owners_by_id = distribution.owners_of_blocks(coo.rows, coo.cols)
     bytes_by_id = (
         block_sizes[coo.rows] * block_sizes[coo.cols] * float(bytes_per_element)
     )
@@ -202,6 +277,11 @@ def plan_transfers(
     per_rank: List[RankTransferSummary] = []
     fetch_matrix = np.zeros((n_ranks, n_ranks))
     writeback_matrix = np.zeros((n_ranks, n_ranks))
+    segment_matrix = (
+        np.zeros((n_ranks, n_ranks))
+        if (segment_index is not None or segments_from_required)
+        else None
+    )
 
     # group submatrices per rank
     groups_of_rank: Dict[int, List[int]] = {rank: [] for rank in range(n_ranks)}
@@ -256,6 +336,26 @@ def plan_transfers(
         np.add.at(
             fetch_matrix[:, rank], unique_owners[remote_mask], unique_bytes[remote_mask]
         )
+        segment_fetch: Optional[float] = None
+        if segment_index is not None or segments_from_required:
+            segment_ids = (
+                required_ids
+                if segments_from_required
+                else np.asarray(segment_index[rank], dtype=np.int64)
+            )
+            if segment_ids.size and (
+                segment_ids.min() < 0 or segment_ids.max() >= len(coo)
+            ):
+                raise IndexError("segment ID out of range of the COO list")
+            segment_owners = owners_by_id[segment_ids]
+            segment_bytes = bytes_by_id[segment_ids]
+            segment_remote = segment_owners != rank
+            segment_fetch = float(segment_bytes[segment_remote].sum())
+            np.add.at(
+                segment_matrix[:, rank],
+                segment_owners[segment_remote],
+                segment_bytes[segment_remote],
+            )
         per_rank.append(
             RankTransferSummary(
                 required_blocks=required_ids,
@@ -264,10 +364,12 @@ def plan_transfers(
                 fetch_bytes_without_dedup=duplicate_bytes,
                 writeback_bytes=writeback,
                 n_submatrices=len(groups_of_rank[rank]),
+                segment_fetch_bytes=segment_fetch,
             )
         )
     return TransferPlan(
         per_rank=per_rank,
         fetch_matrix=fetch_matrix,
         writeback_matrix=writeback_matrix,
+        segment_fetch_matrix=segment_matrix,
     )

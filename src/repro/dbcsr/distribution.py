@@ -91,6 +91,26 @@ class BlockDistribution:
             int(self.row_distribution[bi]), int(self.col_distribution[bj])
         )
 
+    def owners_of_blocks(self, rows, cols) -> np.ndarray:
+        """Owning rank of every (rows[i], cols[i]) block, vectorized.
+
+        This is the bulk form of :meth:`owner_of` used by the transfer
+        planner: one call resolves the ownership of a whole COO block list
+        (row-major grid ordering, identical to :meth:`owner_of`).
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have the same shape")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_block_rows):
+            raise IndexError("block row out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.n_block_cols):
+            raise IndexError("block column out of range")
+        return (
+            self.row_distribution[rows] * self.grid.cols
+            + self.col_distribution[cols]
+        )
+
     def owners_array(self) -> np.ndarray:
         """(n_block_rows, n_block_cols) array of owning ranks."""
         grid_rows = self.row_distribution[:, None]

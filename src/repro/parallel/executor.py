@@ -16,12 +16,35 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["map_parallel", "default_worker_count", "split_chunks"]
+__all__ = ["map_parallel", "default_worker_count", "split_chunks", "make_executor"]
 
 
 def default_worker_count() -> int:
     """Default number of workers: the machine's CPU count (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+def make_executor(
+    backend: str, max_workers: Optional[int] = None
+) -> Optional[concurrent.futures.Executor]:
+    """Build the executor that ``map_parallel`` would create for ``backend``.
+
+    Returns ``None`` for configurations where ``map_parallel`` runs serially
+    (``backend="serial"`` or a single worker), so callers can unconditionally
+    pass the result through as ``executor=``.  The caller owns the pool and
+    must ``shutdown()`` it (or use it as a context manager).
+    """
+    if backend not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+    if backend == "serial" or max_workers == 1:
+        return None
+    if backend == "thread":
+        return concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
+    return concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
 
 
 def split_chunks(items: Sequence[T], max_chunk: int) -> List[List[T]]:
@@ -44,6 +67,7 @@ def map_parallel(
     max_workers: Optional[int] = None,
     backend: str = "thread",
     chunksize: int = 1,
+    executor: Optional[concurrent.futures.Executor] = None,
 ) -> List[R]:
     """Apply ``function`` to every item, optionally in parallel.
 
@@ -62,6 +86,13 @@ def map_parallel(
         ``"serial"``, ``"thread"`` or ``"process"``.
     chunksize:
         Chunk size for the process backend.
+    executor:
+        Optional pre-built :class:`concurrent.futures.Executor`.  When given
+        it is used as-is and left running afterwards, so a caller that maps
+        many batches (e.g. the distributed pipeline across μ-bisection
+        iterations) pays the pool start-up cost once instead of per call.
+        ``max_workers`` and ``backend`` are ignored in that case (except
+        that single-item inputs still short-circuit to a plain loop).
 
     Returns
     -------
@@ -71,6 +102,10 @@ def map_parallel(
     items = list(items)
     if backend not in ("serial", "thread", "process"):
         raise ValueError(f"unknown backend {backend!r}")
+    if executor is not None:
+        if len(items) <= 1:
+            return [function(item) for item in items]
+        return list(executor.map(function, items))
     if max_workers is None:
         max_workers = default_worker_count()
     if max_workers < 1:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, List
 
+import numpy as np
+
 __all__ = ["RankCounters", "TrafficLog"]
 
 
@@ -92,6 +94,28 @@ class TrafficLog:
         self.ranks[source].messages_sent += 1
         self.ranks[destination].bytes_received += nbytes
         self.ranks[destination].messages_received += 1
+
+    def record_message_matrix(self, matrix) -> None:
+        """Record a full (source, destination) byte matrix of messages.
+
+        ``matrix[s, d]`` is the point-to-point volume from rank ``s`` to rank
+        ``d``; zero entries and the diagonal are skipped.  This is how the
+        transfer plans (fetch and write-back matrices of
+        :class:`repro.core.transfers.TransferPlan`) enter the log.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (self.n_ranks, self.n_ranks):
+            raise ValueError(
+                f"message matrix must have shape {(self.n_ranks, self.n_ranks)}"
+            )
+        if np.any(matrix < 0):
+            raise ValueError("message volumes must be non-negative")
+        off_diagonal = matrix.copy()
+        np.fill_diagonal(off_diagonal, 0.0)
+        for source, destination in zip(*np.nonzero(off_diagonal)):
+            self.record_message(
+                int(source), int(destination), float(matrix[source, destination])
+            )
 
     def record_broadcast(self, root: int, nbytes: float) -> None:
         """Record a broadcast of ``nbytes`` from ``root`` to all other ranks.

@@ -3,10 +3,15 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
+    assign_balanced_stacks,
     assign_consecutive_chunks,
+    assign_consecutive_chunks_reference,
     assign_round_robin,
+    choose_bucket_pad,
     estimated_speedup,
     group_columns_graph,
     group_columns_greedy_chunks,
@@ -16,6 +21,7 @@ from repro.core import (
     submatrix_flop_costs,
 )
 from repro.core.combination import ColumnGrouping, groups_from_labels
+from repro.core.load_balance import resolve_bucket_pad
 
 
 def banded_pattern(n_blocks, bandwidth=2):
@@ -222,3 +228,105 @@ class TestLoadBalance:
             for start in range(0, len(costs), 6)
         ]
         assert load_imbalance(costs, greedy) <= load_imbalance(costs, equal_counts)
+
+
+class TestVectorizedChunksEquivalence:
+    """The cumsum+searchsorted assigner must match the greedy reference."""
+
+    @given(
+        costs=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=0, max_size=120
+        ),
+        n_ranks=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_equivalent_on_random_cost_vectors(self, costs, n_ranks):
+        costs = np.asarray(costs, dtype=float)
+        assert assign_consecutive_chunks(costs, n_ranks) == (
+            assign_consecutive_chunks_reference(costs, n_ranks)
+        )
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=80,
+        ),
+        n_ranks=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_valid_partition_on_float_costs(self, costs, n_ranks):
+        """On arbitrary floats the result is always a valid ordered cover."""
+        costs = np.asarray(costs, dtype=float)
+        chunks = assign_consecutive_chunks(costs, n_ranks)
+        assert len(chunks) == n_ranks
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == costs.size
+        for (_, stop), (start, _) in zip(chunks, chunks[1:]):
+            assert stop == start
+        if costs.size >= n_ranks:
+            assert all(stop > start for start, stop in chunks)
+
+    def test_zero_costs_behave_like_reference(self):
+        costs = np.zeros(9)
+        assert assign_consecutive_chunks(costs, 4) == (
+            assign_consecutive_chunks_reference(costs, 4)
+        )
+
+
+class TestBalancedStacks:
+    def test_every_stack_assigned_exactly_once(self):
+        costs = [5.0, 1.0, 3.0, 2.0, 8.0]
+        assignment = assign_balanced_stacks(costs, 3)
+        flattened = sorted(i for stacks in assignment for i in stacks)
+        assert flattened == list(range(5))
+
+    def test_lpt_beats_round_robin_on_skewed_stacks(self):
+        costs = [100.0, 1.0, 1.0, 1.0, 1.0, 96.0]
+        lpt = assign_balanced_stacks(costs, 2)
+        rr = assign_round_robin(6, 2)
+        assert load_imbalance(costs, lpt) <= load_imbalance(costs, rr)
+
+    def test_fewer_stacks_than_ranks(self):
+        assignment = assign_balanced_stacks([2.0], 3)
+        assert sorted(map(len, assignment)) == [0, 0, 1]
+
+    def test_deterministic(self):
+        costs = [3.0, 3.0, 3.0, 3.0]
+        assert assign_balanced_stacks(costs, 2) == assign_balanced_stacks(costs, 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assign_balanced_stacks([1.0], 0)
+        with pytest.raises(ValueError):
+            assign_balanced_stacks([-1.0], 2)
+
+
+class TestBucketPadChoice:
+    def test_uniform_dimensions_need_no_padding(self):
+        assert choose_bucket_pad([32] * 10) is None
+
+    def test_padding_reduces_buckets_within_overhead(self):
+        dims = [30, 31, 32, 33, 62, 63, 64, 65] * 4
+        pad = choose_bucket_pad(dims, max_overhead=0.5)
+        assert pad is not None
+        padded = -(-np.asarray(dims) // pad) * pad
+        assert np.unique(padded).size < np.unique(dims).size
+        overhead = float(np.sum(padded.astype(float) ** 3)) / float(
+            np.sum(np.asarray(dims, dtype=float) ** 3)
+        ) - 1.0
+        assert overhead <= 0.5 + 1e-12
+
+    def test_tight_overhead_budget_disables_padding(self):
+        # any merge of 2 and 200 would blow a 0.1% overhead budget
+        assert choose_bucket_pad([2, 200], max_overhead=0.0) is None
+
+    def test_resolve_bucket_pad(self):
+        assert resolve_bucket_pad(None, [4, 8]) is None
+        assert resolve_bucket_pad(16, [4, 8]) == 16
+        dims = [30, 31, 32, 33, 62, 63, 64, 65] * 4
+        assert resolve_bucket_pad("auto", dims, max_overhead=0.5) == (
+            choose_bucket_pad(dims, max_overhead=0.5)
+        )
+        with pytest.raises(ValueError):
+            resolve_bucket_pad(0, [4, 8])

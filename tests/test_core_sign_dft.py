@@ -222,3 +222,21 @@ class TestAlternativeSolvers:
             water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
         )
         assert serial.band_energy == pytest.approx(threaded.band_energy, abs=1e-9)
+
+    def test_bucket_padded_iterative_solver_matches_unpadded(
+        self, water32_matrices, gap_mu
+    ):
+        """Padded stacks (pad eigenvalue pinned at 1 after the μ-shift) are
+        exact for the sign iteration up to solver tolerance."""
+        unpadded = SubmatrixDFTSolver(
+            eps_filter=1e-6, solver="newton_schulz"
+        ).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        padded = SubmatrixDFTSolver(
+            eps_filter=1e-6, solver="newton_schulz", bucket_pad="auto"
+        ).compute_density(
+            water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+        )
+        assert padded.band_energy == pytest.approx(unpadded.band_energy, abs=1e-7)
+        assert padded.n_electrons == pytest.approx(unpadded.n_electrons, abs=1e-7)

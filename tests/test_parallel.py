@@ -248,3 +248,52 @@ class TestExecutor:
 
     def test_empty_input(self):
         assert map_parallel(lambda x: x, []) == []
+
+    def test_prebuilt_executor_reused_and_left_running(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.parallel.executor import make_executor
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first = map_parallel(lambda x: x * 2, [1, 2, 3], executor=pool)
+            # the pool must survive the call so repeated evaluations (e.g.
+            # μ-bisection iterations) reuse it instead of rebuilding one
+            second = map_parallel(lambda x: x + 1, [1, 2, 3], executor=pool)
+            assert first == [2, 4, 6]
+            assert second == [2, 3, 4]
+        helper = make_executor("thread", 2)
+        try:
+            assert map_parallel(lambda x: -x, [4, 5], executor=helper) == [-4, -5]
+        finally:
+            helper.shutdown()
+
+    def test_make_executor_serial_configurations_return_none(self):
+        from repro.parallel.executor import make_executor
+
+        assert make_executor("serial") is None
+        assert make_executor("thread", 1) is None
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+
+class TestRecordMessageMatrix:
+    def test_matrix_recorded_as_messages(self):
+        from repro.parallel.stats import TrafficLog
+
+        log = TrafficLog(3)
+        matrix = np.array([[0.0, 10.0, 0.0], [0.0, 0.0, 5.0], [0.0, 0.0, 0.0]])
+        log.record_message_matrix(matrix)
+        assert log.ranks[0].bytes_sent == 10.0
+        assert log.ranks[1].bytes_received == 10.0
+        assert log.ranks[1].bytes_sent == 5.0
+        assert log.ranks[2].bytes_received == 5.0
+        assert log.ranks[0].messages_sent == 1
+
+    def test_shape_and_sign_validated(self):
+        from repro.parallel.stats import TrafficLog
+
+        log = TrafficLog(2)
+        with pytest.raises(ValueError):
+            log.record_message_matrix(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            log.record_message_matrix(np.full((2, 2), -1.0))

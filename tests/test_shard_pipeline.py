@@ -1,0 +1,414 @@
+"""Tests for plan sharding, packed-segment transfers and the pipeline.
+
+Covers the acceptance criteria of the rank-sharded refactor:
+
+* :class:`~repro.core.shard.ShardedPlan` reproduces the unsharded plan's
+  extraction and scatter bitwise from rank-local packed buffers;
+* :class:`~repro.core.runner.DistributedSubmatrixPipeline` reproduces the
+  single-process ``engine="batched"`` result bitwise for every rank count
+  in {1, 2, 4, 8}, on synthetic systems and on the water benchmark;
+* :func:`~repro.core.transfers.plan_transfers` with a segment index reports
+  per-rank packed-segment fetch volumes that never exceed the whole-block
+  volumes, with deduplication invariants and conserved totals across rank
+  counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import orthogonalized_ks
+from repro.core import (
+    DistributedSubmatrixPipeline,
+    ShardedPlan,
+    SubmatrixMethod,
+    block_plan,
+    plan_transfers,
+    single_column_groups,
+)
+from repro.core.combination import group_columns_greedy_chunks
+from repro.dbcsr import BlockDistribution, BlockSparseMatrix, CooBlockList, ProcessGrid2D
+from repro.dbcsr.convert import block_matrix_from_csr
+from repro.parallel import MachineModel
+from repro.signfn import (
+    sign_via_eigendecomposition,
+    sign_via_eigendecomposition_batched,
+)
+
+RANK_COUNTS = (1, 2, 4, 8)
+MU = 0.1
+
+
+def banded_block_matrix(n_blocks=24, bandwidth=2, seed=7):
+    """Symmetric banded block matrix with mixed block sizes."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(2, 6, n_blocks)
+    matrix = BlockSparseMatrix(sizes, sizes)
+    for i in range(n_blocks):
+        for j in range(i, min(n_blocks, i + bandwidth + 1)):
+            block = rng.standard_normal((sizes[i], sizes[j]))
+            if i == j:
+                matrix.put_block(i, j, 0.5 * (block + block.T))
+            else:
+                matrix.put_block(i, j, block)
+                matrix.put_block(j, i, block.T.copy())
+    return matrix, sizes
+
+
+@pytest.fixture(scope="module")
+def block_system():
+    matrix, sizes = banded_block_matrix()
+    coo = CooBlockList.from_block_matrix(matrix)
+    return matrix, sizes, coo
+
+
+@pytest.fixture(scope="module")
+def reference_blocks(block_system):
+    """Single-process batched-engine result (the bitwise oracle)."""
+    matrix, _, coo = block_system
+    method = SubmatrixMethod(
+        lambda a: sign_via_eigendecomposition(a, MU),
+        batch_function=lambda s: sign_via_eigendecomposition_batched(s, MU),
+        engine="batched",
+    )
+    return method.apply_blockwise(matrix, coo=coo).result.raw_blocks()
+
+
+def assert_blocks_bitwise_equal(expected, actual):
+    assert set(expected) == set(actual)
+    for key in expected:
+        assert np.array_equal(expected[key], actual[key]), key
+
+
+class TestShardedPlan:
+    def test_shard_extraction_bitwise(self, block_system):
+        matrix, sizes, coo = block_system
+        plan = block_plan(coo, sizes, [[c] for c in range(coo.n_block_cols)])
+        packed = plan.pack(matrix)
+        rank_of_group = np.arange(plan.n_groups) % 3
+        sharded = ShardedPlan(plan, rank_of_group, 3)
+        for shard in sharded.shards:
+            local = shard.pack_local(packed)
+            assert local.size == shard.n_local_values
+            for slot, group in enumerate(shard.group_indices):
+                expected = plan.extract(packed, int(group))
+                assert np.array_equal(expected, shard.view.extract(local, slot))
+
+    def test_shard_scatter_matches_unsharded(self, block_system):
+        matrix, sizes, coo = block_system
+        plan = block_plan(coo, sizes, [[c] for c in range(coo.n_block_cols)])
+        rng = np.random.default_rng(3)
+        rank_of_group = rng.integers(0, 4, plan.n_groups)
+        sharded = ShardedPlan(plan, rank_of_group, 4)
+        direct, via_shards = plan.new_output(), plan.new_output()
+        for group in range(plan.n_groups):
+            values = rng.random((plan.groups[group].dimension,) * 2)
+            plan.scatter(direct, group, values)
+            shard = sharded.shards[int(rank_of_group[group])]
+            slot = int(np.searchsorted(shard.group_indices, group))
+            shard.view.scatter(via_shards, slot, values)
+        assert np.array_equal(direct, via_shards)
+
+    def test_required_segments_sorted_unique_and_cover_gathers(self, block_system):
+        matrix, sizes, coo = block_system
+        plan = block_plan(coo, sizes, [[c] for c in range(coo.n_block_cols)])
+        sharded = ShardedPlan(plan, np.arange(plan.n_groups) % 4, 4)
+        offsets = plan.segment_offsets()
+        for shard in sharded.shards:
+            ids = shard.required_segments
+            assert np.array_equal(ids, np.unique(ids))  # sorted, deduplicated
+            # the local buffer holds exactly the referenced segments
+            assert shard.local_to_global.size == shard.segment_lengths.sum()
+            referenced = {
+                int(s)
+                for group in shard.view.groups
+                for s in np.unique(
+                    np.searchsorted(
+                        shard.local_offsets, group.gather_src, side="right"
+                    )
+                    - 1
+                )
+            }
+            assert referenced <= set(range(ids.size))
+
+    def test_empty_rank_gets_empty_shard(self, block_system):
+        matrix, sizes, coo = block_system
+        plan = block_plan(coo, sizes, [[c] for c in range(coo.n_block_cols)])
+        sharded = ShardedPlan(plan, np.zeros(plan.n_groups, dtype=int), 2)
+        empty = sharded.shards[1]
+        assert empty.n_groups == 0
+        assert empty.n_local_values == 0
+        assert empty.segment_bytes() == 0.0
+
+    def test_rank_assignment_validated(self, block_system):
+        matrix, sizes, coo = block_system
+        plan = block_plan(coo, sizes, [[c] for c in range(coo.n_block_cols)])
+        with pytest.raises(ValueError):
+            ShardedPlan(plan, [0])
+        with pytest.raises(IndexError):
+            ShardedPlan(plan, [9] * plan.n_groups, 2)
+
+
+class TestPackedSegmentTransfers:
+    @pytest.fixture()
+    def transfer_inputs(self, block_system):
+        matrix, sizes, coo = block_system
+        grouping = single_column_groups(coo.n_block_cols)
+        plan = block_plan(coo, sizes, grouping.groups)
+        return coo, sizes, grouping, plan
+
+    def _plans_for(self, coo, sizes, grouping, plan, n_ranks, per_group_dedup=True):
+        grid = ProcessGrid2D(n_ranks, (n_ranks, 1))
+        distribution = BlockDistribution(coo.n_block_rows, coo.n_block_cols, grid)
+        rank_of_group = [g % n_ranks for g in range(grouping.n_submatrices)]
+        sharded = ShardedPlan(plan, rank_of_group, n_ranks)
+        transfer = plan_transfers(
+            coo,
+            sizes,
+            distribution,
+            grouping,
+            rank_of_group,
+            per_group_dedup=per_group_dedup,
+            segment_index=sharded.required_segments_per_rank(),
+        )
+        return sharded, transfer
+
+    @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+    def test_per_rank_segment_fetch_at_most_block_fetch(
+        self, transfer_inputs, n_ranks
+    ):
+        coo, sizes, grouping, plan = transfer_inputs
+        _, transfer = self._plans_for(coo, sizes, grouping, plan, n_ranks)
+        for summary in transfer.per_rank:
+            assert summary.segment_fetch_bytes is not None
+            assert summary.segment_fetch_bytes <= summary.fetch_bytes + 1e-9
+            assert summary.fetch_bytes <= summary.fetch_bytes_without_dedup + 1e-9
+
+    def test_fast_path_block_volume_strictly_overestimates_segments(
+        self, transfer_inputs
+    ):
+        """per_group_dedup=False over-approximates; segments stay exact."""
+        coo, sizes, grouping, plan = transfer_inputs
+        _, exact = self._plans_for(coo, sizes, grouping, plan, 4)
+        _, fast = self._plans_for(
+            coo, sizes, grouping, plan, 4, per_group_dedup=False
+        )
+        # the shard-derived segment volume is identical in both modes ...
+        assert fast.total_segment_fetch_bytes == pytest.approx(
+            exact.total_segment_fetch_bytes
+        )
+        # ... and strictly below the fast path's whole-block volume
+        assert fast.total_segment_fetch_bytes < fast.total_fetch_bytes
+        assert fast.segment_savings > 0.0
+
+    def test_dedup_invariants(self, transfer_inputs):
+        coo, sizes, grouping, plan = transfer_inputs
+        sharded, transfer = self._plans_for(coo, sizes, grouping, plan, 4)
+        sizes = np.asarray(list(sizes))
+        bytes_by_id = sizes[coo.rows] * sizes[coo.cols] * 8.0
+        for shard, summary in zip(sharded.shards, transfer.per_rank):
+            # shard-required segments are exactly the plan's required blocks
+            # (exact per-group planning), so the deduplicated volumes agree
+            assert np.array_equal(
+                shard.required_segments, summary.required_blocks
+            )
+            assert set(summary.remote_blocks.tolist()) <= set(
+                summary.required_blocks.tolist()
+            )
+            # each remote segment is charged exactly once, at its true size
+            assert summary.segment_fetch_bytes == pytest.approx(
+                float(bytes_by_id[summary.remote_blocks].sum())
+            )
+
+    @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+    def test_totals_conserved_across_rank_counts(self, transfer_inputs, n_ranks):
+        coo, sizes, grouping, plan = transfer_inputs
+        sharded, transfer = self._plans_for(coo, sizes, grouping, plan, n_ranks)
+        # every group is owned exactly once
+        assert sum(s.n_submatrices for s in transfer.per_rank) == grouping.n_submatrices
+        assert sum(s.n_groups for s in sharded.shards) == plan.n_groups
+        # the union of required segments covers every segment some group needs
+        union = np.unique(np.concatenate(sharded.required_segments_per_rank()))
+        single_rank = ShardedPlan(plan, np.zeros(plan.n_groups, dtype=int), 1)
+        assert np.array_equal(union, single_rank.shards[0].required_segments)
+        # matrices agree with the per-rank summaries
+        assert transfer.segment_fetch_matrix.sum() == pytest.approx(
+            transfer.total_segment_fetch_bytes
+        )
+        assert transfer.fetch_matrix.sum() == pytest.approx(
+            transfer.total_fetch_bytes
+        )
+
+    def test_single_rank_has_no_segment_traffic(self, transfer_inputs):
+        coo, sizes, grouping, plan = transfer_inputs
+        _, transfer = self._plans_for(coo, sizes, grouping, plan, 1)
+        assert transfer.total_segment_fetch_bytes == 0.0
+
+    def test_traffic_log_can_use_segments(self, transfer_inputs):
+        coo, sizes, grouping, plan = transfer_inputs
+        _, transfer = self._plans_for(coo, sizes, grouping, plan, 4)
+        block_log = transfer.to_traffic_log(include_coo_allgather=False)
+        segment_log = transfer.to_traffic_log(
+            include_coo_allgather=False, use_segments=True
+        )
+        assert segment_log.total_bytes_sent() <= block_log.total_bytes_sent() + 1e-9
+        without_segments = plan_transfers(
+            coo,
+            sizes,
+            BlockDistribution(
+                coo.n_block_rows, coo.n_block_cols, ProcessGrid2D(4, (4, 1))
+            ),
+            grouping,
+            [g % 4 for g in range(grouping.n_submatrices)],
+        )
+        with pytest.raises(ValueError):
+            without_segments.to_traffic_log(use_segments=True)
+
+
+class TestDistributedPipeline:
+    @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+    def test_bitwise_identical_to_batched_engine(
+        self, block_system, reference_blocks, n_ranks
+    ):
+        matrix, sizes, coo = block_system
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, n_ranks)
+        result = pipeline.run(
+            matrix,
+            function=lambda a: sign_via_eigendecomposition(a, MU),
+            batch_function=lambda s: sign_via_eigendecomposition_batched(s, MU),
+        )
+        assert_blocks_bitwise_equal(reference_blocks, result.result.raw_blocks())
+        assert result.total_segment_fetch_bytes <= result.total_block_fetch_bytes + 1e-9
+
+    @pytest.mark.parametrize("balance", ["chunks", "stacks", "round_robin"])
+    def test_balance_strategies_bitwise(
+        self, block_system, reference_blocks, balance
+    ):
+        matrix, sizes, coo = block_system
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, 4, balance=balance)
+        result = pipeline.run(
+            matrix,
+            function=lambda a: sign_via_eigendecomposition(a, MU),
+            batch_function=lambda s: sign_via_eigendecomposition_batched(s, MU),
+        )
+        assert_blocks_bitwise_equal(reference_blocks, result.result.raw_blocks())
+
+    def test_bucket_padding_stays_exact_for_matrix_functions(
+        self, block_system, reference_blocks
+    ):
+        matrix, sizes, coo = block_system
+        pipeline = DistributedSubmatrixPipeline(
+            coo, sizes, 4, balance="stacks", bucket_pad="auto"
+        )
+        result = pipeline.run(
+            matrix,
+            batch_function=lambda s: sign_via_eigendecomposition_batched(s, MU),
+        )
+        for key, expected in reference_blocks.items():
+            np.testing.assert_allclose(
+                expected, result.result.raw_blocks()[key], atol=1e-10
+            )
+
+    def test_grouped_columns_supported(self, block_system):
+        matrix, sizes, coo = block_system
+        grouping = group_columns_greedy_chunks(coo.n_block_cols, 3)
+        single = SubmatrixMethod(
+            lambda a: sign_via_eigendecomposition(a, MU), engine="batched"
+        ).apply_blockwise(matrix, column_groups=grouping.groups, coo=coo)
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, 4, grouping=grouping)
+        result = pipeline.run(
+            matrix, function=lambda a: sign_via_eigendecomposition(a, MU)
+        )
+        assert_blocks_bitwise_equal(
+            single.result.raw_blocks(), result.result.raw_blocks()
+        )
+
+    def test_threaded_run_with_reused_executor(self, block_system, reference_blocks):
+        from concurrent.futures import ThreadPoolExecutor
+
+        matrix, sizes, coo = block_system
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, 4)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for _ in range(2):  # the pool survives repeated evaluations
+                result = pipeline.run(
+                    matrix,
+                    function=lambda a: sign_via_eigendecomposition(a, MU),
+                    batch_function=lambda s: sign_via_eigendecomposition_batched(
+                        s, MU
+                    ),
+                    backend="thread",
+                    executor=pool,
+                )
+                assert_blocks_bitwise_equal(
+                    reference_blocks, result.result.raw_blocks()
+                )
+
+    def test_process_backend_rejected(self, block_system):
+        """Ranks scatter into shared memory; a process pool cannot."""
+        matrix, sizes, coo = block_system
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, 2)
+        with pytest.raises(ValueError):
+            pipeline.run(
+                matrix,
+                function=lambda a: sign_via_eigendecomposition(a, MU),
+                backend="process",
+            )
+
+    def test_traffic_log_matches_assignment_flops(self, block_system):
+        matrix, sizes, coo = block_system
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, 4)
+        log = pipeline.traffic_log()
+        dims = np.asarray(pipeline.dimensions, dtype=float)
+        assert log.total_flops() == pytest.approx(9.0 * float(np.sum(dims**3)))
+
+    def test_cost_wrapper_consistent_with_pipeline(self, block_system):
+        from repro.core import submatrix_method_cost
+
+        matrix, sizes, coo = block_system
+        machine = MachineModel()
+        cost = submatrix_method_cost(coo, sizes, 4, machine)
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, 4)
+        assert cost.total_flops == pytest.approx(
+            pipeline.cost(machine).total_flops
+        )
+        assert "segment_fetch_bytes" in cost.details
+        assert cost.details["segment_fetch_bytes"] <= cost.details["fetch_bytes"] + 1e-9
+
+
+class TestWaterBenchmarkAcceptance:
+    """Acceptance criteria on the water system (paper's benchmark family)."""
+
+    @pytest.fixture(scope="class")
+    def water_setup(self, water32_matrices):
+        k_ortho, _ = orthogonalized_ks(
+            water32_matrices.K, water32_matrices.S, eps_filter=1e-5
+        )
+        blocked = block_matrix_from_csr(
+            k_ortho, water32_matrices.blocks.block_sizes, threshold=0.0
+        )
+        coo = CooBlockList.from_block_matrix(blocked)
+        return blocked, water32_matrices.blocks.block_sizes, coo
+
+    @pytest.fixture(scope="class")
+    def water_reference(self, water_setup):
+        blocked, sizes, coo = water_setup
+        method = SubmatrixMethod(
+            lambda a: sign_via_eigendecomposition(a, MU),
+            batch_function=lambda s: sign_via_eigendecomposition_batched(s, MU),
+            engine="batched",
+        )
+        return method.apply_blockwise(blocked, coo=coo).result.raw_blocks()
+
+    @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+    def test_bitwise_and_segment_volume(
+        self, water_setup, water_reference, n_ranks
+    ):
+        blocked, sizes, coo = water_setup
+        pipeline = DistributedSubmatrixPipeline(coo, sizes, n_ranks)
+        result = pipeline.run(
+            blocked,
+            function=lambda a: sign_via_eigendecomposition(a, MU),
+            batch_function=lambda s: sign_via_eigendecomposition_batched(s, MU),
+        )
+        assert_blocks_bitwise_equal(water_reference, result.result.raw_blocks())
+        for report in result.per_rank:
+            assert report.segment_fetch_bytes <= report.block_fetch_bytes + 1e-9
