@@ -1,0 +1,217 @@
+"""Benchmark — session reuse and rank-sharded μ-bisection through the API.
+
+Quantifies what the unified session API exists for:
+
+* **session reuse** — repeated ``SubmatrixContext.apply`` calls on an
+  unchanged sparsity pattern amortize one plan build (and one worker pool)
+  across the whole session; compared against paying the full plan build in
+  a fresh context on every call (μ-bisection / MD-style workloads);
+* **sharded μ-bisection** — the canonical-ensemble density calculation with
+  the eigendecomposition cache built rank-sharded through the
+  :class:`~repro.core.runner.DistributedSubmatrixPipeline` for ranks
+  {1, 2, 4}, checked bitwise against the single-process solver.
+
+Writes ``BENCH_api_context.json`` at the repository root so future PRs can
+track the trajectory, plus the usual table under ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, SubmatrixContext
+from repro.chem import HamiltonianModel, build_matrices, water_box
+from repro.dbcsr.convert import block_matrix_to_dense
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from bench_submatrix_engine import build_system  # noqa: E402
+from common import bench_scale, report  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ROOT_JSON = REPO_ROOT / "BENCH_api_context.json"
+
+EPS_FILTER = 1e-5
+RANK_COUNTS = (1, 2, 4)
+
+
+def run_session_reuse_benchmark():
+    """One plan build amortized across a session vs a fresh context per call."""
+    system, blocked, coo, mu = build_system()
+    repeats = max(3, int(round(5 * bench_scale())))
+    config = EngineConfig(engine="batched")
+
+    context = SubmatrixContext(config)
+    start = time.perf_counter()
+    reference = context.apply(blocked, "eigen", coo=coo, mu=mu)
+    cold = time.perf_counter() - start
+
+    warm_samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = context.apply(blocked, "eigen", coo=coo, mu=mu)
+        warm_samples.append(time.perf_counter() - start)
+    warm = float(np.median(warm_samples))
+
+    fresh_samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fresh = SubmatrixContext(config).apply(blocked, "eigen", coo=coo, mu=mu)
+        fresh_samples.append(time.perf_counter() - start)
+    fresh_median = float(np.median(fresh_samples))
+
+    difference = float(
+        np.max(
+            np.abs(
+                block_matrix_to_dense(result.result)
+                - block_matrix_to_dense(fresh.result)
+            )
+        )
+    )
+    stats = context.stats()
+    payload = {
+        "system": {
+            "molecules": int(system.n_molecules),
+            "n_block_cols": int(blocked.n_block_cols),
+            "nnz_blocks": int(blocked.nnz_blocks),
+        },
+        "repeats": repeats,
+        "cold_first_call_s": cold,
+        "warm_session_median_s": warm,
+        "fresh_context_median_s": fresh_median,
+        "session_reuse_speedup": fresh_median / warm if warm > 0 else float("inf"),
+        "plan_cache": stats["plan_cache"],
+        "bitwise_identical": difference == 0.0,
+    }
+    rows = [
+        ["cold first call (plan build + evaluation)", cold, 1.0],
+        ["warm session call (plan cached)", warm, cold / warm if warm else 0.0],
+        [
+            "fresh context per call (no session)",
+            fresh_median,
+            cold / fresh_median if fresh_median else 0.0,
+        ],
+    ]
+    assert stats["plan_cache"]["misses"] == 1
+    assert reference.n_submatrices == result.n_submatrices
+    return rows, payload
+
+
+def run_sharded_bisection_benchmark():
+    """Canonical-ensemble μ-bisection, rank-sharded, vs single-process."""
+    model = HamiltonianModel()
+    system = water_box((2, 1, 1))
+    pair = build_matrices(system, model=model)
+    n_electrons = 8.0 * system.n_molecules
+    repeats = max(2, int(round(3 * bench_scale())))
+    context = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS_FILTER))
+
+    start = time.perf_counter()
+    single = context.density(pair.K, pair.S, pair.blocks, n_electrons=n_electrons)
+    _ = time.perf_counter() - start  # warm-up: builds and caches the plan
+    single_samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        single = context.density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons
+        )
+        single_samples.append(time.perf_counter() - start)
+    single_median = float(np.median(single_samples))
+
+    rows = [["single-process", single_median, single.mu_iterations, 0.0, True]]
+    per_ranks = []
+    for ranks in RANK_COUNTS:
+        # warm-up: builds and caches this rank count's sharded pipeline, so
+        # the samples measure the steady-state session behaviour
+        context.density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons, ranks=ranks
+        )
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            sharded = context.density(
+                pair.K, pair.S, pair.blocks, n_electrons=n_electrons, ranks=ranks
+            )
+            samples.append(time.perf_counter() - start)
+        median = float(np.median(samples))
+        difference = float(np.max(np.abs(sharded.density_ao - single.density_ao)))
+        bitwise = difference == 0.0 and sharded.mu == single.mu
+        per_ranks.append(
+            {
+                "ranks": ranks,
+                "median_wall_time_s": median,
+                "mu_iterations": sharded.mu_iterations,
+                "max_abs_diff_vs_single": difference,
+                "bitwise_identical": bitwise,
+            }
+        )
+        rows.append(
+            [f"sharded, {ranks} rank(s)", median, sharded.mu_iterations,
+             difference, bitwise]
+        )
+    payload = {
+        "system": {
+            "molecules": int(system.n_molecules),
+            "n_electrons": n_electrons,
+        },
+        "repeats": repeats,
+        "single_process_median_s": single_median,
+        "rank_counts": list(RANK_COUNTS),
+        "per_rank_count": per_ranks,
+    }
+    return rows, payload
+
+
+def run_api_context_benchmark():
+    reuse_rows, reuse_payload = run_session_reuse_benchmark()
+    sharded_rows, sharded_payload = run_sharded_bisection_benchmark()
+    payload = {
+        "benchmark": "api_context",
+        "session_reuse": reuse_payload,
+        "sharded_bisection": sharded_payload,
+    }
+    with open(ROOT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return reuse_rows, sharded_rows, payload
+
+
+def _report(reuse_rows, sharded_rows, payload):
+    report(
+        "api_context_session_reuse",
+        ["path", "median seconds", "speedup vs cold"],
+        reuse_rows,
+        "Session reuse through SubmatrixContext "
+        f"({payload['session_reuse']['system']['molecules']} molecules)",
+    )
+    report(
+        "api_context_sharded_bisection",
+        ["path", "median seconds", "mu iterations", "max |diff|", "bitwise"],
+        sharded_rows,
+        "Rank-sharded canonical mu-bisection "
+        f"({payload['sharded_bisection']['system']['molecules']} molecules)",
+    )
+
+
+@pytest.mark.benchmark(group="api")
+def test_api_context(benchmark):
+    reuse_rows, sharded_rows, payload = benchmark.pedantic(
+        run_api_context_benchmark, rounds=1, iterations=1
+    )
+    _report(reuse_rows, sharded_rows, payload)
+    reuse = payload["session_reuse"]
+    assert reuse["bitwise_identical"]
+    # the warm session call skips the plan build the fresh context pays
+    assert reuse["warm_session_median_s"] <= reuse["fresh_context_median_s"]
+    for entry in payload["sharded_bisection"]["per_rank_count"]:
+        assert entry["bitwise_identical"]
+
+
+if __name__ == "__main__":
+    table_reuse, table_sharded, result_payload = run_api_context_benchmark()
+    _report(table_reuse, table_sharded, result_payload)
+    print(f"wrote {ROOT_JSON}")

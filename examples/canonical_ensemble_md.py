@@ -20,6 +20,7 @@ Run with:  python examples/canonical_ensemble_md.py
 """
 
 from repro.chem import HamiltonianModel, build_matrices, water_box
+from repro.api import EngineConfig
 from repro.core.sign_dft import SubmatrixDFTSolver
 
 
@@ -42,7 +43,9 @@ def main() -> None:
         f"{pair.n_basis} basis functions, {electrons_neutral} valence electrons\n"
     )
 
-    solver = SubmatrixDFTSolver(eps_filter=1e-6, backend="thread")
+    solver = SubmatrixDFTSolver(
+        eps_filter=1e-6, config=EngineConfig(engine="batched", backend="thread")
+    )
 
     # canonical solve of the neutral system: mu is found by Algorithm 1
     neutral = solver.compute_density(
@@ -62,7 +65,9 @@ def main() -> None:
 
     # finite electronic temperature: Fermi occupations instead of Heaviside
     hot_solver = SubmatrixDFTSolver(
-        eps_filter=1e-6, temperature=5000.0, backend="thread"
+        eps_filter=1e-6,
+        temperature=5000.0,
+        config=EngineConfig(engine="batched", backend="thread"),
     )
     hot = hot_solver.compute_density(
         pair.K, pair.S, pair.blocks, n_electrons=electrons_neutral

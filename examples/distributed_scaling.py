@@ -2,15 +2,16 @@
 """Distributed cost analysis: sharded transfers, strong and weak scaling.
 
 The scaling experiments of the paper (Figs. 8-10) depend on how work and
-communication are distributed over MPI ranks.  This example uses the
-rank-sharded submatrix pipeline to
+communication are distributed over MPI ranks.  This example drives the
+rank-sharded submatrix pipeline through the unified session API
+(:class:`repro.api.context.SubmatrixContext`) to
 
 * plan the deduplicated initialization exchange of a submatrix-method run
   (Sec. IV-B) and compare, per rank, shipping *packed value segments* into
   the rank-local buffer against whole-block transfers with and without
   deduplication,
-* execute the pipeline on a small system and verify that the per-rank
-  sharded evaluation reproduces the single-process engine,
+* execute a distributed session on a small system and verify that the
+  per-rank sharded evaluation reproduces the single-process engine,
 * compare simulated strong scaling of the submatrix method (80 -> 320 ranks)
   at fixed system size,
 * compare the weak-scaling behaviour of the submatrix method against the
@@ -22,22 +23,14 @@ Run with:  python examples/distributed_scaling.py
 import numpy as np
 
 from repro.analysis import parallel_efficiency
+from repro.api import EngineConfig, SubmatrixContext
 from repro.chem import build_block_pattern, orthogonalized_ks, water_box
 from repro.chem.hamiltonian import build_matrices
-from repro.core import (
-    DistributedSubmatrixPipeline,
-    SubmatrixMethod,
-    newton_schulz_cost,
-    submatrix_method_cost,
-)
+from repro.core import newton_schulz_cost, submatrix_method_cost
 from repro.core.runner import estimate_newton_schulz_iterations
 from repro.dbcsr import CooBlockList
 from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_dense
 from repro.parallel import MachineModel
-from repro.signfn import (
-    sign_via_eigendecomposition,
-    sign_via_eigendecomposition_batched,
-)
 
 EPS_FILTER = 1e-5
 
@@ -61,13 +54,14 @@ def segment_transfer_planning() -> None:
     system = water_box(3)
     pattern, blocks = build_block_pattern(system, eps_filter=EPS_FILTER)
     n_ranks = 80
-    pipeline = DistributedSubmatrixPipeline(
-        pattern, blocks.block_sizes, n_ranks
-    )
+    context = SubmatrixContext(EngineConfig(engine="batched"))
+    pipeline = context.pipeline(pattern, blocks.block_sizes, n_ranks)
     plan = pipeline.transfer_plan
-    fast = DistributedSubmatrixPipeline(
-        pattern, blocks.block_sizes, n_ranks, exact_transfers=False
-    ).transfer_plan
+    fast_context = SubmatrixContext(
+        EngineConfig(engine="batched", exact_transfers=False),
+        plan_cache=context.plan_cache,
+    )
+    fast = fast_context.pipeline(pattern, blocks.block_sizes, n_ranks).transfer_plan
     print(
         f"transfer planning ({system.n_molecules} molecules, {n_ranks} ranks, "
         f"balance={pipeline.balance!r}):"
@@ -108,24 +102,16 @@ def segment_transfer_planning() -> None:
 
 
 def sharded_execution_check() -> None:
-    """The sharded pipeline reproduces the single-process engine bitwise."""
+    """The distributed session reproduces the single-process engine bitwise."""
     system = water_box(1)
     pair = build_matrices(system)
     k_ortho, _ = orthogonalized_ks(pair.K, pair.S, eps_filter=EPS_FILTER)
     blocked = block_matrix_from_csr(k_ortho, pair.blocks.block_sizes, threshold=0.0)
     mu = 0.0
     coo = CooBlockList.from_block_matrix(blocked)
-    pipeline = DistributedSubmatrixPipeline(coo, pair.blocks.block_sizes, 8)
-    result = pipeline.run(
-        blocked,
-        function=lambda a: sign_via_eigendecomposition(a, mu),
-        batch_function=lambda stack: sign_via_eigendecomposition_batched(stack, mu),
-    )
-    single = SubmatrixMethod(
-        lambda a: sign_via_eigendecomposition(a, mu),
-        batch_function=lambda stack: sign_via_eigendecomposition_batched(stack, mu),
-        engine="batched",
-    ).apply_blockwise(blocked, coo=coo)
+    context = SubmatrixContext(EngineConfig(engine="batched"))
+    result = context.distributed(8).run(blocked, "eigen", coo=coo, mu=mu)
+    single = context.apply(blocked, "eigen", coo=coo, mu=mu)
     difference = np.max(
         np.abs(
             block_matrix_to_dense(result.result)

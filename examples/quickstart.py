@@ -22,6 +22,7 @@ from repro.chem import (
     reference_density_matrix,
     water_box,
 )
+from repro.api import EngineConfig
 from repro.core.sign_dft import SubmatrixDFTSolver
 
 
@@ -41,7 +42,9 @@ def main() -> None:
 
     # 3. submatrix-method density matrix (grand canonical: fixed mu in the gap)
     mu = model.homo_lumo_gap_center()
-    solver = SubmatrixDFTSolver(eps_filter=1e-6, backend="thread")
+    solver = SubmatrixDFTSolver(
+        eps_filter=1e-6, config=EngineConfig(engine="batched", backend="thread")
+    )
     result = solver.compute_density(pair.K, pair.S, pair.blocks, mu=mu)
     print(
         f"submatrix method: {result.n_submatrices} submatrices, "

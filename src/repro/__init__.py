@@ -1,8 +1,16 @@
 """repro — reproduction of the submatrix method for approximate matrix function
 evaluation in linear-scaling DFT (Lass, Schade, Kühne, Plessl; SC 2020).
 
-The package is organised into substrates and the core contribution:
+The package is organised into substrates, the core contribution, and a
+unified session API on top:
 
+``repro.api``
+    The session API: :class:`~repro.api.config.EngineConfig` (one validated
+    configuration for engine, backend, workers, bucket padding, balancing,
+    ranks and filtering), the :class:`~repro.signfn.registry.MatrixFunction`
+    kernel registry, and :class:`~repro.api.context.SubmatrixContext` — the
+    session that owns the plan cache, the persistent worker pool and the
+    sharded pipelines, exposing ``apply`` / ``density`` / ``distributed``.
 ``repro.chem``
     Synthetic liquid-water systems, model Kohn–Sham / overlap matrix builders,
     Löwdin orthogonalization and dense reference density-matrix solvers.
@@ -16,7 +24,8 @@ The package is organised into substrates and the core contribution:
     executors for genuinely parallel submatrix solves.
 ``repro.signfn``
     Matrix sign function algorithms (Newton–Schulz, higher-order Padé,
-    eigendecomposition-based) and inverse p-th roots.
+    eigendecomposition-based), inverse p-th roots, and the named-kernel
+    registry behind every solver string.
 ``repro.clustering``
     k-means and graph partitioning used to combine block columns into
     submatrices.
@@ -30,8 +39,44 @@ The package is organised into substrates and the core contribution:
     model.
 ``repro.analysis``
     Sparsity statistics and evaluation metrics.
+
+The most convenient entry point is the session API, re-exported here:
+
+>>> import repro
+>>> ctx = repro.SubmatrixContext(repro.EngineConfig(engine="batched"))
+>>> result = ctx.apply(matrix, "eigen", mu=0.2)              # doctest: +SKIP
 """
 
 from repro.version import __version__
+from repro.api import (
+    BoundKernel,
+    DistributedSession,
+    EngineConfig,
+    MatrixFunction,
+    SubmatrixContext,
+    SubmatrixDFTResult,
+    SubmatrixMethodResult,
+    UnknownKernelError,
+    available_kernels,
+    get_kernel,
+    register_callable,
+    register_kernel,
+    resolve_kernel,
+)
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "EngineConfig",
+    "SubmatrixContext",
+    "DistributedSession",
+    "SubmatrixMethodResult",
+    "SubmatrixDFTResult",
+    "MatrixFunction",
+    "BoundKernel",
+    "UnknownKernelError",
+    "register_kernel",
+    "register_callable",
+    "get_kernel",
+    "available_kernels",
+    "resolve_kernel",
+]

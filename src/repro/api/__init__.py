@@ -1,0 +1,65 @@
+"""repro.api — the unified session API of the submatrix engine.
+
+One configuration (:class:`EngineConfig`), one kernel registry
+(:class:`MatrixFunction` et al., shared with :mod:`repro.signfn.registry`)
+and one session object (:class:`SubmatrixContext`) that owns the plan
+cache, the persistent executor and the sharded pipelines:
+
+>>> from repro.api import EngineConfig, SubmatrixContext
+>>> ctx = SubmatrixContext(EngineConfig(engine="batched", backend="thread"))
+>>> f_a = ctx.apply(matrix, "eigen", mu=0.2)                 # doctest: +SKIP
+>>> dft = ctx.density(K, S, blocks, n_electrons=256.0)       # doctest: +SKIP
+>>> run = ctx.distributed(8).run(block_matrix, "eigen")      # doctest: +SKIP
+
+The legacy entry points (:class:`~repro.core.method.SubmatrixMethod`,
+:class:`~repro.core.sign_dft.SubmatrixDFTSolver`,
+:class:`~repro.core.runner.DistributedSubmatrixPipeline`) are facades over
+this layer and produce bitwise-identical results.
+"""
+
+from repro.api.config import (
+    BACKENDS,
+    BALANCE_STRATEGIES,
+    EIGENSOLVE_FLOP_CONSTANT,
+    ENGINES,
+    EngineConfig,
+)
+from repro.api.results import (
+    DecomposedSubmatrix,
+    SubmatrixDFTResult,
+    SubmatrixMethodResult,
+)
+from repro.api.context import DistributedSession, SubmatrixContext
+from repro.signfn.registry import (
+    BoundKernel,
+    MatrixFunction,
+    SIGN_SOLVERS,
+    UnknownKernelError,
+    available_kernels,
+    get_kernel,
+    register_callable,
+    register_kernel,
+    resolve_kernel,
+)
+
+__all__ = [
+    "EngineConfig",
+    "ENGINES",
+    "BACKENDS",
+    "BALANCE_STRATEGIES",
+    "EIGENSOLVE_FLOP_CONSTANT",
+    "SubmatrixContext",
+    "DistributedSession",
+    "SubmatrixMethodResult",
+    "SubmatrixDFTResult",
+    "DecomposedSubmatrix",
+    "MatrixFunction",
+    "BoundKernel",
+    "UnknownKernelError",
+    "SIGN_SOLVERS",
+    "register_kernel",
+    "register_callable",
+    "get_kernel",
+    "available_kernels",
+    "resolve_kernel",
+]

@@ -1,0 +1,164 @@
+"""One configuration object for the whole submatrix engine.
+
+Every entry point of the reproduction — :class:`~repro.core.method.SubmatrixMethod`,
+:class:`~repro.core.sign_dft.SubmatrixDFTSolver`,
+:class:`~repro.core.runner.DistributedSubmatrixPipeline` and the
+:class:`~repro.api.context.SubmatrixContext` session — used to re-thread its
+own overlapping keyword arguments (engine, backend, worker count, bucket
+padding, balancing strategy, rank count, filter threshold).
+:class:`EngineConfig` collects them in one validated, immutable place; the
+facades build their config from legacy kwargs, the session takes it
+directly, and overlapping knobs can no longer drift apart between layers.
+
+This module sits at the bottom of the dependency graph (nothing from
+:mod:`repro.core` is imported here), so both the core facades and the
+session layer can share its constants without import cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.parallel.executor import default_worker_count
+
+__all__ = [
+    "EngineConfig",
+    "ENGINES",
+    "BACKENDS",
+    "BALANCE_STRATEGIES",
+    "EIGENSOLVE_FLOP_CONSTANT",
+]
+
+#: Execution engines of the submatrix method (see :mod:`repro.core.method`).
+ENGINES = ("naive", "plan", "batched")
+
+#: Parallel backends of :func:`repro.parallel.executor.map_parallel`.
+BACKENDS = ("serial", "thread", "process")
+
+#: Submatrix→rank assignment strategies of the distributed pipeline.
+BALANCE_STRATEGIES = ("chunks", "stacks", "round_robin")
+
+#: FLOPs of a dense symmetric eigendecomposition plus the two back
+#: transformations Q·diag·Qᵀ, expressed as a multiple of n³.  dsyevd costs
+#: roughly 4/3·n³ for the tridiagonal reduction plus ~4·n³ for the
+#: divide-and-conquer back-transformation; forming Q Λ' Qᵀ adds ~4·n³.
+EIGENSOLVE_FLOP_CONSTANT = 9.0
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Shared configuration of the submatrix engine.
+
+    Attributes
+    ----------
+    engine:
+        Execution engine: ``"naive"`` (reference kernels), ``"plan"``
+        (cached vectorized extraction/scatter) or ``"batched"`` (plan plus
+        bucketed 3-D stack evaluation).
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` parallelism for the
+        per-submatrix solves.
+    max_workers:
+        Worker count for the parallel backends; ``None`` resolves to the
+        machine's CPU count.
+    bucket_pad:
+        Padding granularity of the batched engine's buckets: an integer,
+        ``None`` for exact-dimension buckets, or ``"auto"`` to pick from the
+        measured dimension histogram.
+    balance:
+        Submatrix→rank assignment of the distributed pipeline:
+        ``"chunks"`` (paper's greedy consecutive chunks), ``"stacks"``
+        (bucket-aware LPT over whole stacks) or ``"round_robin"``.
+    n_ranks:
+        Simulated rank count of distributed sessions (1 = single process).
+    eps_filter:
+        Truncation threshold applied to the orthogonalized Kohn–Sham matrix
+        by the density solver (CP2K's ``eps_filter``).
+    temperature:
+        Electronic temperature in Kelvin (0 uses the extended signum).
+    spin_degeneracy:
+        2 for closed-shell systems.
+    plan_cache_size:
+        Capacity of the session's private :class:`~repro.core.plan.PlanCache`.
+    exact_transfers:
+        Plan per-submatrix deduplicated transfers (exact packed-segment
+        volumes) in distributed sessions; ``False`` uses the fast
+        pattern-level planning.
+    flop_constant:
+        Cost of one per-submatrix solve as a multiple of n³ (used by load
+        balancing and the machine model).
+    """
+
+    engine: str = "plan"
+    backend: str = "serial"
+    max_workers: Optional[int] = None
+    bucket_pad: Optional[Union[int, str]] = None
+    balance: str = "chunks"
+    n_ranks: int = 1
+    eps_filter: float = 1e-5
+    temperature: float = 0.0
+    spin_degeneracy: float = 2.0
+    plan_cache_size: int = 64
+    exact_transfers: bool = True
+    flop_constant: float = EIGENSOLVE_FLOP_CONSTANT
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> "EngineConfig":
+        """Check every field; returns ``self`` so calls can be chained."""
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self.bucket_pad is not None:
+            if isinstance(self.bucket_pad, str):
+                if self.bucket_pad != "auto":
+                    raise ValueError(
+                        "bucket_pad must be a positive integer, None or 'auto'"
+                    )
+            elif int(self.bucket_pad) < 1:
+                raise ValueError("bucket_pad must be a positive integer")
+        if self.balance not in BALANCE_STRATEGIES:
+            raise ValueError(
+                f"balance must be one of {BALANCE_STRATEGIES}, got {self.balance!r}"
+            )
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        if self.eps_filter < 0:
+            raise ValueError("eps_filter must be non-negative")
+        if self.temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if self.spin_degeneracy <= 0:
+            raise ValueError("spin_degeneracy must be positive")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be at least 1")
+        if self.flop_constant <= 0:
+            raise ValueError("flop_constant must be positive")
+        return self
+
+    def resolved(self) -> "EngineConfig":
+        """A copy with every deferred default filled in.
+
+        Currently this resolves ``max_workers`` to the machine's CPU count.
+        ``bucket_pad="auto"`` stays symbolic — it depends on the measured
+        dimension histogram and is resolved per plan by
+        :func:`repro.core.load_balance.resolve_bucket_pad`.
+        """
+        if self.max_workers is not None:
+            return self
+        return self.replace(max_workers=default_worker_count())
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A validated copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def uses_plan(self) -> bool:
+        """Whether the vectorized plan engine is active (non-naive)."""
+        return self.engine != "naive"

@@ -1,0 +1,672 @@
+"""The unified session API: one context owning plans, pools and pipelines.
+
+The submatrix method pays off precisely in repeated-evaluation workloads —
+the μ-bisection of the canonical ensemble, SCF/MD trajectories, cost sweeps
+over many rank counts — yet before this module every entry point wired plan
+caching, executor reuse, sharding and traffic logging ad hoc.
+:class:`SubmatrixContext` is the session object that owns those shared
+resources once:
+
+* a private :class:`~repro.core.plan.PlanCache` (plans survive across every
+  call through the session),
+* one persistent executor (thread/process pool) reused by every parallel
+  map instead of a pool per call,
+* a cache of configured :class:`~repro.core.runner.DistributedSubmatrixPipeline`
+  instances (sharded plans and transfer plans survive across repeated
+  distributed runs),
+
+and exposes the three workloads of the paper as methods:
+
+* :meth:`SubmatrixContext.apply` — f(A) on a SciPy or block-sparse matrix
+  through the engine selected by the session's :class:`EngineConfig`;
+* :meth:`SubmatrixContext.density` — the DFT density-matrix driver
+  (grand-canonical and canonical ensembles, optionally rank-sharded);
+* :meth:`SubmatrixContext.distributed` — a :class:`DistributedSession`
+  whose :meth:`~DistributedSession.run` executes the rank-sharded pipeline
+  and reports its traffic.
+
+The legacy classes (:class:`~repro.core.method.SubmatrixMethod`,
+:class:`~repro.core.sign_dft.SubmatrixDFTSolver`) are thin facades over a
+private context, so their results are bitwise identical to the session API.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.api.config import ENGINES, EngineConfig
+from repro.api.results import SubmatrixMethodResult
+from repro.core.batch import evaluate_batched
+from repro.core.combination import ColumnGrouping
+from repro.core.load_balance import resolve_bucket_pad
+from repro.core.plan import PlanCache, SubmatrixPlan, block_plan, element_plan
+from repro.core.runner import (
+    DistributedSubmatrixPipeline,
+    PipelineResult,
+    SubmatrixRunCost,
+)
+from repro.core.submatrix import (
+    extract_block_submatrix,
+    extract_submatrix,
+    scatter_block_submatrix_result,
+    scatter_submatrix_result,
+)
+from repro.dbcsr.block_matrix import BlockSparseMatrix
+from repro.dbcsr.coo import CooBlockList
+from repro.parallel.executor import executor_backend, make_executor, map_parallel
+from repro.signfn.registry import BoundKernel, resolve_kernel
+
+__all__ = ["SubmatrixContext", "DistributedSession"]
+
+_UNSET = object()
+
+#: Upper bound on the context's pipeline cache.  Pipelines hold their
+#: extraction plan, sharded index arrays and transfer plan, so unlike the
+#: LRU-bounded PlanCache they must not accumulate without limit across
+#: pattern/rank-count sweeps.
+MAX_CACHED_PIPELINES = 32
+
+
+# --------------------------------------------------------------------------- #
+# shared validation helpers (used by the facades as well)
+# --------------------------------------------------------------------------- #
+def validate_groups(groups: Sequence[Sequence[int]], n_columns: int) -> None:
+    """Check that ``groups`` is a partition of ``range(n_columns)``."""
+    seen = np.zeros(n_columns, dtype=bool)
+    for group in groups:
+        if len(group) == 0:
+            raise ValueError("column groups must be non-empty")
+        for column in group:
+            if not 0 <= column < n_columns:
+                raise IndexError(f"column {column} out of range")
+            if seen[column]:
+                raise ValueError(f"column {column} appears in more than one group")
+            seen[column] = True
+    if not np.all(seen):
+        missing = int(np.flatnonzero(~seen)[0])
+        raise ValueError(f"column {missing} is not covered by any group")
+
+
+def check_result_shape(dimension: int, evaluated: np.ndarray) -> None:
+    expected = (dimension, dimension)
+    if evaluated.shape != expected:
+        raise ValueError(
+            f"matrix function returned shape {evaluated.shape}, "
+            f"expected {expected}"
+        )
+
+
+def _assemble_csr(accumulator: dict, n: int) -> sp.csr_matrix:
+    rows: List[int] = []
+    cols: List[int] = []
+    values: List[float] = []
+    for column, column_store in accumulator.items():
+        for row, value in column_store.items():
+            rows.append(row)
+            cols.append(column)
+            values.append(value)
+    return sp.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()
+
+
+class SubmatrixContext:
+    """Session object of the submatrix engine.
+
+    Parameters
+    ----------
+    config:
+        The session's :class:`EngineConfig`; defaults to ``EngineConfig()``.
+    plan_cache:
+        Optional externally owned plan cache; by default the context creates
+        a private cache of ``config.plan_cache_size`` plans.
+    **overrides:
+        Convenience field overrides applied to ``config``
+        (``SubmatrixContext(engine="batched", backend="thread")``).
+
+    The context is a context manager; leaving the ``with`` block shuts down
+    the persistent executor (plans stay cached):
+
+    >>> with SubmatrixContext(EngineConfig(backend="thread")) as ctx:
+    ...     ctx.apply(matrix, "eigen", mu=0.2)      # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
+        **overrides,
+    ):
+        if config is None:
+            config = EngineConfig()
+        if not isinstance(config, EngineConfig):
+            raise TypeError("config must be an EngineConfig")
+        if overrides:
+            config = config.replace(**overrides)
+        self.config = config.validate()
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(max_plans=config.plan_cache_size)
+        )
+        self._executor = None
+        self._executors_created = 0
+        self._pipelines: "OrderedDict[tuple, DistributedSubmatrixPipeline]" = (
+            OrderedDict()
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # shared resources
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self):
+        """The session's persistent executor (``None`` for serial configs).
+
+        Created lazily on first use and reused by every subsequent parallel
+        map through this context — one pool per session, not per call.
+        """
+        if self._closed:
+            raise RuntimeError("the context has been closed")
+        if self._executor is None:
+            self._executor = make_executor(
+                self.config.backend, self.config.max_workers
+            )
+            if self._executor is not None:
+                self._executors_created += 1
+                # deterministic cleanup is close(); the finalizer only keeps
+                # abandoned sessions from pinning pool workers until exit
+                self._finalizer = weakref.finalize(
+                    self, self._executor.shutdown, False
+                )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent executor (idempotent).
+
+        Cached plans and pipelines are kept; the next parallel call after a
+        ``close()`` raises, so reuse requires a new context.
+        """
+        if self._executor is not None:
+            self._finalizer.detach()
+            self._executor.shutdown()
+            self._executor = None
+        self._closed = True
+
+    def __enter__(self) -> "SubmatrixContext":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, object]:
+        """Session statistics: plan-cache hits/misses, pools, pipelines."""
+        return {
+            "plan_cache": dict(self.plan_cache.stats),
+            "executors_created": self._executors_created,
+            "pipelines_built": len(self._pipelines),
+        }
+
+    def _map(self, function, items):
+        """Map through the session's persistent executor."""
+        return map_parallel(
+            function,
+            items,
+            self.config.max_workers,
+            self.config.backend,
+            executor=self.executor,
+        )
+
+    def _resolve_engine(self, engine: Optional[str]) -> str:
+        engine = engine or self.config.engine
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
+        return engine
+
+    def _bucket_pad_for(self, bound: BoundKernel, dimensions) -> Optional[int]:
+        pad = resolve_bucket_pad(self.config.bucket_pad, dimensions)
+        if pad is not None and not bound.matrix_function:
+            raise ValueError(
+                f"kernel {bound.name!r} is not a genuine matrix function; "
+                "bucket padding requires exact-dimension buckets "
+                "(bucket_pad=None)"
+            )
+        return pad
+
+    # ------------------------------------------------------------------ #
+    # f(A): element and block level
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        matrix: Union[sp.spmatrix, BlockSparseMatrix],
+        function,
+        column_groups: Optional[Sequence[Sequence[int]]] = None,
+        engine: Optional[str] = None,
+        batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        plan: Optional[SubmatrixPlan] = None,
+        coo: Optional[CooBlockList] = None,
+        **kernel_params,
+    ) -> SubmatrixMethodResult:
+        """Evaluate a matrix function on ``matrix`` through the session.
+
+        Dispatches on the matrix type: SciPy sparse matrices run at element
+        level (one submatrix per column group), block-sparse matrices at
+        block level (one submatrix per block-column group).  ``function``
+        may be a callable, a registered kernel name (``"eigen"``,
+        ``"newton_schulz"``, …) or a :class:`~repro.signfn.registry.MatrixFunction`;
+        ``**kernel_params`` (e.g. ``mu=0.2``) are forwarded to the kernel
+        factory.
+        """
+        if isinstance(matrix, BlockSparseMatrix):
+            return self.apply_blockwise(
+                matrix,
+                function,
+                column_groups=column_groups,
+                coo=coo,
+                engine=engine,
+                batch_function=batch_function,
+                plan=plan,
+                **kernel_params,
+            )
+        if sp.issparse(matrix):
+            return self.apply_elementwise(
+                matrix,
+                function,
+                column_groups=column_groups,
+                engine=engine,
+                batch_function=batch_function,
+                plan=plan,
+                **kernel_params,
+            )
+        raise TypeError(
+            "apply expects a scipy.sparse matrix (element level) or a "
+            f"BlockSparseMatrix (block level), got {type(matrix).__name__}"
+        )
+
+    def apply_elementwise(
+        self,
+        matrix: sp.spmatrix,
+        function,
+        column_groups: Optional[Sequence[Sequence[int]]] = None,
+        engine: Optional[str] = None,
+        batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        plan: Optional[SubmatrixPlan] = None,
+        **kernel_params,
+    ) -> SubmatrixMethodResult:
+        """Apply the matrix function column-by-column on a SciPy matrix."""
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("the submatrix method requires a square matrix")
+        bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
+        engine = self._resolve_engine(engine)
+        start = time.perf_counter()
+        csc = matrix.tocsc()
+        n = csc.shape[1]
+        if column_groups is None:
+            column_groups = [[c] for c in range(n)]
+        validate_groups(column_groups, n)
+        if engine == "naive":
+            result, dimensions = self._apply_elementwise_naive(
+                csc, column_groups, bound
+            )
+        else:
+            if plan is None:
+                plan = element_plan(csc, column_groups, cache=self.plan_cache)
+            result, dimensions = self._apply_planned(csc, plan, engine, bound)
+        wall = time.perf_counter() - start
+        return SubmatrixMethodResult(
+            result=result,
+            submatrix_dimensions=dimensions,
+            wall_time=wall,
+            flop_estimate=float(sum(float(d) ** 3 for d in dimensions)),
+        )
+
+    def _apply_elementwise_naive(
+        self,
+        csc: sp.csc_matrix,
+        column_groups: Sequence[Sequence[int]],
+        bound: BoundKernel,
+    ):
+        """Reference path: per-call extraction and dict-of-dict accumulation."""
+
+        def solve(group: Sequence[int]):
+            submatrix = extract_submatrix(csc, group)
+            evaluated = bound.function(submatrix.data)
+            return submatrix, np.asarray(evaluated, dtype=float)
+
+        solved = self._map(solve, list(column_groups))
+        accumulator: dict = {}
+        dimensions: List[int] = []
+        for submatrix, evaluated in solved:
+            check_result_shape(submatrix.dimension, evaluated)
+            dimensions.append(submatrix.dimension)
+            scatter_submatrix_result(accumulator, evaluated, submatrix, csc)
+        return _assemble_csr(accumulator, csc.shape[1]), dimensions
+
+    def apply_blockwise(
+        self,
+        matrix: BlockSparseMatrix,
+        function,
+        column_groups: Optional[Sequence[Sequence[int]]] = None,
+        coo: Optional[CooBlockList] = None,
+        engine: Optional[str] = None,
+        batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        plan: Optional[SubmatrixPlan] = None,
+        **kernel_params,
+    ) -> SubmatrixMethodResult:
+        """Apply the matrix function block-column-wise on a DBCSR-style matrix."""
+        bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
+        engine = self._resolve_engine(engine)
+        start = time.perf_counter()
+        if coo is None:
+            coo = CooBlockList.from_block_matrix(matrix)
+        n_block_cols = matrix.n_block_cols
+        if column_groups is None:
+            column_groups = [[c] for c in range(n_block_cols)]
+        validate_groups(column_groups, n_block_cols)
+        if engine == "naive":
+            result, dimensions = self._apply_blockwise_naive(
+                matrix, column_groups, coo, bound
+            )
+        else:
+            if plan is None:
+                plan = block_plan(
+                    coo,
+                    matrix.row_block_sizes,
+                    column_groups,
+                    cache=self.plan_cache,
+                )
+            result, dimensions = self._apply_planned(matrix, plan, engine, bound)
+        wall = time.perf_counter() - start
+        return SubmatrixMethodResult(
+            result=result,
+            submatrix_dimensions=dimensions,
+            wall_time=wall,
+            flop_estimate=float(sum(float(d) ** 3 for d in dimensions)),
+        )
+
+    def _apply_blockwise_naive(
+        self,
+        matrix: BlockSparseMatrix,
+        column_groups: Sequence[Sequence[int]],
+        coo: CooBlockList,
+        bound: BoundKernel,
+    ):
+        """Reference path: per-call block loops and copying scatter."""
+
+        def solve(group: Sequence[int]):
+            submatrix = extract_block_submatrix(matrix, group, coo)
+            evaluated = bound.function(submatrix.data)
+            return submatrix, np.asarray(evaluated, dtype=float)
+
+        solved = self._map(solve, list(column_groups))
+        result = BlockSparseMatrix(matrix.row_block_sizes, matrix.col_block_sizes)
+        dimensions: List[int] = []
+        for submatrix, evaluated in solved:
+            check_result_shape(submatrix.dimension, evaluated)
+            dimensions.append(submatrix.dimension)
+            scatter_block_submatrix_result(result, evaluated, submatrix, coo)
+        return result, dimensions
+
+    def _apply_planned(
+        self, matrix, plan: SubmatrixPlan, engine: str, bound: BoundKernel
+    ):
+        """Evaluate through a plan: pack, gather, evaluate, scatter, finalize."""
+        packed = plan.pack(matrix)
+        dimensions = plan.dimensions
+        out = plan.new_output()
+        if engine == "batched":
+            # stacks are scattered straight into the output buffer, one
+            # vectorized write per stack
+            evaluate_batched(
+                plan,
+                packed,
+                function=bound.function,
+                batch_function=bound.batch_function,
+                pad_to=self._bucket_pad_for(bound, dimensions),
+                max_workers=self.config.max_workers,
+                backend=self.config.backend,
+                executor=self.executor,
+                out=out,
+            )
+        else:
+
+            def solve(group_index: int) -> np.ndarray:
+                dense = plan.extract(packed, group_index)
+                return np.asarray(bound.function(dense), dtype=float)
+
+            evaluated = self._map(solve, list(range(plan.n_groups)))
+            for group_index, f_submatrix in enumerate(evaluated):
+                check_result_shape(dimensions[group_index], f_submatrix)
+                plan.scatter(out, group_index, f_submatrix)
+        return plan.finalize(out), list(dimensions)
+
+    # ------------------------------------------------------------------ #
+    # DFT density matrices
+    # ------------------------------------------------------------------ #
+    def density(
+        self,
+        K,
+        S,
+        blocks,
+        mu: Optional[float] = None,
+        n_electrons: Optional[float] = None,
+        solver: str = "eigen",
+        grouping: Optional[ColumnGrouping] = None,
+        mu_tolerance: float = 1e-9,
+        max_mu_iterations: int = 200,
+        ranks: Optional[int] = None,
+        distribution=None,
+    ):
+        """Density matrix from the Kohn–Sham and overlap matrices (Eq. 16).
+
+        Exactly one of ``mu`` (grand-canonical) and ``n_electrons``
+        (canonical) must be given.  With ``ranks > 1`` (or
+        ``config.n_ranks > 1``) and the ``"eigen"`` solver, the
+        eigendecomposition cache is built rank-sharded through
+        :class:`~repro.core.runner.DistributedSubmatrixPipeline` and the
+        μ-bisection runs on the sharded cache — bitwise identical to the
+        single-process path.  See :func:`repro.api.density.compute_density`.
+        """
+        from repro.api.density import compute_density
+
+        return compute_density(
+            self,
+            K,
+            S,
+            blocks,
+            mu=mu,
+            n_electrons=n_electrons,
+            solver=solver,
+            grouping=grouping,
+            mu_tolerance=mu_tolerance,
+            max_mu_iterations=max_mu_iterations,
+            ranks=ranks,
+            distribution=distribution,
+        )
+
+    # ------------------------------------------------------------------ #
+    # distributed sessions
+    # ------------------------------------------------------------------ #
+    def distributed(
+        self,
+        n_ranks: Optional[int] = None,
+        grouping: Optional[ColumnGrouping] = None,
+        distribution=None,
+    ) -> "DistributedSession":
+        """A rank-sharded session over this context's resources.
+
+        ``context.distributed(ranks).run(matrix, "eigen", mu=0.2)`` executes
+        the sharded pipeline; pipelines (and their sharded/transfer plans)
+        are cached on the context per (pattern, grouping, rank count).
+        """
+        n_ranks = self.config.n_ranks if n_ranks is None else int(n_ranks)
+        return DistributedSession(
+            self, n_ranks, grouping=grouping, distribution=distribution
+        )
+
+    def pipeline(
+        self,
+        pattern: Union[sp.spmatrix, CooBlockList],
+        block_sizes: Sequence[int],
+        n_ranks: Optional[int] = None,
+        grouping: Optional[ColumnGrouping] = None,
+        distribution=None,
+        bucket_pad=_UNSET,
+    ) -> DistributedSubmatrixPipeline:
+        """Fetch (or build and cache) a configured sharded pipeline.
+
+        ``bucket_pad`` is taken from the session config unless explicitly
+        passed (the density driver passes ``bucket_pad=None`` to force
+        exact-dimension buckets for its eigendecomposition cache).
+        """
+        coo = (
+            pattern
+            if isinstance(pattern, CooBlockList)
+            else CooBlockList.from_pattern(pattern)
+        )
+        n_ranks = self.config.n_ranks if n_ranks is None else int(n_ranks)
+        pad = self.config.bucket_pad if bucket_pad is _UNSET else bucket_pad
+        sizes = np.asarray(list(block_sizes), dtype=int)
+        key: Optional[tuple] = None
+        if distribution is None:
+            grouping_key = (
+                tuple(map(tuple, grouping.groups)) if grouping is not None else None
+            )
+            key = (
+                coo.fingerprint(),
+                sizes.tobytes(),
+                n_ranks,
+                grouping_key,
+                self.config.balance,
+                pad,
+                self.config.exact_transfers,
+            )
+            cached = self._pipelines.get(key)
+            if cached is not None:
+                self._pipelines.move_to_end(key)
+                return cached
+        pipeline = DistributedSubmatrixPipeline(
+            coo,
+            sizes,
+            n_ranks,
+            grouping=grouping,
+            distribution=distribution,
+            balance=self.config.balance,
+            bucket_pad=pad,
+            flop_constant=self.config.flop_constant,
+            plan_cache=self.plan_cache,
+            exact_transfers=self.config.exact_transfers,
+        )
+        if key is not None:
+            self._pipelines[key] = pipeline
+            while len(self._pipelines) > MAX_CACHED_PIPELINES:
+                self._pipelines.popitem(last=False)
+        return pipeline
+
+
+class DistributedSession:
+    """Rank-sharded execution bound to a :class:`SubmatrixContext`.
+
+    Obtained via :meth:`SubmatrixContext.distributed`; wraps the
+    :class:`~repro.core.runner.DistributedSubmatrixPipeline` with the
+    session's configuration, plan cache and persistent executor.
+    """
+
+    def __init__(
+        self,
+        context: SubmatrixContext,
+        n_ranks: int,
+        grouping: Optional[ColumnGrouping] = None,
+        distribution=None,
+    ):
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        self.context = context
+        self.n_ranks = int(n_ranks)
+        self.grouping = grouping
+        self.distribution = distribution
+
+    def pipeline(
+        self,
+        pattern: Union[sp.spmatrix, CooBlockList],
+        block_sizes: Sequence[int],
+    ) -> DistributedSubmatrixPipeline:
+        """The configured (and context-cached) pipeline for ``pattern``."""
+        return self.context.pipeline(
+            pattern,
+            block_sizes,
+            n_ranks=self.n_ranks,
+            grouping=self.grouping,
+            distribution=self.distribution,
+        )
+
+    def run(
+        self,
+        matrix: BlockSparseMatrix,
+        function,
+        coo: Optional[CooBlockList] = None,
+        batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        pad_value: float = 1.0,
+        **kernel_params,
+    ) -> PipelineResult:
+        """Evaluate f on every submatrix through the sharded pipeline.
+
+        ``function`` accepts the same specs as :meth:`SubmatrixContext.apply`
+        (callable, registered kernel name, :class:`MatrixFunction`).  The
+        per-rank tasks share the packed output buffer, so the session's
+        executor is reused only for the serial and thread backends; a
+        process-backend context falls back to serial rank execution.
+        """
+        if not isinstance(matrix, BlockSparseMatrix):
+            raise TypeError("distributed runs operate on a BlockSparseMatrix")
+        bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
+        if coo is None:
+            coo = CooBlockList.from_block_matrix(matrix)
+        pipeline = self.pipeline(coo, matrix.col_block_sizes)
+        config = self.context.config
+        backend = config.backend
+        if backend == "process":
+            # don't even create the session pool: the per-rank tasks share
+            # the packed output buffer and cannot cross a process boundary
+            backend, executor = "serial", None
+        else:
+            executor = self.context.executor
+            if executor_backend(executor) == "process":
+                backend, executor = "serial", None
+        # the pipeline's own resolve_kernel passes a BoundKernel through
+        # unchanged, so the spec is resolved exactly once
+        return pipeline.run(
+            matrix,
+            function=bound,
+            pad_value=pad_value,
+            max_workers=config.max_workers,
+            backend=backend,
+            executor=executor,
+        )
+
+    def cost(
+        self,
+        pattern: Union[sp.spmatrix, CooBlockList],
+        block_sizes: Sequence[int],
+        machine,
+        cores_per_rank: int = 1,
+    ) -> SubmatrixRunCost:
+        """Simulated run cost of this session's pipeline on ``machine``."""
+        return self.pipeline(pattern, block_sizes).cost(
+            machine, cores_per_rank=cores_per_rank
+        )
+
+    def density(self, K, S, blocks, **kwargs):
+        """Rank-sharded density matrix (see :meth:`SubmatrixContext.density`).
+
+        The session's rank count, grouping and distribution are applied
+        unless overridden in ``kwargs``.
+        """
+        kwargs.setdefault("ranks", self.n_ranks)
+        kwargs.setdefault("grouping", self.grouping)
+        kwargs.setdefault("distribution", self.distribution)
+        return self.context.density(K, S, blocks, **kwargs)

@@ -1,0 +1,469 @@
+"""Density-matrix construction via the submatrix sign method (Sec. IV-F/G).
+
+This is the paper's application of the submatrix method: computing the
+one-particle reduced density matrix from the Kohn–Sham and overlap matrices,
+
+    D = 1/2 · S^{-1/2} (I − sign(S^{-1/2} K S^{-1/2} − μ I)) S^{-1/2}   (Eq. 16)
+
+by evaluating the sign function with one dense eigendecomposition per
+submatrix (Eq. 17), with the extension sign(0) = 0 (Eq. 12) and, at finite
+temperature, the Fermi function instead of the Heaviside step.
+
+Both ensembles of the paper are supported:
+
+* **grand canonical** — the chemical potential μ is fixed and the electron
+  count follows from it;
+* **canonical** — the electron count is fixed and μ is adjusted by bisection.
+  Because every submatrix is eigendecomposed anyway, the bisection can reuse
+  the cached eigendecompositions and only has to re-apply the (shifted)
+  signum to the eigenvalues (Algorithm 1 of the paper) — no sign function or
+  eigendecomposition is recomputed during the search.
+
+This module is the implementation behind :meth:`SubmatrixContext.density`;
+:class:`repro.core.sign_dft.SubmatrixDFTSolver` is a thin facade over it.
+New in the session API: with ``ranks > 1`` the eigendecomposition cache is
+built **rank-sharded** through the
+:class:`~repro.core.runner.DistributedSubmatrixPipeline` — each simulated
+rank extracts and eigendecomposes only its own shard (from its rank-local
+packed buffer), and the μ-bisection runs on the shard-assembled global
+eigenvalue/weight vectors.  Because the per-submatrix decompositions are
+slice-deterministic and the cache is reassembled in global group order, the
+sharded canonical-ensemble search is bitwise identical to the
+single-process solver for any rank count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.api.results import DecomposedSubmatrix, SubmatrixDFTResult
+from repro.chem.density import band_structure_energy, electron_count, fermi_occupation
+from repro.core.batch import make_stack_tasks
+from repro.core.combination import ColumnGrouping, single_column_groups
+from repro.core.load_balance import resolve_bucket_pad
+from repro.core.plan import BlockSubmatrixPlan, block_plan
+from repro.core.submatrix import (
+    Submatrix,
+    extract_block_submatrix,
+    scatter_block_submatrix_result,
+)
+from repro.chem.orthogonalize import orthogonalized_ks
+from repro.dbcsr.block_matrix import BlockSparseMatrix
+from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
+from repro.dbcsr.coo import CooBlockList
+from repro.signfn.registry import get_kernel
+
+__all__ = ["compute_density"]
+
+
+def compute_density(
+    context,
+    K,
+    S,
+    blocks,
+    mu: Optional[float] = None,
+    n_electrons: Optional[float] = None,
+    solver: str = "eigen",
+    grouping: Optional[ColumnGrouping] = None,
+    mu_tolerance: float = 1e-9,
+    max_mu_iterations: int = 200,
+    ranks: Optional[int] = None,
+    distribution=None,
+) -> SubmatrixDFTResult:
+    """Compute the density matrix for a given K, S and ensemble.
+
+    Exactly one of ``mu`` (grand-canonical) and ``n_electrons`` (canonical)
+    must be provided.  ``context`` supplies the engine configuration, plan
+    cache and persistent executor; ``ranks`` overrides
+    ``context.config.n_ranks`` for the sharded eigendecomposition cache and
+    ``distribution`` fixes the block ownership of its transfer plan.
+    """
+    config = context.config
+    start = time.perf_counter()
+    if (mu is None) == (n_electrons is None):
+        raise ValueError("specify exactly one of mu and n_electrons")
+    canonical = n_electrons is not None
+    # the single (registry-backed) solver-string validation path; kernels
+    # with supports_mu_bisection run through the eigendecomposition cache
+    # (Algorithm 1), everything else through the iterative sign path
+    kernel = get_kernel(solver)
+    eigen_cache = kernel.supports_mu_bisection
+    if canonical and not eigen_cache:
+        raise ValueError(
+            "canonical-ensemble calculations require the eigendecomposition "
+            "solver (Algorithm 1 reuses the cached eigendecompositions)"
+        )
+    explicit_ranks = ranks is not None
+    ranks = config.n_ranks if ranks is None else int(ranks)
+    if ranks < 1:
+        raise ValueError("ranks must be positive")
+    engine = config.engine
+    if ranks > 1:
+        if not eigen_cache:
+            raise ValueError(
+                "rank-sharded density calculations require the "
+                "eigendecomposition solver"
+            )
+        if engine == "naive":
+            raise ValueError(
+                "rank-sharded density calculations require the plan engine "
+                "(engine='plan' or 'batched')"
+            )
+
+    k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=config.eps_filter)
+    block_k = block_matrix_from_csr(k_ortho, blocks.block_sizes, threshold=0.0)
+    coo = CooBlockList.from_block_matrix(block_k)
+    grouping = grouping or single_column_groups(block_k.n_block_cols)
+    grouping.validate(block_k.n_block_cols)
+
+    # an explicitly requested rank count exercises the sharded path even at
+    # ranks == 1 (a single shard of everything), so the bitwise-identity
+    # guarantee covers the sharding machinery itself
+    use_sharded = (
+        eigen_cache
+        and engine != "naive"
+        and (ranks > 1 or (explicit_ranks and ranks == 1))
+    )
+    if eigen_cache:
+        if engine == "naive":
+            decomposed, plan = _decompose_naive(context, block_k, grouping, coo)
+        elif use_sharded:
+            decomposed, plan = _decompose_sharded(
+                context, block_k, grouping, coo, ranks, distribution
+            )
+        else:
+            decomposed, plan = _decompose_planned(context, block_k, grouping, coo)
+        mu_iterations = 0
+        if canonical:
+            mu, mu_iterations = _bisect_mu(
+                config,
+                decomposed,
+                float(n_electrons),
+                mu_tolerance,
+                max_mu_iterations,
+            )
+        assert mu is not None
+        occupation_block = _scatter_occupations(
+            config, block_k, decomposed, coo, float(mu), plan
+        )
+        dimensions = [d.submatrix.dimension for d in decomposed]
+    else:
+        occupation_block, dimensions = _iterative_occupations(
+            context, block_k, grouping, coo, float(mu), kernel
+        )
+        mu_iterations = 0
+
+    density_ortho = block_matrix_to_csr(occupation_block)
+    density_ao = s_inv_sqrt @ density_ortho.toarray() @ s_inv_sqrt
+    k_dense = K.toarray() if sp.issparse(K) else np.asarray(K, dtype=float)
+    energy = band_structure_energy(density_ao, k_dense, config.spin_degeneracy)
+    n_elec = electron_count(density_ortho, config.spin_degeneracy)
+    wall = time.perf_counter() - start
+    return SubmatrixDFTResult(
+        density_ao=density_ao,
+        density_ortho=density_ortho,
+        mu=float(mu),
+        n_electrons=n_elec,
+        band_energy=energy,
+        submatrix_dimensions=dimensions,
+        mu_iterations=mu_iterations,
+        eps_filter=config.eps_filter,
+        wall_time=wall,
+        n_ranks=ranks,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# eigendecomposition cache (grand-canonical and canonical)
+# --------------------------------------------------------------------------- #
+def _make_entry(
+    submatrix: Submatrix, eigenvalues: np.ndarray, eigenvectors: np.ndarray
+) -> DecomposedSubmatrix:
+    offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
+    generating_rows: List[np.ndarray] = []
+    for local_column in submatrix.local_columns:
+        generating_rows.append(
+            np.arange(offsets[local_column], offsets[local_column + 1])
+        )
+    return DecomposedSubmatrix(
+        submatrix=submatrix,
+        eigenvalues=eigenvalues,
+        eigenvectors=eigenvectors,
+        generating_function_rows=np.concatenate(generating_rows),
+    )
+
+
+def _decompose_naive(
+    context, block_k: BlockSparseMatrix, grouping: ColumnGrouping, coo: CooBlockList
+) -> Tuple[List[DecomposedSubmatrix], Optional[BlockSubmatrixPlan]]:
+    """Reference path: per-group extraction and one eigh call per submatrix."""
+
+    def decompose(group: Sequence[int]) -> DecomposedSubmatrix:
+        submatrix = extract_block_submatrix(block_k, group, coo)
+        eigenvalues, eigenvectors = np.linalg.eigh(submatrix.data)
+        return _make_entry(submatrix, eigenvalues, eigenvectors)
+
+    return context._map(decompose, list(grouping.groups)), None
+
+
+def _decompose_planned(
+    context, block_k: BlockSparseMatrix, grouping: ColumnGrouping, coo: CooBlockList
+) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
+    """Extract and eigendecompose every submatrix (Eq. 17, first step).
+
+    Extraction runs through the cached vectorized plan and the
+    eigendecompositions are evaluated one bucket (stack of equal-dimension
+    submatrices) at a time.  Buckets stay exact-dimension: Algorithm 1
+    reuses the cached per-submatrix eigendecompositions during the
+    μ-bisection, and a padded block-diagonal embedding has a different
+    spectrum bookkeeping.
+    """
+    groups = list(grouping.groups)
+    plan = block_plan(coo, block_k.row_block_sizes, groups, cache=context.plan_cache)
+    packed = plan.pack(block_k)
+    buckets = make_stack_tasks(plan.dimensions)
+
+    def decompose_bucket(bucket):
+        stack = plan.extract_stack(packed, bucket.members, bucket.dimension)
+        eigenvalues, eigenvectors = np.linalg.eigh(stack)
+        return [
+            _make_entry(
+                plan.groups[group_index].make_submatrix(),
+                eigenvalues[slot],
+                eigenvectors[slot],
+            )
+            for slot, group_index in enumerate(bucket.members)
+        ]
+
+    per_bucket = context._map(decompose_bucket, buckets)
+    entries: List[Optional[DecomposedSubmatrix]] = [None] * len(groups)
+    for bucket, bucket_entries in zip(buckets, per_bucket):
+        for group_index, entry in zip(bucket.members, bucket_entries):
+            entries[group_index] = entry
+    return entries, plan  # type: ignore[return-value]
+
+
+def _decompose_sharded(
+    context,
+    block_k: BlockSparseMatrix,
+    grouping: ColumnGrouping,
+    coo: CooBlockList,
+    ranks: int,
+    distribution=None,
+) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
+    """Build the eigendecomposition cache rank-sharded through the pipeline.
+
+    The context's :class:`~repro.core.runner.DistributedSubmatrixPipeline`
+    fixes the submatrix→rank assignment (``config.balance``), the sharded
+    extraction plan and the packed-segment transfer plan; each rank then
+    gathers its local buffer and eigendecomposes its shard bucket by bucket
+    — the same per-rank execution :meth:`run` uses, with the decomposition
+    kept instead of an evaluated matrix function.  Entries are reassembled
+    in global group order, so the subsequent μ-bisection and scatter are
+    bitwise identical to the single-process path.
+    """
+    pipeline = context.pipeline(
+        coo,
+        block_k.row_block_sizes,
+        n_ranks=ranks,
+        grouping=grouping,
+        distribution=distribution,
+        # Algorithm 1 needs exact-dimension buckets (see _decompose_planned)
+        bucket_pad=None,
+    )
+    plan, sharded = pipeline.prepare()
+    packed = plan.pack(block_k)
+
+    def decompose_rank(rank: int) -> List[Tuple[int, DecomposedSubmatrix]]:
+        shard = sharded.shards[rank]
+        if shard.n_groups == 0:
+            return []
+        local = shard.pack_local(packed)
+        entries: List[Tuple[int, DecomposedSubmatrix]] = []
+        for bucket in make_stack_tasks(shard.dimensions):
+            stack = shard.view.extract_stack(local, bucket.members, bucket.dimension)
+            eigenvalues, eigenvectors = np.linalg.eigh(stack)
+            for slot, local_index in enumerate(bucket.members):
+                group_index = int(shard.group_indices[local_index])
+                entries.append(
+                    (
+                        group_index,
+                        _make_entry(
+                            plan.groups[group_index].make_submatrix(),
+                            eigenvalues[slot],
+                            eigenvectors[slot],
+                        ),
+                    )
+                )
+        return entries
+
+    per_rank = context._map(decompose_rank, list(range(ranks)))
+    entries: List[Optional[DecomposedSubmatrix]] = [None] * plan.n_groups
+    for rank_entries in per_rank:
+        for group_index, entry in rank_entries:
+            entries[group_index] = entry
+    return entries, plan  # type: ignore[return-value]
+
+
+def _occupations(config, eigenvalues: np.ndarray, mu: float) -> np.ndarray:
+    """Occupation numbers f(λ − μ) (Heaviside with f=1/2 at μ, or Fermi)."""
+    return fermi_occupation(eigenvalues, mu, config.temperature)
+
+
+def _bisect_mu(
+    config,
+    decomposed: Sequence[DecomposedSubmatrix],
+    n_electrons: float,
+    tolerance: float,
+    max_iterations: int,
+) -> Tuple[float, int]:
+    """Adjust μ by bisection on the cached eigendecompositions (Alg. 1).
+
+    Implements Algorithm 1: only the rows of Q that correspond to the
+    generating block columns contribute (only those columns enter the
+    sparse result), and the contribution of one submatrix reduces to
+    ``weights · f(λ − μ)``.  The eigenvalues and weights of all
+    submatrices are concatenated once, so every bisection step is a
+    single vectorized occupation evaluation plus a dot product.
+    """
+    all_eigenvalues = np.concatenate([d.eigenvalues for d in decomposed])
+    all_weights = np.concatenate([d.weights() for d in decomposed])
+    lo = float(all_eigenvalues.min()) - 1.0
+    hi = float(all_eigenvalues.max()) + 1.0
+    iterations = 0
+    mu = 0.5 * (lo + hi)
+    for iterations in range(1, max_iterations + 1):
+        mu = 0.5 * (lo + hi)
+        occupations = _occupations(config, all_eigenvalues, mu)
+        count = config.spin_degeneracy * float(np.dot(all_weights, occupations))
+        error = count - n_electrons
+        if abs(error) <= tolerance:
+            break
+        if error < 0:
+            lo = mu
+        else:
+            hi = mu
+    return mu, iterations
+
+
+def _scatter_occupations(
+    config,
+    block_k: BlockSparseMatrix,
+    decomposed: Sequence[DecomposedSubmatrix],
+    coo: CooBlockList,
+    mu: float,
+    plan: Optional[BlockSubmatrixPlan] = None,
+) -> BlockSparseMatrix:
+    """Form f(a − μ) per submatrix and scatter the generating columns.
+
+    With a plan, the scatter is one vectorized write per submatrix into a
+    preallocated packed output buffer and the result blocks are zero-copy
+    views into that buffer.
+    """
+    if plan is not None:
+        out = plan.new_output()
+        for group_index, entry in enumerate(decomposed):
+            occupations = _occupations(config, entry.eigenvalues, mu)
+            occupation_matrix = (
+                entry.eigenvectors * occupations
+            ) @ entry.eigenvectors.T
+            plan.scatter(out, group_index, occupation_matrix)
+        return plan.finalize(out)
+    result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
+    for entry in decomposed:
+        occupations = _occupations(config, entry.eigenvalues, mu)
+        occupation_matrix = (
+            entry.eigenvectors * occupations
+        ) @ entry.eigenvectors.T
+        scatter_block_submatrix_result(result, occupation_matrix, entry.submatrix, coo)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# iterative path (grand-canonical only, used for the solver ablation)
+# --------------------------------------------------------------------------- #
+def _iterative_occupations(
+    context,
+    block_k: BlockSparseMatrix,
+    grouping: ColumnGrouping,
+    coo: CooBlockList,
+    mu: float,
+    kernel,
+) -> Tuple[BlockSparseMatrix, List[int]]:
+    """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
+
+    ``kernel`` is any registered :class:`~repro.signfn.registry.MatrixFunction`
+    without an eigendecomposition cache — the built-in Newton–Schulz and
+    Padé iterations, or a user-registered sign kernel.  The μ-shift is
+    applied here, so parameterless kernels work unchanged; the kernel is
+    bound without parameters and receives the shifted submatrices.
+
+    With the plan engine, extraction and scatter run through the cached plan
+    and the kernel's batched variant (when it has one) iterates whole
+    equal-or-padded-dimension buckets at once.  Bucket padding embeds a
+    small submatrix block-diagonally with ``1 + μ`` on the padding diagonal,
+    so after the μ-shift the padding eigenvalues sit at exactly 1 (well
+    inside the sign iteration's convergence region) and the padded rows
+    never reach the scatter.
+    """
+    config = context.config
+    bound = kernel.bind()
+    groups = list(grouping.groups)
+    if config.engine == "naive":
+
+        def solve(group: Sequence[int]):
+            submatrix = extract_block_submatrix(block_k, group, coo)
+            shifted = submatrix.data - mu * np.eye(submatrix.dimension)
+            sign = np.asarray(bound.function(shifted), dtype=float)
+            occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
+            return submatrix, occupation
+
+        solved = context._map(solve, groups)
+        result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
+        dimensions = []
+        for submatrix, occupation in solved:
+            dimensions.append(submatrix.dimension)
+            scatter_block_submatrix_result(result, occupation, submatrix, coo)
+        return result, dimensions
+
+    plan = block_plan(coo, block_k.row_block_sizes, groups, cache=context.plan_cache)
+    packed = plan.pack(block_k)
+    dimensions = plan.dimensions
+    pad = resolve_bucket_pad(config.bucket_pad, dimensions)
+    if pad is not None and not kernel.matrix_function:
+        raise ValueError(
+            f"kernel {kernel.name!r} is not a genuine matrix function; "
+            "bucket padding requires exact-dimension buckets (bucket_pad=None)"
+        )
+    buckets = make_stack_tasks(dimensions, pad_to=pad)
+
+    def solve_bucket(bucket):
+        dim = bucket.dimension
+        identity = np.eye(dim)
+        stack = plan.extract_stack(packed, bucket.members, dim, pad_value=1.0 + mu)
+        stack -= mu * identity
+        if bound.batch_function is not None:
+            signs = np.asarray(bound.batch_function(stack), dtype=float)
+        else:
+            signs = np.stack(
+                [
+                    np.asarray(bound.function(stack[slot]), dtype=float)
+                    for slot in range(len(bucket.members))
+                ]
+            )
+        if signs.shape != stack.shape:
+            raise ValueError(
+                f"sign kernel {kernel.name!r} returned shape {signs.shape}, "
+                f"expected {stack.shape}"
+            )
+        return 0.5 * (identity - signs)
+
+    per_bucket = context._map(solve_bucket, buckets)
+    out = plan.new_output()
+    for bucket, occupations in zip(buckets, per_bucket):
+        plan.scatter_stack(out, bucket.members, occupations, bucket.dimension)
+    return plan.finalize(out), list(dimensions)

@@ -1,0 +1,132 @@
+"""Result types of the unified session API.
+
+These dataclasses were born in :mod:`repro.core.method` and
+:mod:`repro.core.sign_dft`; they live here so the session layer
+(:mod:`repro.api.context`, :mod:`repro.api.density`) and the legacy facades
+can share them without import cycles.  The facades re-export them under
+their historical names, so ``from repro.core import SubmatrixMethodResult``
+keeps working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+if TYPE_CHECKING:  # avoid a runtime cycle: core.method imports this module
+    from repro.core.submatrix import Submatrix
+    from repro.dbcsr.block_matrix import BlockSparseMatrix
+
+__all__ = [
+    "SubmatrixMethodResult",
+    "SubmatrixDFTResult",
+    "DecomposedSubmatrix",
+]
+
+
+@dataclasses.dataclass
+class SubmatrixMethodResult:
+    """Result of an approximate matrix-function evaluation.
+
+    Attributes
+    ----------
+    result:
+        The approximate f(A) with the sparsity pattern of A (CSR matrix for
+        element-level evaluation, :class:`BlockSparseMatrix` for block-level).
+    submatrix_dimensions:
+        Dense dimension of every submatrix that was solved.
+    wall_time:
+        Wall-clock seconds spent (extraction + evaluation + scatter).
+    flop_estimate:
+        Σ c·n_i³ estimate of the evaluation cost with c = 1 (callers rescale
+        with their solver's constant); this is the cost model used for load
+        balancing and for the combination heuristic (Eq. 14).
+    """
+
+    result: Union[sp.csr_matrix, BlockSparseMatrix]
+    submatrix_dimensions: List[int]
+    wall_time: float
+    flop_estimate: float
+
+    @property
+    def n_submatrices(self) -> int:
+        return len(self.submatrix_dimensions)
+
+    @property
+    def max_dimension(self) -> int:
+        return max(self.submatrix_dimensions) if self.submatrix_dimensions else 0
+
+
+@dataclasses.dataclass
+class SubmatrixDFTResult:
+    """Result of a submatrix-method density-matrix calculation.
+
+    Attributes
+    ----------
+    density_ao:
+        Density matrix in the original (non-orthogonal) AO basis, Eq. 16.
+    density_ortho:
+        Density matrix in the Löwdin-orthogonalized basis (sparse, with the
+        sparsity pattern of the filtered orthogonalized Kohn–Sham matrix).
+    mu:
+        Chemical potential used (fixed for grand-canonical, bisected for
+        canonical calculations).
+    n_electrons:
+        Electron count of the computed density matrix (Eq. 18, times the
+        spin degeneracy).
+    band_energy:
+        Band-structure energy Tr(D K) (Eq. 10, times the spin degeneracy).
+    submatrix_dimensions:
+        Dense dimensions of all solved submatrices.
+    mu_iterations:
+        Bisection iterations spent adjusting μ (0 for grand-canonical runs).
+    eps_filter:
+        Filter threshold applied to the orthogonalized Kohn–Sham matrix.
+    wall_time:
+        Wall-clock seconds for the full computation.
+    n_ranks:
+        Simulated rank count the eigendecomposition cache was sharded over
+        (1 for single-process runs).
+    """
+
+    density_ao: np.ndarray
+    density_ortho: sp.csr_matrix
+    mu: float
+    n_electrons: float
+    band_energy: float
+    submatrix_dimensions: List[int]
+    mu_iterations: int
+    eps_filter: float
+    wall_time: float
+    n_ranks: int = 1
+
+    @property
+    def n_submatrices(self) -> int:
+        return len(self.submatrix_dimensions)
+
+    @property
+    def max_submatrix_dimension(self) -> int:
+        return max(self.submatrix_dimensions) if self.submatrix_dimensions else 0
+
+
+@dataclasses.dataclass
+class DecomposedSubmatrix:
+    """Cached eigendecomposition of one submatrix (input to Algorithm 1)."""
+
+    submatrix: Submatrix
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    generating_function_rows: np.ndarray  # local dense rows of the generating columns
+    # Σ_rows Q²[generating rows, :] — the electron count at chemical potential
+    # μ is just weights · f(λ − μ), so the whole bisection works on two flat
+    # vectors instead of re-slicing the eigenvectors every iteration
+    generating_weights: Optional[np.ndarray] = None
+
+    def weights(self) -> np.ndarray:
+        if self.generating_weights is None:
+            q_rows = self.eigenvectors[self.generating_function_rows, :]
+            self.generating_weights = np.sum(q_rows**2, axis=0)
+        return self.generating_weights

@@ -73,11 +73,18 @@ from repro.core.transfers import TransferPlan, plan_transfers
 from repro.core.sign_dft import SubmatrixDFTSolver, SubmatrixDFTResult
 from repro.core.runner import (
     DistributedSubmatrixPipeline,
+    PipelineRankReport,
     PipelineResult,
     SubmatrixRunCost,
     submatrix_method_cost,
     newton_schulz_cost,
+    estimate_newton_schulz_iterations,
+    EIGENSOLVE_FLOP_CONSTANT,
+    BALANCE_STRATEGIES,
 )
+# the session API's configuration layer (safe to import here: config sits
+# below the core facades in the dependency graph)
+from repro.api.config import ENGINES, EngineConfig
 
 __all__ = [
     "Submatrix",
@@ -121,8 +128,14 @@ __all__ = [
     "SubmatrixDFTSolver",
     "SubmatrixDFTResult",
     "DistributedSubmatrixPipeline",
+    "PipelineRankReport",
     "PipelineResult",
     "submatrix_method_cost",
     "newton_schulz_cost",
+    "estimate_newton_schulz_iterations",
     "SubmatrixRunCost",
+    "EIGENSOLVE_FLOP_CONSTANT",
+    "BALANCE_STRATEGIES",
+    "ENGINES",
+    "EngineConfig",
 ]

@@ -1,9 +1,15 @@
-"""End-to-end submatrix evaluation of a matrix function.
+"""End-to-end submatrix evaluation of a matrix function (legacy facade).
 
-:class:`SubmatrixMethod` wires together submatrix extraction, evaluation of
-an arbitrary unary matrix function on every (dense) submatrix, and the
-scatter-back of the generating columns into a sparse result with the input's
-sparsity pattern.  It supports both granularities used in the paper:
+:class:`SubmatrixMethod` is the historical entry point for evaluating an
+arbitrary unary matrix function on every (dense) submatrix and scattering
+the generating columns back into a sparse result.  Since the session API
+refactor it is a thin facade over :class:`repro.api.context.SubmatrixContext`:
+the constructor folds its keyword arguments into an
+:class:`~repro.api.config.EngineConfig` and every call delegates to a
+private context, so results are bitwise identical to
+``SubmatrixContext.apply`` and both surfaces share one implementation.
+
+It supports both granularities used in the paper:
 
 * element level — one submatrix per matrix column (or per group of columns),
   operating on ``scipy.sparse`` matrices; this matches the original
@@ -13,89 +19,37 @@ sparsity pattern.  It supports both granularities used in the paper:
   of the CP2K implementation (Sec. IV-C).
 
 Three execution engines are available (``engine=`` on the constructor or per
-call):
+call): ``"naive"`` (the reference implementation), ``"plan"`` (default; the
+cached vectorized engine of :mod:`repro.core.plan`, bitwise identical to
+``"naive"``) and ``"batched"`` (plan plus the bucketed batch evaluator of
+:mod:`repro.core.batch`).
 
-* ``"naive"`` — the reference implementation: per-call index bookkeeping,
-  Python block loops and dict accumulators (kept for equivalence testing
-  and as executable documentation of the method);
-* ``"plan"`` (default) — the vectorized engine of :mod:`repro.core.plan`:
-  gather/scatter index arrays are precomputed once per (pattern, grouping)
-  and cached, every extraction/scatter is a single vectorized operation,
-  and the result is assembled zero-copy.  Bitwise identical to ``"naive"``;
-* ``"batched"`` — the plan engine plus the bucketed batch evaluator of
-  :mod:`repro.core.batch`: submatrices of equal (or padded-to-bucket)
-  dimension are stacked into 3-D arrays and evaluated with one batched call
-  per stack (supply ``batch_function`` for a truly batched kernel).
-
-The per-submatrix evaluations are embarrassingly parallel and can be executed
-on a thread or process pool.
+New code should prefer the session API directly — one
+:class:`~repro.api.context.SubmatrixContext` amortizes plans and worker
+pools across many evaluations and accepts registered kernel names
+(``context.apply(matrix, "eigen", mu=0.2)``).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.batch import evaluate_batched
-from repro.core.load_balance import resolve_bucket_pad
-from repro.core.plan import (
-    PlanCache,
-    SubmatrixPlan,
-    block_plan,
-    element_plan,
-)
-from repro.core.submatrix import (
-    extract_block_submatrix,
-    extract_submatrix,
-    scatter_block_submatrix_result,
-    scatter_submatrix_result,
-)
+from repro.api.config import ENGINES, EngineConfig
+from repro.api.results import SubmatrixMethodResult
+from repro.core.plan import PlanCache, SubmatrixPlan
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.coo import CooBlockList
-from repro.parallel.executor import map_parallel
 
-__all__ = ["SubmatrixMethod", "SubmatrixMethodResult"]
+__all__ = ["SubmatrixMethod", "SubmatrixMethodResult", "ENGINES"]
 
+#: Legacy type alias; the registry's :class:`repro.signfn.registry.MatrixFunction`
+#: is the named-kernel counterpart of this bare-callable contract.
 MatrixFunction = Callable[[np.ndarray], np.ndarray]
 
-ENGINES = ("naive", "plan", "batched")
-
-
-@dataclasses.dataclass
-class SubmatrixMethodResult:
-    """Result of an approximate matrix-function evaluation.
-
-    Attributes
-    ----------
-    result:
-        The approximate f(A) with the sparsity pattern of A (CSR matrix for
-        element-level evaluation, :class:`BlockSparseMatrix` for block-level).
-    submatrix_dimensions:
-        Dense dimension of every submatrix that was solved.
-    wall_time:
-        Wall-clock seconds spent (extraction + evaluation + scatter).
-    flop_estimate:
-        Σ c·n_i³ estimate of the evaluation cost with c = 1 (callers rescale
-        with their solver's constant); this is the cost model used for load
-        balancing and for the combination heuristic (Eq. 14).
-    """
-
-    result: Union[sp.csr_matrix, BlockSparseMatrix]
-    submatrix_dimensions: List[int]
-    wall_time: float
-    flop_estimate: float
-
-    @property
-    def n_submatrices(self) -> int:
-        return len(self.submatrix_dimensions)
-
-    @property
-    def max_dimension(self) -> int:
-        return max(self.submatrix_dimensions) if self.submatrix_dimensions else 0
+_UNSET = object()
 
 
 class SubmatrixMethod:
@@ -105,7 +59,8 @@ class SubmatrixMethod:
     ----------
     function:
         Unary matrix function applied to each dense submatrix, e.g.
-        ``lambda a: sign_via_eigendecomposition(a, mu)``.
+        ``lambda a: sign_via_eigendecomposition(a, mu)``, or the name of a
+        registered kernel (``"eigen"``, ``"newton_schulz"``, …).
     max_workers:
         Worker count for the parallel evaluation of submatrices.
     backend:
@@ -125,29 +80,89 @@ class SubmatrixMethod:
     plan_cache:
         Optional private :class:`~repro.core.plan.PlanCache`; the process-wide
         default cache is used when omitted.
+    config:
+        An :class:`~repro.api.config.EngineConfig` supplying all of the
+        above at once; individual keyword arguments override its fields.
     """
 
     def __init__(
         self,
-        function: MatrixFunction,
-        max_workers: Optional[int] = None,
-        backend: str = "serial",
-        engine: str = "plan",
+        function: Union[MatrixFunction, str],
+        max_workers=_UNSET,
+        backend=_UNSET,
+        engine=_UNSET,
         batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-        bucket_pad: Optional[Union[int, str]] = None,
+        bucket_pad=_UNSET,
         plan_cache: Optional[PlanCache] = None,
+        config: Optional[EngineConfig] = None,
     ):
-        if not callable(function):
+        if isinstance(function, str):
+            from repro.signfn.registry import get_kernel
+
+            get_kernel(function)  # fail fast (UnknownKernelError) on typos
+        elif not callable(function):
             raise TypeError("function must be callable")
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}")
+        if config is None:
+            config = EngineConfig()
+        # only explicitly passed kwargs override the config; the sentinel
+        # keeps default-valued explicit kwargs (engine="plan", ...) working
+        overrides = {}
+        if engine is not _UNSET:
+            overrides["engine"] = engine
+        if backend is not _UNSET:
+            overrides["backend"] = backend
+        if max_workers is not _UNSET:
+            overrides["max_workers"] = max_workers
+        if bucket_pad is not _UNSET:
+            overrides["bucket_pad"] = bucket_pad
+        if overrides:
+            config = config.replace(**overrides)
+        from repro.api.context import SubmatrixContext
+        from repro.core.plan import DEFAULT_PLAN_CACHE
+
         self.function = function
-        self.max_workers = max_workers
-        self.backend = backend
-        self.engine = engine
         self.batch_function = batch_function
-        self.bucket_pad = bucket_pad
-        self.plan_cache = plan_cache
+        # legacy contract: the process-wide default cache when none is given
+        # (a SubmatrixContext built directly owns a private cache instead)
+        self.context = SubmatrixContext(
+            config,
+            plan_cache=DEFAULT_PLAN_CACHE if plan_cache is None else plan_cache,
+        )
+
+    # legacy attribute surface, now views into the session config
+    @property
+    def config(self) -> EngineConfig:
+        return self.context.config
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self.config.max_workers
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def engine(self) -> str:
+        return self.config.engine
+
+    @property
+    def bucket_pad(self) -> Optional[Union[int, str]]:
+        return self.config.bucket_pad
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self.context.plan_cache
+
+    def close(self) -> None:
+        """Shut down the private session's persistent executor (idempotent)."""
+        self.context.close()
+
+    def __enter__(self) -> "SubmatrixMethod":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # element level
@@ -174,49 +189,14 @@ class SubmatrixMethod:
             Pre-built :class:`~repro.core.plan.ElementSubmatrixPlan` to reuse
             (skips the cache lookup).
         """
-        if matrix.shape[0] != matrix.shape[1]:
-            raise ValueError("the submatrix method requires a square matrix")
-        engine = self._resolve_engine(engine)
-        start = time.perf_counter()
-        csc = matrix.tocsc()
-        n = csc.shape[1]
-        if column_groups is None:
-            column_groups = [[c] for c in range(n)]
-        self._validate_groups(column_groups, n)
-        if engine == "naive":
-            result, dimensions = self._apply_elementwise_naive(csc, column_groups)
-        else:
-            if plan is None:
-                plan = element_plan(csc, column_groups, cache=self.plan_cache)
-            result, dimensions = self._apply_planned(csc, plan, engine)
-        wall = time.perf_counter() - start
-        return SubmatrixMethodResult(
-            result=result,
-            submatrix_dimensions=dimensions,
-            wall_time=wall,
-            flop_estimate=float(sum(float(d) ** 3 for d in dimensions)),
+        return self.context.apply_elementwise(
+            matrix,
+            self.function,
+            column_groups=column_groups,
+            engine=engine,
+            batch_function=self.batch_function,
+            plan=plan,
         )
-
-    def _apply_elementwise_naive(
-        self, csc: sp.csc_matrix, column_groups: Sequence[Sequence[int]]
-    ):
-        """Reference path: per-call extraction and dict-of-dict accumulation."""
-
-        def solve(group: Sequence[int]):
-            submatrix = extract_submatrix(csc, group)
-            evaluated = self.function(submatrix.data)
-            return submatrix, np.asarray(evaluated, dtype=float)
-
-        solved = map_parallel(
-            solve, list(column_groups), self.max_workers, self.backend
-        )
-        accumulator: dict = {}
-        dimensions: List[int] = []
-        for submatrix, evaluated in solved:
-            self._check_shape(submatrix.dimension, evaluated)
-            dimensions.append(submatrix.dimension)
-            scatter_submatrix_result(accumulator, evaluated, submatrix, csc)
-        return self._assemble_csr(accumulator, csc.shape[1]), dimensions
 
     # ------------------------------------------------------------------ #
     # block level
@@ -246,136 +226,12 @@ class SubmatrixMethod:
         plan:
             Pre-built :class:`~repro.core.plan.BlockSubmatrixPlan` to reuse.
         """
-        engine = self._resolve_engine(engine)
-        start = time.perf_counter()
-        if coo is None:
-            coo = CooBlockList.from_block_matrix(matrix)
-        n_block_cols = matrix.n_block_cols
-        if column_groups is None:
-            column_groups = [[c] for c in range(n_block_cols)]
-        self._validate_groups(column_groups, n_block_cols)
-        if engine == "naive":
-            result, dimensions = self._apply_blockwise_naive(
-                matrix, column_groups, coo
-            )
-        else:
-            if plan is None:
-                plan = block_plan(
-                    coo,
-                    matrix.row_block_sizes,
-                    column_groups,
-                    cache=self.plan_cache,
-                )
-            result, dimensions = self._apply_planned(matrix, plan, engine)
-        wall = time.perf_counter() - start
-        return SubmatrixMethodResult(
-            result=result,
-            submatrix_dimensions=dimensions,
-            wall_time=wall,
-            flop_estimate=float(sum(float(d) ** 3 for d in dimensions)),
+        return self.context.apply_blockwise(
+            matrix,
+            self.function,
+            column_groups=column_groups,
+            coo=coo,
+            engine=engine,
+            batch_function=self.batch_function,
+            plan=plan,
         )
-
-    def _apply_blockwise_naive(
-        self,
-        matrix: BlockSparseMatrix,
-        column_groups: Sequence[Sequence[int]],
-        coo: CooBlockList,
-    ):
-        """Reference path: per-call block loops and copying scatter."""
-
-        def solve(group: Sequence[int]):
-            submatrix = extract_block_submatrix(matrix, group, coo)
-            evaluated = self.function(submatrix.data)
-            return submatrix, np.asarray(evaluated, dtype=float)
-
-        solved = map_parallel(
-            solve, list(column_groups), self.max_workers, self.backend
-        )
-        result = BlockSparseMatrix(matrix.row_block_sizes, matrix.col_block_sizes)
-        dimensions: List[int] = []
-        for submatrix, evaluated in solved:
-            self._check_shape(submatrix.dimension, evaluated)
-            dimensions.append(submatrix.dimension)
-            scatter_block_submatrix_result(result, evaluated, submatrix, coo)
-        return result, dimensions
-
-    # ------------------------------------------------------------------ #
-    # plan / batched engines (granularity-agnostic)
-    # ------------------------------------------------------------------ #
-    def _apply_planned(self, matrix, plan: SubmatrixPlan, engine: str):
-        """Evaluate through a plan: pack, gather, evaluate, scatter, finalize."""
-        packed = plan.pack(matrix)
-        dimensions = plan.dimensions
-        out = plan.new_output()
-        if engine == "batched":
-            # stacks are scattered straight into the output buffer, one
-            # vectorized write per stack
-            evaluate_batched(
-                plan,
-                packed,
-                function=self.function,
-                batch_function=self.batch_function,
-                pad_to=resolve_bucket_pad(self.bucket_pad, dimensions),
-                max_workers=self.max_workers,
-                backend=self.backend,
-                out=out,
-            )
-        else:
-
-            def solve(group_index: int) -> np.ndarray:
-                dense = plan.extract(packed, group_index)
-                return np.asarray(self.function(dense), dtype=float)
-
-            evaluated = map_parallel(
-                solve, list(range(plan.n_groups)), self.max_workers, self.backend
-            )
-            for group_index, f_submatrix in enumerate(evaluated):
-                self._check_shape(dimensions[group_index], f_submatrix)
-                plan.scatter(out, group_index, f_submatrix)
-        return plan.finalize(out), list(dimensions)
-
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
-    def _resolve_engine(self, engine: Optional[str]) -> str:
-        engine = engine or self.engine
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}")
-        return engine
-
-    @staticmethod
-    def _validate_groups(groups: Sequence[Sequence[int]], n_columns: int) -> None:
-        seen = np.zeros(n_columns, dtype=bool)
-        for group in groups:
-            if len(group) == 0:
-                raise ValueError("column groups must be non-empty")
-            for column in group:
-                if not 0 <= column < n_columns:
-                    raise IndexError(f"column {column} out of range")
-                if seen[column]:
-                    raise ValueError(f"column {column} appears in more than one group")
-                seen[column] = True
-        if not np.all(seen):
-            missing = int(np.flatnonzero(~seen)[0])
-            raise ValueError(f"column {missing} is not covered by any group")
-
-    @staticmethod
-    def _check_shape(dimension: int, evaluated: np.ndarray) -> None:
-        expected = (dimension, dimension)
-        if evaluated.shape != expected:
-            raise ValueError(
-                f"matrix function returned shape {evaluated.shape}, "
-                f"expected {expected}"
-            )
-
-    @staticmethod
-    def _assemble_csr(accumulator: dict, n: int) -> sp.csr_matrix:
-        rows: List[int] = []
-        cols: List[int] = []
-        values: List[float] = []
-        for column, column_store in accumulator.items():
-            for row, value in column_store.items():
-                rows.append(row)
-                cols.append(column)
-                values.append(value)
-        return sp.coo_matrix((values, (rows, cols)), shape=(n, n)).tocsr()

@@ -34,7 +34,6 @@ both into simulated wall-clock times.
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import math
 import time
@@ -43,6 +42,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 import scipy.sparse as sp
 
+from repro.api.config import (
+    BALANCE_STRATEGIES,
+    EIGENSOLVE_FLOP_CONSTANT,
+    EngineConfig,
+)
 from repro.core.batch import (
     MAX_BATCH_ELEMENTS,
     count_stack_tasks,
@@ -63,10 +67,11 @@ from repro.core.transfers import TransferPlan, plan_transfers
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.coo import CooBlockList
 from repro.dbcsr.distribution import BlockDistribution, ProcessGrid2D
-from repro.parallel.executor import map_parallel
+from repro.parallel.executor import executor_backend, map_parallel
 from repro.parallel.machine import MachineModel, SimulatedTime
 from repro.parallel.stats import TrafficLog
 from repro.parallel.topology import balanced_dims
+from repro.signfn.registry import resolve_kernel
 
 __all__ = [
     "DistributedSubmatrixPipeline",
@@ -80,14 +85,9 @@ __all__ = [
     "BALANCE_STRATEGIES",
 ]
 
-#: FLOPs of a dense symmetric eigendecomposition plus the two back
-#: transformations Q·diag·Qᵀ, expressed as a multiple of n³.  dsyevd costs
-#: roughly 4/3·n³ for the tridiagonal reduction plus ~4·n³ for the
-#: divide-and-conquer back-transformation; forming Q Λ' Qᵀ adds ~4·n³.
-EIGENSOLVE_FLOP_CONSTANT = 9.0
-
-#: Submatrix→rank assignment strategies of the pipeline.
-BALANCE_STRATEGIES = ("chunks", "stacks", "round_robin")
+# EIGENSOLVE_FLOP_CONSTANT and BALANCE_STRATEGIES moved to
+# repro.api.config (the shared configuration layer); re-exported here for
+# backwards compatibility.
 
 PatternLike = Union[sp.spmatrix, CooBlockList]
 
@@ -273,6 +273,41 @@ class DistributedSubmatrixPipeline:
             segment_index="required" if self._exact_transfers else None,
         )
 
+    @classmethod
+    def from_config(
+        cls,
+        pattern: PatternLike,
+        block_sizes: Sequence[int],
+        config: EngineConfig,
+        n_ranks: Optional[int] = None,
+        grouping: Optional[ColumnGrouping] = None,
+        distribution: Optional[BlockDistribution] = None,
+        plan_cache: Optional[PlanCache] = None,
+        **overrides,
+    ) -> "DistributedSubmatrixPipeline":
+        """Build a pipeline from an :class:`~repro.api.config.EngineConfig`.
+
+        ``balance``, ``bucket_pad``, ``flop_constant`` and
+        ``exact_transfers`` come from the config; ``**overrides`` replace
+        individual constructor arguments.
+        """
+        kwargs = dict(
+            grouping=grouping,
+            distribution=distribution,
+            balance=config.balance,
+            bucket_pad=config.bucket_pad,
+            flop_constant=config.flop_constant,
+            plan_cache=plan_cache,
+            exact_transfers=config.exact_transfers,
+        )
+        kwargs.update(overrides)
+        return cls(
+            pattern,
+            block_sizes,
+            config.n_ranks if n_ranks is None else int(n_ranks),
+            **kwargs,
+        )
+
     # ------------------------------------------------------------------ #
     # planning
     # ------------------------------------------------------------------ #
@@ -322,6 +357,17 @@ class DistributedSubmatrixPipeline:
         return submatrix_flop_costs(
             pad_dimensions(self.dimensions, self.bucket_pad), self.flop_constant
         )
+
+    def prepare(self):
+        """Build (or fetch) the extraction plan and sharded plan eagerly.
+
+        Returns ``(plan, sharded)``.  Used by the session API's rank-sharded
+        density driver, which needs the shards to build the per-rank
+        eigendecomposition cache without running a matrix function.
+        """
+        self._ensure_execution()
+        assert self.plan is not None and self.sharded is not None
+        return self.plan, self.sharded
 
     def _ensure_execution(self) -> None:
         """Build the extraction plan and shards lazily (first run() only)."""
@@ -413,15 +459,21 @@ class DistributedSubmatrixPipeline:
     def run(
         self,
         matrix: BlockSparseMatrix,
-        function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        function=None,
         batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         pad_value: float = 1.0,
         max_workers: Optional[int] = None,
         backend: str = "serial",
         executor=None,
         max_batch_elements: int = MAX_BATCH_ELEMENTS,
+        **kernel_params,
     ) -> PipelineResult:
         """Evaluate f on every submatrix through the sharded pipeline.
+
+        ``function`` may be a callable or a registered kernel name
+        (``"eigen"``, ``"newton_schulz"``, …; ``**kernel_params`` such as
+        ``mu=`` are forwarded to the kernel factory, which also supplies the
+        batched variant unless ``batch_function`` overrides it).
 
         Per rank: gather the rank-local packed buffer (the modelled
         initialization fetch), run the bucketed batch evaluator on the
@@ -435,13 +487,16 @@ class DistributedSubmatrixPipeline:
         thread backends are supported (a process pool could neither pickle
         the rank closure nor write back into the shared output).
         """
-        if backend == "process" or isinstance(
-            executor, concurrent.futures.ProcessPoolExecutor
-        ):
+        if backend == "process" or executor_backend(executor) == "process":
             raise ValueError(
                 "the pipeline's per-rank tasks share the packed output "
                 "buffer; use the 'serial' or 'thread' backend"
             )
+        if function is not None or kernel_params:
+            bound = resolve_kernel(
+                function, batch_function=batch_function, **kernel_params
+            )
+            function, batch_function = bound.function, bound.batch_function
         start = time.perf_counter()
         self._ensure_execution()
         assert self.plan is not None and self.sharded is not None

@@ -1,130 +1,45 @@
-"""Density-matrix construction via the submatrix sign method (Sec. IV-F/G).
+"""Density-matrix construction via the submatrix sign method (legacy facade).
 
-This is the paper's application of the submatrix method: computing the
-one-particle reduced density matrix from the Kohn–Sham and overlap matrices,
+:class:`SubmatrixDFTSolver` is the historical entry point for the paper's
+application of the submatrix method — computing the one-particle reduced
+density matrix from the Kohn–Sham and overlap matrices (Eq. 16), in the
+grand-canonical and canonical ensembles.  Since the session API refactor it
+is a thin facade over :meth:`repro.api.context.SubmatrixContext.density`
+(implemented in :mod:`repro.api.density`): the constructor folds its
+keyword arguments into an :class:`~repro.api.config.EngineConfig`, results
+are bitwise identical to the session path, and with ``n_ranks > 1`` in the
+config the eigendecomposition cache + μ-bisection run rank-sharded through
+the :class:`~repro.core.runner.DistributedSubmatrixPipeline`.
 
-    D = 1/2 · S^{-1/2} (I − sign(S^{-1/2} K S^{-1/2} − μ I)) S^{-1/2}   (Eq. 16)
+Deprecated legacy kwargs (still accepted, with a :class:`DeprecationWarning`):
 
-by evaluating the sign function with one dense eigendecomposition per
-submatrix (Eq. 17), with the extension sign(0) = 0 (Eq. 12) and, at finite
-temperature, the Fermi function instead of the Heaviside step.
-
-Both ensembles of the paper are supported:
-
-* **grand canonical** — the chemical potential μ is fixed and the electron
-  count follows from it;
-* **canonical** — the electron count is fixed and μ is adjusted by bisection.
-  Because every submatrix is eigendecomposed anyway, the bisection can reuse
-  the cached eigendecompositions and only has to re-apply the (shifted)
-  signum to the eigenvalues (Algorithm 1 of the paper) — no sign function or
-  eigendecomposition is recomputed during the search.
+* ``use_plan=`` — use ``config=EngineConfig(engine=...)``; ``use_plan=False``
+  maps to ``engine="naive"``, ``use_plan=True`` to ``engine="batched"``;
+* bare ``backend=`` / ``max_workers=`` — use
+  ``config=EngineConfig(backend=..., max_workers=...)``.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from typing import List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.chem.density import (
-    SPIN_DEGENERACY,
-    band_structure_energy,
-    electron_count,
-    fermi_occupation,
-)
+from repro.api.config import EngineConfig
+from repro.api.results import DecomposedSubmatrix, SubmatrixDFTResult
 from repro.chem.hamiltonian import BlockStructure
-from repro.chem.orthogonalize import orthogonalized_ks
-from repro.core.batch import make_stack_tasks
-from repro.core.combination import ColumnGrouping, single_column_groups
-from repro.core.load_balance import resolve_bucket_pad
-from repro.core.plan import BlockSubmatrixPlan, PlanCache, block_plan
-from repro.core.submatrix import (
-    Submatrix,
-    extract_block_submatrix,
-    scatter_block_submatrix_result,
-)
-from repro.dbcsr.block_matrix import BlockSparseMatrix
-from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
-from repro.dbcsr.coo import CooBlockList
-from repro.parallel.executor import make_executor, map_parallel
-from repro.signfn.newton_schulz import (
-    sign_newton_schulz,
-    sign_newton_schulz_batched,
-)
-from repro.signfn.pade import sign_pade
+from repro.core.combination import ColumnGrouping
+from repro.core.plan import PlanCache
+from repro.signfn.registry import get_kernel
 
 __all__ = ["SubmatrixDFTSolver", "SubmatrixDFTResult"]
 
+#: Backwards-compatible alias of the relocated eigendecomposition cache entry.
+_DecomposedSubmatrix = DecomposedSubmatrix
 
-@dataclasses.dataclass
-class SubmatrixDFTResult:
-    """Result of a submatrix-method density-matrix calculation.
-
-    Attributes
-    ----------
-    density_ao:
-        Density matrix in the original (non-orthogonal) AO basis, Eq. 16.
-    density_ortho:
-        Density matrix in the Löwdin-orthogonalized basis (sparse, with the
-        sparsity pattern of the filtered orthogonalized Kohn–Sham matrix).
-    mu:
-        Chemical potential used (fixed for grand-canonical, bisected for
-        canonical calculations).
-    n_electrons:
-        Electron count of the computed density matrix (Eq. 18, times the
-        spin degeneracy).
-    band_energy:
-        Band-structure energy Tr(D K) (Eq. 10, times the spin degeneracy).
-    submatrix_dimensions:
-        Dense dimensions of all solved submatrices.
-    mu_iterations:
-        Bisection iterations spent adjusting μ (0 for grand-canonical runs).
-    eps_filter:
-        Filter threshold applied to the orthogonalized Kohn–Sham matrix.
-    wall_time:
-        Wall-clock seconds for the full computation.
-    """
-
-    density_ao: np.ndarray
-    density_ortho: sp.csr_matrix
-    mu: float
-    n_electrons: float
-    band_energy: float
-    submatrix_dimensions: List[int]
-    mu_iterations: int
-    eps_filter: float
-    wall_time: float
-
-    @property
-    def n_submatrices(self) -> int:
-        return len(self.submatrix_dimensions)
-
-    @property
-    def max_submatrix_dimension(self) -> int:
-        return max(self.submatrix_dimensions) if self.submatrix_dimensions else 0
-
-
-@dataclasses.dataclass
-class _DecomposedSubmatrix:
-    """Cached eigendecomposition of one submatrix (input to Algorithm 1)."""
-
-    submatrix: Submatrix
-    eigenvalues: np.ndarray
-    eigenvectors: np.ndarray
-    generating_function_rows: np.ndarray  # local dense rows of the generating columns
-    # Σ_rows Q²[generating rows, :] — the electron count at chemical potential
-    # μ is just weights · f(λ − μ), so the whole bisection works on two flat
-    # vectors instead of re-slicing the eigenvectors every iteration
-    generating_weights: Optional[np.ndarray] = None
-
-    def weights(self) -> np.ndarray:
-        if self.generating_weights is None:
-            q_rows = self.eigenvectors[self.generating_function_rows, :]
-            self.generating_weights = np.sum(q_rows**2, axis=0)
-        return self.generating_weights
+_UNSET = object()
 
 
 class SubmatrixDFTSolver:
@@ -140,21 +55,22 @@ class SubmatrixDFTSolver:
         Electronic temperature in Kelvin; 0 uses the extended signum
         (Eq. 12), > 0 uses Fermi occupations (Sec. IV-F).
     solver:
-        Per-submatrix sign algorithm: ``"eigen"`` (dense eigendecomposition,
-        the paper's choice, required for canonical ensembles),
-        ``"newton_schulz"`` or ``"pade"`` (iterative, grand-canonical only;
-        used by the solver ablation study).
+        Per-submatrix sign kernel, resolved through the kernel registry:
+        ``"eigen"`` (dense eigendecomposition, the paper's choice; its
+        cached spectra are required for canonical ensembles),
+        ``"newton_schulz"`` / ``"pade"`` (iterative, grand-canonical only;
+        used by the solver ablation study), or any user-registered
+        matrix-function sign kernel.
     grouping:
         Optional :class:`ColumnGrouping` combining block columns into larger
         submatrices (Sec. IV-C); default is one submatrix per block column.
-    backend, max_workers:
-        Parallel execution of the per-submatrix solves.
+    config:
+        The :class:`~repro.api.config.EngineConfig` of the solver's session:
+        engine, backend, workers, bucket padding, rank count, balancing.
+        ``eps_filter``/``temperature``/``spin_degeneracy`` given as explicit
+        keyword arguments override the config's fields.
     spin_degeneracy:
         2 for closed-shell systems.
-    use_plan:
-        Use the vectorized submatrix engine (:mod:`repro.core.plan`) for
-        extraction/scatter and bucketed batched eigendecompositions; set to
-        false for the naive reference path (same results, slower).
     bucket_pad:
         Padding granularity of the bucketed stacks used by the *iterative*
         solvers (an integer, ``None`` for exact-dimension buckets or
@@ -164,39 +80,131 @@ class SubmatrixDFTSolver:
         during the μ-bisection, and a padded block-diagonal embedding has a
         different spectrum bookkeeping.
     plan_cache:
-        Optional private plan cache; the process-wide default is used when
-        omitted.
+        Optional private plan cache; the process-wide default cache is used
+        when omitted.
+    backend, max_workers, use_plan:
+        **Deprecated** — configure through ``config=`` instead (see module
+        docstring for the mapping).  Still honored, with a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        eps_filter: float = 1e-5,
-        temperature: float = 0.0,
+        eps_filter=_UNSET,
+        temperature=_UNSET,
         solver: str = "eigen",
         grouping: Optional[ColumnGrouping] = None,
-        backend: str = "serial",
-        max_workers: Optional[int] = None,
-        spin_degeneracy: float = SPIN_DEGENERACY,
-        use_plan: bool = True,
-        bucket_pad: Optional[Union[int, str]] = None,
+        backend=_UNSET,
+        max_workers=_UNSET,
+        spin_degeneracy=_UNSET,
+        use_plan=_UNSET,
+        bucket_pad=_UNSET,
         plan_cache: Optional[PlanCache] = None,
+        config: Optional[EngineConfig] = None,
     ):
-        if eps_filter < 0:
-            raise ValueError("eps_filter must be non-negative")
-        if temperature < 0:
-            raise ValueError("temperature must be non-negative")
-        if solver not in ("eigen", "newton_schulz", "pade"):
-            raise ValueError("solver must be 'eigen', 'newton_schulz' or 'pade'")
-        self.eps_filter = float(eps_filter)
-        self.temperature = float(temperature)
+        # the single registry-backed solver-string validation (fail fast on
+        # typos; solver capabilities are checked at compute time)
+        get_kernel(solver)
+        if config is None:
+            # the legacy default was use_plan=True: plan extraction plus
+            # bucketed batched decomposition
+            config = EngineConfig(engine="batched")
+        # only explicitly passed kwargs override the config; the sentinel
+        # keeps config=EngineConfig(eps_filter=..., temperature=...) intact
+        overrides = {}
+        if eps_filter is not _UNSET:
+            overrides["eps_filter"] = float(eps_filter)
+        if temperature is not _UNSET:
+            overrides["temperature"] = float(temperature)
+        if spin_degeneracy is not _UNSET:
+            overrides["spin_degeneracy"] = float(spin_degeneracy)
+        if bucket_pad is not _UNSET:
+            overrides["bucket_pad"] = bucket_pad
+        if backend is not _UNSET:
+            warnings.warn(
+                "SubmatrixDFTSolver(backend=...) is deprecated; pass "
+                "config=EngineConfig(backend=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides["backend"] = backend
+        if max_workers is not _UNSET:
+            warnings.warn(
+                "SubmatrixDFTSolver(max_workers=...) is deprecated; pass "
+                "config=EngineConfig(max_workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides["max_workers"] = max_workers
+        if use_plan is not _UNSET:
+            warnings.warn(
+                "SubmatrixDFTSolver(use_plan=...) is deprecated; pass "
+                "config=EngineConfig(engine='batched') (use_plan=True) or "
+                "EngineConfig(engine='naive') (use_plan=False) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides["engine"] = "batched" if use_plan else "naive"
+        if overrides:
+            config = config.replace(**overrides)
+
+        from repro.api.context import SubmatrixContext
+        from repro.core.plan import DEFAULT_PLAN_CACHE
+
         self.solver = solver
         self.grouping = grouping
-        self.backend = backend
-        self.max_workers = max_workers
-        self.spin_degeneracy = float(spin_degeneracy)
-        self.use_plan = bool(use_plan)
-        self.bucket_pad = bucket_pad
-        self.plan_cache = plan_cache
+        # legacy contract: the process-wide default cache when none is given
+        self.context = SubmatrixContext(
+            config,
+            plan_cache=DEFAULT_PLAN_CACHE if plan_cache is None else plan_cache,
+        )
+
+    # legacy attribute surface, now views into the session config
+    @property
+    def config(self) -> EngineConfig:
+        return self.context.config
+
+    @property
+    def eps_filter(self) -> float:
+        return self.config.eps_filter
+
+    @property
+    def temperature(self) -> float:
+        return self.config.temperature
+
+    @property
+    def spin_degeneracy(self) -> float:
+        return self.config.spin_degeneracy
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self.config.max_workers
+
+    @property
+    def use_plan(self) -> bool:
+        return self.config.uses_plan
+
+    @property
+    def bucket_pad(self) -> Optional[Union[int, str]]:
+        return self.config.bucket_pad
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self.context.plan_cache
+
+    def close(self) -> None:
+        """Shut down the private session's persistent executor (idempotent)."""
+        self.context.close()
+
+    def __enter__(self) -> "SubmatrixDFTSolver":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -214,299 +222,19 @@ class SubmatrixDFTSolver:
         """Compute the density matrix for a given K, S and ensemble.
 
         Exactly one of ``mu`` (grand-canonical) and ``n_electrons``
-        (canonical) must be provided.
+        (canonical) must be provided.  Delegates to
+        :meth:`repro.api.context.SubmatrixContext.density`; with
+        ``config.n_ranks > 1`` the eigendecomposition cache is rank-sharded
+        through the distributed pipeline.
         """
-        start = time.perf_counter()
-        if (mu is None) == (n_electrons is None):
-            raise ValueError("specify exactly one of mu and n_electrons")
-        canonical = n_electrons is not None
-        if canonical and self.solver != "eigen":
-            raise ValueError(
-                "canonical-ensemble calculations require the eigendecomposition "
-                "solver (Algorithm 1 reuses the cached eigendecompositions)"
-            )
-
-        k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=self.eps_filter)
-        block_k = block_matrix_from_csr(
-            k_ortho, blocks.block_sizes, threshold=0.0
+        return self.context.density(
+            K,
+            S,
+            blocks,
+            mu=mu,
+            n_electrons=n_electrons,
+            solver=self.solver,
+            grouping=self.grouping,
+            mu_tolerance=mu_tolerance,
+            max_mu_iterations=max_mu_iterations,
         )
-        coo = CooBlockList.from_block_matrix(block_k)
-        grouping = self.grouping or single_column_groups(block_k.n_block_cols)
-        grouping.validate(block_k.n_block_cols)
-
-        # one pool for the whole computation: decomposition, any repeated
-        # (μ-bisection style) evaluations and the iterative solvers all map
-        # through the same executor instead of re-creating one per call
-        executor = make_executor(self.backend, self.max_workers)
-        try:
-            if self.solver == "eigen":
-                decomposed, plan = self._decompose_submatrices(
-                    block_k, grouping, coo, blocks, executor=executor
-                )
-                mu_iterations = 0
-                if canonical:
-                    mu, mu_iterations = self._bisect_mu(
-                        decomposed, float(n_electrons), mu_tolerance, max_mu_iterations
-                    )
-                assert mu is not None
-                occupation_block = self._scatter_occupations(
-                    block_k, decomposed, coo, float(mu), plan
-                )
-                dimensions = [d.submatrix.dimension for d in decomposed]
-            else:
-                occupation_block, dimensions = self._iterative_occupations(
-                    block_k, grouping, coo, float(mu), executor=executor
-                )
-                mu_iterations = 0
-        finally:
-            if executor is not None:
-                executor.shutdown()
-
-        density_ortho = block_matrix_to_csr(occupation_block)
-        density_ao = s_inv_sqrt @ density_ortho.toarray() @ s_inv_sqrt
-        k_dense = K.toarray() if sp.issparse(K) else np.asarray(K, dtype=float)
-        energy = band_structure_energy(density_ao, k_dense, self.spin_degeneracy)
-        n_elec = electron_count(density_ortho, self.spin_degeneracy)
-        wall = time.perf_counter() - start
-        return SubmatrixDFTResult(
-            density_ao=density_ao,
-            density_ortho=density_ortho,
-            mu=float(mu),
-            n_electrons=n_elec,
-            band_energy=energy,
-            submatrix_dimensions=dimensions,
-            mu_iterations=mu_iterations,
-            eps_filter=self.eps_filter,
-            wall_time=wall,
-        )
-
-    # ------------------------------------------------------------------ #
-    # eigendecomposition path (grand-canonical and canonical)
-    # ------------------------------------------------------------------ #
-    def _decompose_submatrices(
-        self,
-        block_k: BlockSparseMatrix,
-        grouping: ColumnGrouping,
-        coo: CooBlockList,
-        blocks: BlockStructure,
-        executor=None,
-    ) -> Tuple[List[_DecomposedSubmatrix], Optional[BlockSubmatrixPlan]]:
-        """Extract and eigendecompose every submatrix (Eq. 17, first step).
-
-        With ``use_plan`` the extraction runs through the cached vectorized
-        plan and the eigendecompositions are evaluated one bucket (stack of
-        equal-dimension submatrices) at a time.
-        """
-        del blocks  # block structure is already encoded in block_k
-        groups = list(grouping.groups)
-        if not self.use_plan:
-
-            def decompose(group: Sequence[int]) -> _DecomposedSubmatrix:
-                submatrix = extract_block_submatrix(block_k, group, coo)
-                eigenvalues, eigenvectors = np.linalg.eigh(submatrix.data)
-                return self._make_entry(submatrix, eigenvalues, eigenvectors)
-
-            return (
-                map_parallel(
-                    decompose, groups, self.max_workers, self.backend,
-                    executor=executor,
-                ),
-                None,
-            )
-
-        plan = block_plan(
-            coo, block_k.row_block_sizes, groups, cache=self.plan_cache
-        )
-        packed = plan.pack(block_k)
-        buckets = make_stack_tasks(plan.dimensions)
-
-        def decompose_bucket(bucket):
-            stack = plan.extract_stack(packed, bucket.members, bucket.dimension)
-            eigenvalues, eigenvectors = np.linalg.eigh(stack)
-            return [
-                self._make_entry(
-                    plan.groups[group_index].make_submatrix(),
-                    eigenvalues[slot],
-                    eigenvectors[slot],
-                )
-                for slot, group_index in enumerate(bucket.members)
-            ]
-
-        per_bucket = map_parallel(
-            decompose_bucket, buckets, self.max_workers, self.backend,
-            executor=executor,
-        )
-        entries: List[Optional[_DecomposedSubmatrix]] = [None] * len(groups)
-        for bucket, bucket_entries in zip(buckets, per_bucket):
-            for group_index, entry in zip(bucket.members, bucket_entries):
-                entries[group_index] = entry
-        return entries, plan  # type: ignore[return-value]
-
-    @staticmethod
-    def _make_entry(
-        submatrix: Submatrix, eigenvalues: np.ndarray, eigenvectors: np.ndarray
-    ) -> _DecomposedSubmatrix:
-        offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
-        generating_rows: List[np.ndarray] = []
-        for local_column in submatrix.local_columns:
-            generating_rows.append(
-                np.arange(offsets[local_column], offsets[local_column + 1])
-            )
-        return _DecomposedSubmatrix(
-            submatrix=submatrix,
-            eigenvalues=eigenvalues,
-            eigenvectors=eigenvectors,
-            generating_function_rows=np.concatenate(generating_rows),
-        )
-
-    def _occupations(self, eigenvalues: np.ndarray, mu: float) -> np.ndarray:
-        """Occupation numbers f(λ − μ) (Heaviside with f=1/2 at μ, or Fermi)."""
-        return fermi_occupation(eigenvalues, mu, self.temperature)
-
-    def _bisect_mu(
-        self,
-        decomposed: Sequence[_DecomposedSubmatrix],
-        n_electrons: float,
-        tolerance: float,
-        max_iterations: int,
-    ) -> Tuple[float, int]:
-        """Adjust μ by bisection on the cached eigendecompositions (Alg. 1).
-
-        Implements Algorithm 1: only the rows of Q that correspond to the
-        generating block columns contribute (only those columns enter the
-        sparse result), and the contribution of one submatrix reduces to
-        ``weights · f(λ − μ)``.  The eigenvalues and weights of all
-        submatrices are concatenated once, so every bisection step is a
-        single vectorized occupation evaluation plus a dot product.
-        """
-        all_eigenvalues = np.concatenate([d.eigenvalues for d in decomposed])
-        all_weights = np.concatenate([d.weights() for d in decomposed])
-        lo = float(all_eigenvalues.min()) - 1.0
-        hi = float(all_eigenvalues.max()) + 1.0
-        iterations = 0
-        mu = 0.5 * (lo + hi)
-        for iterations in range(1, max_iterations + 1):
-            mu = 0.5 * (lo + hi)
-            occupations = self._occupations(all_eigenvalues, mu)
-            count = self.spin_degeneracy * float(np.dot(all_weights, occupations))
-            error = count - n_electrons
-            if abs(error) <= tolerance:
-                break
-            if error < 0:
-                lo = mu
-            else:
-                hi = mu
-        return mu, iterations
-
-    def _scatter_occupations(
-        self,
-        block_k: BlockSparseMatrix,
-        decomposed: Sequence[_DecomposedSubmatrix],
-        coo: CooBlockList,
-        mu: float,
-        plan: Optional[BlockSubmatrixPlan] = None,
-    ) -> BlockSparseMatrix:
-        """Form f(a − μ) per submatrix and scatter the generating columns.
-
-        With a plan, the scatter is one vectorized write per submatrix into a
-        preallocated packed output buffer and the result blocks are zero-copy
-        views into that buffer.
-        """
-        if plan is not None:
-            out = plan.new_output()
-            for group_index, entry in enumerate(decomposed):
-                occupations = self._occupations(entry.eigenvalues, mu)
-                occupation_matrix = (
-                    entry.eigenvectors * occupations
-                ) @ entry.eigenvectors.T
-                plan.scatter(out, group_index, occupation_matrix)
-            return plan.finalize(out)
-        result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
-        for entry in decomposed:
-            occupations = self._occupations(entry.eigenvalues, mu)
-            occupation_matrix = (
-                entry.eigenvectors * occupations
-            ) @ entry.eigenvectors.T
-            scatter_block_submatrix_result(
-                result, occupation_matrix, entry.submatrix, coo
-            )
-        return result
-
-    # ------------------------------------------------------------------ #
-    # iterative path (grand-canonical only, used for the solver ablation)
-    # ------------------------------------------------------------------ #
-    def _iterative_occupations(
-        self,
-        block_k: BlockSparseMatrix,
-        grouping: ColumnGrouping,
-        coo: CooBlockList,
-        mu: float,
-        executor=None,
-    ) -> Tuple[BlockSparseMatrix, List[int]]:
-        """Occupation matrices via Newton–Schulz / Padé sign iterations.
-
-        With ``use_plan``, extraction and scatter run through the cached plan
-        and the Newton–Schulz solver iterates whole equal-or-padded-dimension
-        buckets at once
-        (:func:`repro.signfn.newton_schulz.sign_newton_schulz_batched`).
-        Bucket padding embeds a small submatrix block-diagonally with
-        ``1 + μ`` on the padding diagonal, so after the μ-shift the padding
-        eigenvalues sit at exactly 1 (well inside the sign iteration's
-        convergence region) and the padded rows never reach the scatter.
-        """
-        groups = list(grouping.groups)
-        if not self.use_plan:
-
-            def solve(group: Sequence[int]):
-                submatrix = extract_block_submatrix(block_k, group, coo)
-                shifted = submatrix.data - mu * np.eye(submatrix.dimension)
-                if self.solver == "newton_schulz":
-                    sign = sign_newton_schulz(shifted).sign
-                else:
-                    sign = sign_pade(shifted, order=3).sign
-                occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
-                return submatrix, occupation
-
-            solved = map_parallel(
-                solve, groups, self.max_workers, self.backend, executor=executor
-            )
-            result = BlockSparseMatrix(
-                block_k.row_block_sizes, block_k.col_block_sizes
-            )
-            dimensions = []
-            for submatrix, occupation in solved:
-                dimensions.append(submatrix.dimension)
-                scatter_block_submatrix_result(result, occupation, submatrix, coo)
-            return result, dimensions
-
-        plan = block_plan(
-            coo, block_k.row_block_sizes, groups, cache=self.plan_cache
-        )
-        packed = plan.pack(block_k)
-        dimensions = plan.dimensions
-        pad = resolve_bucket_pad(self.bucket_pad, dimensions)
-        buckets = make_stack_tasks(dimensions, pad_to=pad)
-
-        def solve_bucket(bucket):
-            dim = bucket.dimension
-            identity = np.eye(dim)
-            stack = plan.extract_stack(
-                packed, bucket.members, dim, pad_value=1.0 + mu
-            )
-            stack -= mu * identity
-            if self.solver == "newton_schulz":
-                signs = sign_newton_schulz_batched(stack).sign
-            else:
-                signs = np.stack(
-                    [sign_pade(stack[slot], order=3).sign for slot in range(len(bucket.members))]
-                )
-            return 0.5 * (identity - signs)
-
-        per_bucket = map_parallel(
-            solve_bucket, buckets, self.max_workers, self.backend,
-            executor=executor,
-        )
-        out = plan.new_output()
-        for bucket, occupations in zip(buckets, per_bucket):
-            plan.scatter_stack(out, bucket.members, occupations, bucket.dimension)
-        return plan.finalize(out), list(dimensions)

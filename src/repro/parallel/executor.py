@@ -16,7 +16,13 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["map_parallel", "default_worker_count", "split_chunks", "make_executor"]
+__all__ = [
+    "map_parallel",
+    "default_worker_count",
+    "split_chunks",
+    "make_executor",
+    "executor_backend",
+]
 
 
 def default_worker_count() -> int:
@@ -45,6 +51,26 @@ def make_executor(
     if backend == "thread":
         return concurrent.futures.ThreadPoolExecutor(max_workers=max_workers)
     return concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
+
+
+def executor_backend(
+    executor: Optional[concurrent.futures.Executor],
+) -> Optional[str]:
+    """The backend name a pre-built executor corresponds to.
+
+    Lets callers that restrict backends (e.g. the sharded pipeline, whose
+    per-rank tasks share one output buffer and therefore cannot cross a
+    process boundary) apply the same restriction to session-owned pools.
+    Returns ``None`` for ``None``, ``"thread"``/``"process"`` for the
+    standard pools and ``"unknown"`` for anything else.
+    """
+    if executor is None:
+        return None
+    if isinstance(executor, concurrent.futures.ProcessPoolExecutor):
+        return "process"
+    if isinstance(executor, concurrent.futures.ThreadPoolExecutor):
+        return "thread"
+    return "unknown"
 
 
 def split_chunks(items: Sequence[T], max_chunk: int) -> List[List[T]]:

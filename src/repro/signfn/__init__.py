@@ -34,6 +34,17 @@ from repro.signfn.eigen import (
 )
 from repro.signfn.inverse_root import inverse_pth_root, inverse_pth_root_newton
 from repro.signfn.utils import involutority_error, spectral_scale_estimate
+from repro.signfn.registry import (
+    BoundKernel,
+    MatrixFunction,
+    SIGN_SOLVERS,
+    UnknownKernelError,
+    available_kernels,
+    get_kernel,
+    register_callable,
+    register_kernel,
+    resolve_kernel,
+)
 
 __all__ = [
     "NewtonSchulzResult",
@@ -53,4 +64,13 @@ __all__ = [
     "inverse_pth_root_newton",
     "involutority_error",
     "spectral_scale_estimate",
+    "MatrixFunction",
+    "BoundKernel",
+    "UnknownKernelError",
+    "SIGN_SOLVERS",
+    "register_kernel",
+    "register_callable",
+    "get_kernel",
+    "available_kernels",
+    "resolve_kernel",
 ]

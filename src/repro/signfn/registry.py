@@ -1,0 +1,352 @@
+"""Named matrix-function kernels — the single registry behind every solver string.
+
+Before this module, three places validated matrix-function names with their
+own ad-hoc string checks: :mod:`repro.core.method` (engine callables),
+:mod:`repro.core.sign_dft` (``solver="eigen" | "newton_schulz" | "pade"``)
+and the :mod:`repro.signfn` call sites that hard-wired one algorithm each.
+The registry replaces all of them with one lookup: a
+:class:`MatrixFunction` describes a named kernel (how to build the
+per-matrix callable and, when available, the batched ``(k, d, d)`` variant
+for the bucketed stack evaluator), :func:`get_kernel` resolves a name with a
+"did you mean" suggestion on typos, and :func:`resolve_kernel` turns any
+user-facing spec — a registered name, a :class:`MatrixFunction`, or a bare
+callable — into a :class:`BoundKernel` ready for the submatrix engine.
+
+Users plug their own kernels in with :func:`register_kernel` (a full
+factory-based kernel) or :func:`register_callable` (a fixed elementwise or
+blockwise callable); after registration the name works everywhere a built-in
+does: ``SubmatrixContext.apply``, ``SubmatrixMethod``, the distributed
+pipeline's :meth:`run` and the DFT solver's ``solver=`` (where custom sign
+kernels run through the iterative occupation path; see
+``MatrixFunction.supports_mu_bisection`` for the eigendecomposition-cache
+contract).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.signfn.eigen import (
+    occupation_function_via_eigendecomposition,
+    occupation_function_via_eigendecomposition_batched,
+    sign_via_eigendecomposition,
+    sign_via_eigendecomposition_batched,
+)
+from repro.signfn.newton_schulz import (
+    sign_newton_schulz,
+    sign_newton_schulz_batched,
+)
+from repro.signfn.pade import sign_pade
+
+__all__ = [
+    "MatrixFunction",
+    "BoundKernel",
+    "UnknownKernelError",
+    "register_kernel",
+    "register_callable",
+    "get_kernel",
+    "available_kernels",
+    "resolve_kernel",
+    "SIGN_SOLVERS",
+]
+
+#: The built-in per-submatrix sign solvers of the paper's ablation study.
+#: The DFT solver accepts any registered matrix-function kernel; canonical
+#: ensembles require one with ``supports_mu_bisection`` (Algorithm 1 reuses
+#: the cached eigendecompositions during the μ-bisection).
+SIGN_SOLVERS = ("eigen", "newton_schulz", "pade")
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundKernel:
+    """A kernel with its parameters already baked in.
+
+    Attributes
+    ----------
+    name:
+        Registry name (or the callable's name for ad-hoc functions).
+    function:
+        Per-matrix callable ``(d, d) -> (d, d)``.
+    batch_function:
+        Optional batched callable ``(k, d, d) -> (k, d, d)``; ``None`` falls
+        back to one ``function`` call per stack slice.
+    matrix_function:
+        ``True`` for genuine (analytic) matrix functions, which the bucketed
+        evaluator may pad block-diagonally; elementwise/blockwise callables
+        must keep exact-dimension buckets.
+    """
+
+    name: str
+    function: Callable[[np.ndarray], np.ndarray]
+    batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    matrix_function: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class MatrixFunction:
+    """A named, parameterizable matrix-function kernel.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"eigen"``).
+    make:
+        Factory ``make(**params)`` returning the per-matrix callable.
+    make_batched:
+        Optional factory returning the batched ``(k, d, d)`` callable.
+    matrix_function:
+        Whether the kernel is a genuine matrix function (padding-safe).
+    supports_mu_bisection:
+        Declares the kernel *spectrally equivalent* to the built-in
+        eigendecomposition evaluation: its result equals
+        ``Q f(Λ − μ) Qᵀ`` with f the occupation/signum family.  The DFT
+        density driver satisfies such kernels through its shared
+        eigendecomposition cache (Algorithm 1) — including the rank-sharded
+        canonical μ-search — **instead of calling the kernel's factories**,
+        with μ and the electronic temperature taken from the session config.
+        Leave it ``False`` for any kernel with different math; those run
+        through the iterative sign path (grand-canonical only).
+    description:
+        One-line human-readable summary.
+    """
+
+    name: str
+    make: Callable[..., Callable[[np.ndarray], np.ndarray]]
+    make_batched: Optional[Callable[..., Callable[[np.ndarray], np.ndarray]]] = None
+    matrix_function: bool = True
+    supports_mu_bisection: bool = False
+    description: str = ""
+
+    def bind(self, **params) -> BoundKernel:
+        """Build the callables for one parameter set (e.g. ``mu=0.2``)."""
+        function = self.make(**params)
+        batch = self.make_batched(**params) if self.make_batched is not None else None
+        return BoundKernel(
+            name=self.name,
+            function=function,
+            batch_function=batch,
+            matrix_function=self.matrix_function,
+        )
+
+
+class UnknownKernelError(ValueError, TypeError):
+    """Raised when a kernel name is not in the registry.
+
+    Subclasses both :class:`ValueError` and :class:`TypeError` because the
+    legacy call sites it unifies disagreed: ``SubmatrixDFTSolver`` raised
+    ``ValueError`` for a bad solver string while ``SubmatrixMethod`` raised
+    ``TypeError`` for a non-callable function spec — existing ``except`` /
+    ``pytest.raises`` call sites of either kind keep working.
+    """
+
+    def __init__(self, name: str, known: List[str]):
+        self.name = name
+        self.known = list(known)
+        suggestion = difflib.get_close_matches(name, known, n=1)
+        hint = f"; did you mean {suggestion[0]!r}?" if suggestion else ""
+        super().__init__(
+            f"unknown matrix-function kernel {name!r}{hint} "
+            f"(registered kernels: {', '.join(sorted(known))})"
+        )
+
+
+_REGISTRY: Dict[str, MatrixFunction] = {}
+
+
+def register_kernel(kernel: MatrixFunction, overwrite: bool = False) -> MatrixFunction:
+    """Register ``kernel`` under its name; returns it for chaining."""
+    if not isinstance(kernel, MatrixFunction):
+        raise TypeError("register_kernel expects a MatrixFunction")
+    if kernel.name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"kernel {kernel.name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def register_callable(
+    name: str,
+    function: Callable[[np.ndarray], np.ndarray],
+    batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    matrix_function: bool = False,
+    description: str = "",
+    overwrite: bool = False,
+) -> MatrixFunction:
+    """Register a fixed elementwise/blockwise callable as a parameterless kernel.
+
+    The callable is applied to each dense submatrix as-is.  Unless
+    ``matrix_function=True`` the kernel is flagged as not padding-safe, so
+    the batched engine keeps exact-dimension buckets for it.
+    """
+    if not callable(function):
+        raise TypeError("function must be callable")
+
+    def make(**params):
+        if params:
+            raise TypeError(
+                f"kernel {name!r} accepts no parameters, got {sorted(params)}"
+            )
+        return function
+
+    def make_batched(**params):
+        if params:
+            raise TypeError(
+                f"kernel {name!r} accepts no parameters, got {sorted(params)}"
+            )
+        return batch_function
+
+    return register_kernel(
+        MatrixFunction(
+            name=name,
+            make=make,
+            make_batched=make_batched if batch_function is not None else None,
+            matrix_function=matrix_function,
+            description=description,
+        ),
+        overwrite=overwrite,
+    )
+
+
+def get_kernel(name: str) -> MatrixFunction:
+    """Look up a registered kernel by name (the one shared validation path)."""
+    if not isinstance(name, str):
+        raise TypeError(f"kernel name must be a string, got {type(name).__name__}")
+    kernel = _REGISTRY.get(name)
+    if kernel is None:
+        raise UnknownKernelError(name, list(_REGISTRY))
+    return kernel
+
+
+def available_kernels() -> List[str]:
+    """Sorted names of every registered kernel."""
+    return sorted(_REGISTRY)
+
+
+def resolve_kernel(
+    spec,
+    batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    **params,
+) -> BoundKernel:
+    """Turn a kernel spec into a :class:`BoundKernel`.
+
+    ``spec`` may be a registered name, a :class:`MatrixFunction`, an already
+    bound kernel, or a bare callable (treated as a matrix function, matching
+    the legacy ``SubmatrixMethod(function)`` contract).  ``batch_function``
+    overrides the kernel's batched variant; ``**params`` are forwarded to the
+    kernel factories (e.g. ``mu=0.2``).
+    """
+    if isinstance(spec, BoundKernel):
+        if params:
+            raise TypeError("a BoundKernel has its parameters baked in already")
+        if batch_function is not None:
+            spec = dataclasses.replace(spec, batch_function=batch_function)
+        return spec
+    if isinstance(spec, MatrixFunction):
+        bound = spec.bind(**params)
+    elif isinstance(spec, str):
+        bound = get_kernel(spec).bind(**params)
+    elif callable(spec):
+        if params:
+            raise TypeError(
+                "kernel parameters are only supported for registered kernels; "
+                "bake them into the callable instead"
+            )
+        bound = BoundKernel(
+            name=getattr(spec, "__name__", "callable"),
+            function=spec,
+            batch_function=None,
+            matrix_function=True,
+        )
+    else:
+        raise TypeError(
+            "function must be a callable, a registered kernel name or a "
+            f"MatrixFunction, got {type(spec).__name__}"
+        )
+    if batch_function is not None:
+        bound = dataclasses.replace(bound, batch_function=batch_function)
+    return bound
+
+
+# --------------------------------------------------------------------------- #
+# built-in kernels
+# --------------------------------------------------------------------------- #
+def _shift(matrix: np.ndarray, mu: float) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if mu == 0.0:
+        return matrix
+    return matrix - mu * np.eye(matrix.shape[-1])
+
+
+def _make_eigen(mu: float = 0.0, zero_tolerance: float = 0.0):
+    return lambda a: sign_via_eigendecomposition(a, mu=mu, zero_tolerance=zero_tolerance)
+
+
+def _make_eigen_batched(mu: float = 0.0, zero_tolerance: float = 0.0):
+    return lambda stack: sign_via_eigendecomposition_batched(
+        stack, mu=mu, zero_tolerance=zero_tolerance
+    )
+
+
+def _make_newton_schulz(mu: float = 0.0):
+    return lambda a: sign_newton_schulz(_shift(a, mu)).sign
+
+
+def _make_newton_schulz_batched(mu: float = 0.0):
+    return lambda stack: sign_newton_schulz_batched(_shift(stack, mu)).sign
+
+
+def _make_pade(mu: float = 0.0, order: int = 3):
+    return lambda a: sign_pade(_shift(a, mu), order=order).sign
+
+
+def _make_occupation(mu: float = 0.0, temperature: float = 0.0):
+    return lambda a: occupation_function_via_eigendecomposition(
+        a, mu=mu, temperature=temperature
+    )
+
+
+def _make_occupation_batched(mu: float = 0.0, temperature: float = 0.0):
+    return lambda stack: occupation_function_via_eigendecomposition_batched(
+        stack, mu=mu, temperature=temperature
+    )
+
+
+register_kernel(
+    MatrixFunction(
+        name="eigen",
+        make=_make_eigen,
+        make_batched=_make_eigen_batched,
+        supports_mu_bisection=True,
+        description="sign(A − μI) via dense symmetric eigendecomposition (Eq. 17)",
+    )
+)
+register_kernel(
+    MatrixFunction(
+        name="newton_schulz",
+        make=_make_newton_schulz,
+        make_batched=_make_newton_schulz_batched,
+        description="sign(A − μI) via the 2nd-order Newton–Schulz iteration (Eq. 11)",
+    )
+)
+register_kernel(
+    MatrixFunction(
+        name="pade",
+        make=_make_pade,
+        description="sign(A − μI) via the higher-order Padé iteration (Eq. 19)",
+    )
+)
+register_kernel(
+    MatrixFunction(
+        name="occupation",
+        make=_make_occupation,
+        make_batched=_make_occupation_batched,
+        supports_mu_bisection=True,
+        description="occupation matrix Q f(Λ − μ) Qᵀ (Fermi at T > 0, Eq. 13)",
+    )
+)

@@ -1,0 +1,470 @@
+"""Tests for the unified session API: EngineConfig, kernel registry, context.
+
+Covers the acceptance criteria of the API consolidation:
+
+* ``SubmatrixContext.apply`` / ``.density`` are bitwise identical to the
+  legacy ``SubmatrixMethod`` / ``SubmatrixDFTSolver`` paths (including a
+  hypothesis property test over random sparse symmetric matrices);
+* one plan build and one worker pool across N repeated ``context.apply``
+  calls (plan-cache statistics and executor reuse through the session);
+* rank-sharded μ-bisection matches the single-process solver bitwise for
+  ranks {1, 2, 4};
+* the kernel registry resolves names everywhere and produces one unified
+  lookup error with a "did you mean" suggestion.
+
+This file is part of the strict CI pass (``-W error::DeprecationWarning``):
+nothing in here may touch the deprecated legacy surface.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro
+from repro.api import (
+    EngineConfig,
+    SubmatrixContext,
+    UnknownKernelError,
+    available_kernels,
+    get_kernel,
+    register_callable,
+    resolve_kernel,
+)
+from repro.chem import orthogonalized_ks
+from repro.core import SubmatrixDFTSolver, SubmatrixMethod
+from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_dense
+from repro.signfn import (
+    sign_via_eigendecomposition,
+    sign_via_eigendecomposition_batched,
+)
+
+EPS = 1e-5
+
+
+def orthogonalized_block(pair, eps=EPS):
+    k_ortho, _ = orthogonalized_ks(pair.K, pair.S, eps_filter=eps)
+    blocked = block_matrix_from_csr(k_ortho, pair.blocks.block_sizes, threshold=0.0)
+    return k_ortho, blocked
+
+
+# --------------------------------------------------------------------------- #
+# EngineConfig
+# --------------------------------------------------------------------------- #
+class TestEngineConfig:
+    def test_defaults_validate(self):
+        config = EngineConfig()
+        assert config.validate() is config
+        assert config.engine == "plan" and config.uses_plan
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("engine", "warp"),
+            ("backend", "gpu"),
+            ("balance", "magic"),
+            ("bucket_pad", 0),
+            ("bucket_pad", "sometimes"),
+            ("n_ranks", 0),
+            ("eps_filter", -1.0),
+            ("temperature", -1.0),
+            ("spin_degeneracy", 0.0),
+            ("plan_cache_size", 0),
+            ("max_workers", 0),
+            ("flop_constant", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            EngineConfig(**{field: value})
+
+    def test_replace_revalidates(self):
+        config = EngineConfig()
+        assert config.replace(engine="batched").engine == "batched"
+        with pytest.raises(ValueError):
+            config.replace(engine="warp")
+
+    def test_resolved_fills_workers(self):
+        resolved = EngineConfig().resolved()
+        assert resolved.max_workers >= 1
+        pinned = EngineConfig(max_workers=3)
+        assert pinned.resolved() is pinned
+
+    def test_config_is_immutable(self):
+        with pytest.raises(Exception):
+            EngineConfig().engine = "naive"
+
+
+# --------------------------------------------------------------------------- #
+# kernel registry
+# --------------------------------------------------------------------------- #
+class TestKernelRegistry:
+    def test_builtins_registered(self):
+        names = available_kernels()
+        for name in ("eigen", "newton_schulz", "pade", "occupation"):
+            assert name in names
+
+    def test_unknown_kernel_has_suggestion(self):
+        with pytest.raises(UnknownKernelError) as err:
+            get_kernel("eigne")
+        assert "did you mean 'eigen'" in str(err.value)
+        # the unified error satisfies both legacy exception contracts
+        assert isinstance(err.value, ValueError)
+        assert isinstance(err.value, TypeError)
+
+    def test_unified_lookup_error_everywhere(self):
+        # solver strings (sign_dft), method specs (method) and session
+        # kernels all fail through the same registry lookup
+        with pytest.raises(UnknownKernelError):
+            SubmatrixDFTSolver(solver="eigne", config=EngineConfig())
+        with pytest.raises(UnknownKernelError):
+            SubmatrixMethod("eigne")
+        with pytest.raises(UnknownKernelError):
+            SubmatrixContext().apply(sp.eye(4, format="csr"), "eigne")
+
+    def test_bind_parameters(self):
+        bound = resolve_kernel("eigen", mu=0.25)
+        a = np.diag([-1.0, 0.0, 1.0])
+        expected = sign_via_eigendecomposition(a, mu=0.25)
+        assert np.array_equal(bound.function(a), expected)
+        assert bound.batch_function is not None
+
+    def test_callable_spec_passthrough(self):
+        fn = lambda a: a @ a  # noqa: E731
+        bound = resolve_kernel(fn)
+        assert bound.function is fn
+        with pytest.raises(TypeError):
+            resolve_kernel(fn, mu=0.5)
+
+    def test_register_callable_and_apply(self):
+        name = "test-square-kernel"
+        if name not in available_kernels():
+            register_callable(name, lambda a: a @ a)
+        matrix = sp.random(20, 20, density=0.2, random_state=7, format="csr")
+        matrix = matrix + matrix.T
+        ctx = SubmatrixContext()
+        via_name = ctx.apply(matrix, name)
+        via_callable = ctx.apply(matrix, lambda a: a @ a)
+        assert np.array_equal(
+            via_name.result.toarray(), via_callable.result.toarray()
+        )
+
+    def test_elementwise_kernel_rejects_bucket_padding(self):
+        name = "test-elementwise-kernel"
+        if name not in available_kernels():
+            register_callable(name, np.tanh)
+        matrix = sp.random(16, 16, density=0.3, random_state=3, format="csr")
+        matrix = matrix + matrix.T
+        ctx = SubmatrixContext(EngineConfig(engine="batched", bucket_pad=8))
+        with pytest.raises(ValueError, match="bucket padding"):
+            ctx.apply(matrix, name)
+
+    def test_top_level_exports(self):
+        assert repro.EngineConfig is EngineConfig
+        assert repro.SubmatrixContext is SubmatrixContext
+        assert "SubmatrixContext" in repro.__all__
+        assert "EngineConfig" in repro.__all__
+
+
+# --------------------------------------------------------------------------- #
+# context.apply equivalence with the legacy paths
+# --------------------------------------------------------------------------- #
+class TestApplyEquivalence:
+    def test_blockwise_matches_legacy_bitwise(self, water32_matrices, gap_mu):
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(EngineConfig(engine="batched"))
+        new = ctx.apply(blocked, "eigen", mu=gap_mu)
+        legacy = SubmatrixMethod(
+            lambda a: sign_via_eigendecomposition(a, gap_mu),
+            batch_function=lambda s: sign_via_eigendecomposition_batched(s, gap_mu),
+            engine="batched",
+        ).apply_blockwise(blocked)
+        assert np.array_equal(
+            block_matrix_to_dense(new.result), block_matrix_to_dense(legacy.result)
+        )
+        assert new.submatrix_dimensions == legacy.submatrix_dimensions
+
+    def test_elementwise_matches_legacy_bitwise(self, water32_matrices, gap_mu):
+        k_ortho, _ = orthogonalized_block(water32_matrices)
+        for engine in ("naive", "plan", "batched"):
+            ctx = SubmatrixContext(EngineConfig(engine=engine))
+            new = ctx.apply(k_ortho, "eigen", mu=gap_mu)
+            legacy = SubmatrixMethod(
+                lambda a: sign_via_eigendecomposition(a, gap_mu), engine=engine
+            ).apply_elementwise(k_ortho)
+            assert np.array_equal(
+                new.result.toarray(), legacy.result.toarray()
+            ), engine
+
+    def test_apply_dispatch_rejects_dense(self):
+        with pytest.raises(TypeError):
+            SubmatrixContext().apply(np.eye(4), "eigen")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dense=arrays(
+            np.float64,
+            st.integers(4, 16).map(lambda n: (n, n)),
+            elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    def test_property_context_matches_legacy(self, dense, seed):
+        """Bitwise identity on random sparse symmetric matrices."""
+        rng = np.random.default_rng(seed)
+        mask = rng.random(dense.shape) < 0.4
+        mask = mask | mask.T
+        np.fill_diagonal(mask, True)
+        matrix = sp.csr_matrix(np.where(mask, (dense + dense.T) / 2, 0.0))
+        ctx = SubmatrixContext(EngineConfig(engine="plan"))
+        new = ctx.apply(matrix, "eigen")
+        legacy = SubmatrixMethod(sign_via_eigendecomposition, engine="naive")
+        reference = legacy.apply_elementwise(matrix)
+        assert np.array_equal(new.result.toarray(), reference.result.toarray())
+
+
+# --------------------------------------------------------------------------- #
+# session resource reuse
+# --------------------------------------------------------------------------- #
+class TestSessionReuse:
+    def test_one_plan_build_across_repeated_apply(self, water32_matrices, gap_mu):
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(EngineConfig(engine="batched"))
+        n_calls = 4
+        for _ in range(n_calls):
+            ctx.apply(blocked, "eigen", mu=gap_mu)
+        stats = ctx.stats()["plan_cache"]
+        assert stats["misses"] == 1  # one plan build...
+        assert stats["hits"] == n_calls - 1  # ...shared by every later call
+        assert stats["plans"] == 1
+
+    def test_one_pool_across_repeated_apply(self, water32_matrices, gap_mu):
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(
+            EngineConfig(engine="batched", backend="thread", max_workers=2)
+        )
+        first = ctx.apply(blocked, "eigen", mu=gap_mu)
+        pool = ctx.executor
+        assert pool is not None
+        for _ in range(3):
+            again = ctx.apply(blocked, "eigen", mu=gap_mu)
+            assert ctx.executor is pool
+            assert np.array_equal(
+                block_matrix_to_dense(again.result),
+                block_matrix_to_dense(first.result),
+            )
+        assert ctx.stats()["executors_created"] == 1
+        ctx.close()
+
+    def test_serial_context_creates_no_pool(self, water32_matrices, gap_mu):
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(EngineConfig(engine="batched"))
+        ctx.apply(blocked, "eigen", mu=gap_mu)
+        assert ctx.executor is None
+        assert ctx.stats()["executors_created"] == 0
+
+    def test_closed_context_rejects_work(self):
+        ctx = SubmatrixContext(EngineConfig(backend="thread", max_workers=2))
+        assert ctx.executor is not None
+        ctx.close()
+        with pytest.raises(RuntimeError):
+            _ = ctx.executor
+        ctx.close()  # idempotent
+
+    def test_context_manager_closes(self):
+        with SubmatrixContext(EngineConfig(backend="thread", max_workers=2)) as ctx:
+            assert ctx.executor is not None
+        with pytest.raises(RuntimeError):
+            _ = ctx.executor
+
+
+# --------------------------------------------------------------------------- #
+# density through the session, including rank sharding
+# --------------------------------------------------------------------------- #
+class TestDensitySession:
+    def test_density_matches_legacy_solver_bitwise(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        new = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        legacy = SubmatrixDFTSolver(
+            config=EngineConfig(engine="batched", eps_filter=EPS)
+        ).compute_density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        assert np.array_equal(new.density_ao, legacy.density_ao)
+        assert np.array_equal(
+            new.density_ortho.toarray(), legacy.density_ortho.toarray()
+        )
+        assert new.mu == legacy.mu
+        assert new.band_energy == legacy.band_energy
+
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_sharded_mu_bisection_bitwise(self, water32_matrices, ranks):
+        """Acceptance: sharded canonical search ≡ single-process, ranks {1,2,4}."""
+        pair = water32_matrices
+        n_electrons = 8.0 * 32
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        single = ctx.density(pair.K, pair.S, pair.blocks, n_electrons=n_electrons)
+        sharded = ctx.density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons, ranks=ranks
+        )
+        assert sharded.mu == single.mu  # bitwise: the bisection iterates match
+        assert sharded.mu_iterations == single.mu_iterations
+        assert np.array_equal(sharded.density_ao, single.density_ao)
+        assert np.array_equal(
+            sharded.density_ortho.toarray(), single.density_ortho.toarray()
+        )
+        assert sharded.n_ranks == ranks
+
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_sharded_grand_canonical_bitwise(self, water32_matrices, gap_mu, ranks):
+        pair = water32_matrices
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        single = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        sharded = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu, ranks=ranks)
+        assert np.array_equal(sharded.density_ao, single.density_ao)
+
+    def test_sharded_solver_via_config_ranks(self, water32_matrices):
+        """SubmatrixDFTSolver routes the sharded search through its config."""
+        pair = water32_matrices
+        n_electrons = 8.0 * 32
+        sharded = SubmatrixDFTSolver(
+            config=EngineConfig(engine="batched", eps_filter=EPS, n_ranks=4)
+        ).compute_density(pair.K, pair.S, pair.blocks, n_electrons=n_electrons)
+        single = SubmatrixDFTSolver(
+            config=EngineConfig(engine="batched", eps_filter=EPS)
+        ).compute_density(pair.K, pair.S, pair.blocks, n_electrons=n_electrons)
+        assert sharded.n_ranks == 4
+        assert sharded.mu == single.mu
+        assert np.array_equal(sharded.density_ao, single.density_ao)
+
+    def test_sharded_requires_eigen_and_plan(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        naive = SubmatrixContext(EngineConfig(engine="naive", eps_filter=EPS))
+        with pytest.raises(ValueError, match="plan engine"):
+            naive.density(pair.K, pair.S, pair.blocks, mu=gap_mu, ranks=2)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        with pytest.raises(ValueError, match="eigendecomposition"):
+            ctx.density(
+                pair.K, pair.S, pair.blocks, mu=gap_mu, solver="newton_schulz",
+                ranks=2,
+            )
+
+    def test_solver_config_not_clobbered_by_defaults(self):
+        """A supplied config keeps its eps_filter/temperature/spin_degeneracy."""
+        solver = SubmatrixDFTSolver(
+            config=EngineConfig(eps_filter=1e-6, temperature=300.0)
+        )
+        assert solver.eps_filter == 1e-6
+        assert solver.temperature == 300.0
+        explicit = SubmatrixDFTSolver(
+            eps_filter=1e-7, config=EngineConfig(eps_filter=1e-6)
+        )
+        assert explicit.eps_filter == 1e-7  # explicit kwargs still win
+
+    def test_method_explicit_default_kwarg_overrides_config(self):
+        method = SubmatrixMethod(
+            lambda a: a, engine="plan", config=EngineConfig(engine="naive")
+        )
+        assert method.engine == "plan"
+        untouched = SubmatrixMethod(lambda a: a, config=EngineConfig(engine="naive"))
+        assert untouched.engine == "naive"
+
+    def test_facades_close_their_session(self):
+        with SubmatrixMethod(
+            lambda a: a, config=EngineConfig(backend="thread", max_workers=2)
+        ) as method:
+            assert method.context.executor is not None
+        with pytest.raises(RuntimeError):
+            _ = method.context.executor
+        solver = SubmatrixDFTSolver(config=EngineConfig())
+        solver.close()  # idempotent, also for serial configs
+        solver.close()
+
+    def test_registered_kernels_work_as_solver(self, water32_matrices, gap_mu):
+        """Any registered matrix-function kernel is a valid solver string."""
+        pair = water32_matrices
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        eigen = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        # a supports_mu_bisection kernel runs through the eigen cache
+        occupation = ctx.density(
+            pair.K, pair.S, pair.blocks, mu=gap_mu, solver="occupation"
+        )
+        assert np.array_equal(occupation.density_ao, eigen.density_ao)
+        # a custom registered sign kernel runs through the iterative path
+        name = "test-eigen-sign-kernel"
+        if name not in available_kernels():
+            register_callable(
+                name, sign_via_eigendecomposition, matrix_function=True
+            )
+        custom = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu, solver=name)
+        assert np.allclose(custom.density_ao, eigen.density_ao, atol=1e-10)
+
+    def test_session_grouping_forwarded_to_density(self, water32_matrices):
+        from repro.core import group_columns_greedy_chunks
+
+        pair = water32_matrices
+        grouping = group_columns_greedy_chunks(32, 4)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        direct = ctx.density(
+            pair.K, pair.S, pair.blocks, n_electrons=256.0,
+            grouping=grouping, ranks=2,
+        )
+        via_session = ctx.distributed(2, grouping=grouping).density(
+            pair.K, pair.S, pair.blocks, n_electrons=256.0
+        )
+        assert via_session.n_submatrices == grouping.n_submatrices
+        assert np.array_equal(via_session.density_ao, direct.density_ao)
+
+    def test_density_requires_exactly_one_ensemble(self, water32_matrices):
+        pair = water32_matrices
+        ctx = SubmatrixContext()
+        with pytest.raises(ValueError):
+            ctx.density(pair.K, pair.S, pair.blocks)
+        with pytest.raises(ValueError):
+            ctx.density(pair.K, pair.S, pair.blocks, mu=0.0, n_electrons=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# distributed sessions
+# --------------------------------------------------------------------------- #
+class TestDistributedSession:
+    def test_run_matches_batched_engine_bitwise(self, water32_matrices, gap_mu):
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(EngineConfig(engine="batched"))
+        reference = ctx.apply(blocked, "eigen", mu=gap_mu)
+        run = ctx.distributed(4).run(blocked, "eigen", mu=gap_mu)
+        assert np.array_equal(
+            block_matrix_to_dense(run.result),
+            block_matrix_to_dense(reference.result),
+        )
+        assert run.n_ranks == 4
+        assert run.traffic.total_flops() > 0
+
+    def test_pipeline_cached_across_runs(self, water32_matrices, gap_mu):
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(EngineConfig(engine="batched"))
+        session = ctx.distributed(2)
+        session.run(blocked, "eigen", mu=gap_mu)
+        assert ctx.stats()["pipelines_built"] == 1
+        session.run(blocked, "eigen", mu=gap_mu)
+        ctx.distributed(2).run(blocked, "eigen", mu=gap_mu)
+        assert ctx.stats()["pipelines_built"] == 1  # same pattern, same ranks
+        ctx.distributed(4).run(blocked, "eigen", mu=gap_mu)
+        assert ctx.stats()["pipelines_built"] == 2
+
+    def test_cost_through_session(self, water32_matrices):
+        from repro.dbcsr import CooBlockList
+        from repro.parallel import MachineModel
+
+        _, blocked = orthogonalized_block(water32_matrices)
+        coo = CooBlockList.from_block_matrix(blocked)
+        cost = SubmatrixContext().distributed(4).cost(
+            coo, blocked.col_block_sizes, MachineModel()
+        )
+        assert cost.n_ranks == 4
+        assert cost.simulated_seconds > 0
+
+    def test_invalid_rank_count_rejected(self):
+        with pytest.raises(ValueError):
+            SubmatrixContext().distributed(0)

@@ -1,0 +1,116 @@
+"""Deprecation shims of the legacy solver surface.
+
+The legacy kwargs (``use_plan=``, bare ``backend=`` / ``max_workers=`` on
+:class:`SubmatrixDFTSolver`) keep working but emit a
+:class:`DeprecationWarning`; these tests assert that the warning fires and
+that the shimmed path produces results bitwise identical to the new
+``config=EngineConfig(...)`` path.
+
+Note: every *call* of the deprecated surface here is wrapped in
+``pytest.warns`` so this file stays clean under the strict CI pass
+(``python -W error::DeprecationWarning``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig
+from repro.core import SubmatrixDFTSolver
+
+EPS = 1e-5
+
+
+def _density(solver, pair, gap_mu):
+    return solver.compute_density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+
+
+class TestSolverDeprecations:
+    def test_use_plan_warns_and_maps_to_engine(self):
+        with pytest.warns(DeprecationWarning, match="use_plan"):
+            legacy = SubmatrixDFTSolver(use_plan=False)
+        assert legacy.config.engine == "naive"
+        assert not legacy.use_plan
+        with pytest.warns(DeprecationWarning, match="use_plan"):
+            legacy = SubmatrixDFTSolver(use_plan=True)
+        assert legacy.config.engine == "batched"
+        assert legacy.use_plan
+
+    def test_backend_and_max_workers_warn(self):
+        with pytest.warns(DeprecationWarning, match="backend"):
+            solver = SubmatrixDFTSolver(backend="thread")
+        assert solver.backend == "thread"
+        with pytest.warns(DeprecationWarning, match="max_workers"):
+            solver = SubmatrixDFTSolver(max_workers=2)
+        assert solver.max_workers == 2
+
+    def test_config_path_does_not_warn(self, recwarn):
+        SubmatrixDFTSolver(
+            eps_filter=EPS,
+            config=EngineConfig(engine="batched", backend="thread", max_workers=2),
+        )
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_use_plan_true_matches_config_bitwise(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        with pytest.warns(DeprecationWarning):
+            legacy = SubmatrixDFTSolver(eps_filter=EPS, use_plan=True)
+        modern = SubmatrixDFTSolver(
+            config=EngineConfig(engine="batched", eps_filter=EPS)
+        )
+        legacy_result = _density(legacy, pair, gap_mu)
+        modern_result = _density(modern, pair, gap_mu)
+        assert np.array_equal(legacy_result.density_ao, modern_result.density_ao)
+        assert np.array_equal(
+            legacy_result.density_ortho.toarray(),
+            modern_result.density_ortho.toarray(),
+        )
+        assert legacy_result.mu == modern_result.mu
+        assert legacy_result.band_energy == modern_result.band_energy
+
+    def test_use_plan_false_matches_config_bitwise(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        with pytest.warns(DeprecationWarning):
+            legacy = SubmatrixDFTSolver(eps_filter=EPS, use_plan=False)
+        modern = SubmatrixDFTSolver(
+            config=EngineConfig(engine="naive", eps_filter=EPS)
+        )
+        legacy_result = _density(legacy, pair, gap_mu)
+        modern_result = _density(modern, pair, gap_mu)
+        assert np.array_equal(legacy_result.density_ao, modern_result.density_ao)
+
+    def test_deprecated_backend_matches_config_bitwise(
+        self, water32_matrices, gap_mu
+    ):
+        pair = water32_matrices
+        with pytest.warns(DeprecationWarning):
+            legacy = SubmatrixDFTSolver(
+                eps_filter=EPS, backend="thread", max_workers=2
+            )
+        modern = SubmatrixDFTSolver(
+            config=EngineConfig(
+                engine="batched", eps_filter=EPS, backend="thread", max_workers=2
+            )
+        )
+        legacy_result = _density(legacy, pair, gap_mu)
+        modern_result = _density(modern, pair, gap_mu)
+        assert np.array_equal(legacy_result.density_ao, modern_result.density_ao)
+
+    def test_canonical_ensemble_matches_through_shim(self, water32_matrices):
+        pair = water32_matrices
+        n_electrons = 8.0 * 32
+        with pytest.warns(DeprecationWarning):
+            legacy = SubmatrixDFTSolver(eps_filter=EPS, use_plan=True)
+        modern = SubmatrixDFTSolver(
+            config=EngineConfig(engine="batched", eps_filter=EPS)
+        )
+        legacy_result = legacy.compute_density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons
+        )
+        modern_result = modern.compute_density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons
+        )
+        assert legacy_result.mu == modern_result.mu
+        assert legacy_result.mu_iterations == modern_result.mu_iterations
+        assert np.array_equal(legacy_result.density_ao, modern_result.density_ao)
