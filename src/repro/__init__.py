@@ -56,6 +56,8 @@ from repro.api import (
     SubmatrixContext,
     SubmatrixDFTResult,
     SubmatrixMethodResult,
+    TrajectoryResult,
+    TrajectoryStats,
     UnknownKernelError,
     available_kernels,
     get_kernel,
@@ -71,6 +73,8 @@ __all__ = [
     "DistributedSession",
     "SubmatrixMethodResult",
     "SubmatrixDFTResult",
+    "TrajectoryResult",
+    "TrajectoryStats",
     "MatrixFunction",
     "BoundKernel",
     "UnknownKernelError",

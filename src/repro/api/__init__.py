@@ -10,6 +10,7 @@ cache, the persistent executor and the sharded pipelines:
 >>> f_a = ctx.apply(matrix, "eigen", mu=0.2)                 # doctest: +SKIP
 >>> dft = ctx.density(K, S, blocks, n_electrons=256.0)       # doctest: +SKIP
 >>> run = ctx.distributed(8).run(block_matrix, "eigen")      # doctest: +SKIP
+>>> md = ctx.trajectory(step_pairs, blocks, mu=-0.2)         # doctest: +SKIP
 
 The legacy entry points (:class:`~repro.core.method.SubmatrixMethod`,
 :class:`~repro.core.sign_dft.SubmatrixDFTSolver`,
@@ -30,6 +31,12 @@ from repro.api.results import (
     SubmatrixMethodResult,
 )
 from repro.api.context import DistributedSession, SubmatrixContext
+from repro.api.trajectory import (
+    TrajectoryResult,
+    TrajectoryStats,
+    TrajectoryStepRecord,
+    run_trajectory,
+)
 from repro.signfn.registry import (
     BoundKernel,
     MatrixFunction,
@@ -50,6 +57,10 @@ __all__ = [
     "EIGENSOLVE_FLOP_CONSTANT",
     "SubmatrixContext",
     "DistributedSession",
+    "TrajectoryResult",
+    "TrajectoryStats",
+    "TrajectoryStepRecord",
+    "run_trajectory",
     "SubmatrixMethodResult",
     "SubmatrixDFTResult",
     "DecomposedSubmatrix",

@@ -102,6 +102,26 @@ def check_result_shape(dimension: int, evaluated: np.ndarray) -> None:
         )
 
 
+def _distribution_key(distribution) -> Optional[tuple]:
+    """Content key of a block distribution (for the pipeline cache).
+
+    Two distributions with the same grid shape and the same block→grid
+    mappings assign identical owners, so their pipelines are
+    interchangeable; keying by content lets trajectories with an explicit
+    ``distribution`` reuse one pipeline across steps.
+    """
+    if distribution is None:
+        return None
+    return (
+        distribution.n_block_rows,
+        distribution.n_block_cols,
+        distribution.grid.rows,
+        distribution.grid.cols,
+        distribution.row_distribution.tobytes(),
+        distribution.col_distribution.tobytes(),
+    )
+
+
 def _assemble_csr(accumulator: dict, n: int) -> sp.csr_matrix:
     rows: List[int] = []
     cols: List[int] = []
@@ -158,11 +178,31 @@ class SubmatrixContext:
         self._pipelines: "OrderedDict[tuple, DistributedSubmatrixPipeline]" = (
             OrderedDict()
         )
+        self._pipelines_built = 0
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # shared resources
     # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this context."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Reject work on a closed session with one clear error.
+
+        Raising here (instead of letting a later call trip over the dead
+        executor) gives every entry point — including serial configurations
+        and the process-backend distributed path, which never touch the
+        executor — the same :class:`RuntimeError`.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "this SubmatrixContext has been closed; create a new "
+                "context to continue working"
+            )
+
     @property
     def executor(self):
         """The session's persistent executor (``None`` for serial configs).
@@ -170,8 +210,7 @@ class SubmatrixContext:
         Created lazily on first use and reused by every subsequent parallel
         map through this context — one pool per session, not per call.
         """
-        if self._closed:
-            raise RuntimeError("the context has been closed")
+        self._check_open()
         if self._executor is None:
             self._executor = make_executor(
                 self.config.backend, self.config.max_workers
@@ -188,14 +227,35 @@ class SubmatrixContext:
     def close(self) -> None:
         """Shut down the persistent executor (idempotent).
 
-        Cached plans and pipelines are kept; the next parallel call after a
-        ``close()`` raises, so reuse requires a new context.
+        Cached plans and pipelines are kept; any call through the session
+        after a ``close()`` raises a :class:`RuntimeError`, so reuse
+        requires a new context.  Safe to call any number of times and after
+        the ``weakref.finalize`` shutdown path has already run (pool
+        shutdown is idempotent and a fired finalizer detaches as a no-op).
         """
-        if self._executor is not None:
-            self._finalizer.detach()
-            self._executor.shutdown()
-            self._executor = None
+        executor, self._executor = self._executor, None
         self._closed = True
+        if executor is not None:
+            finalizer = getattr(self, "_finalizer", None)
+            if finalizer is not None:
+                finalizer.detach()
+            executor.shutdown()
+
+    def _rank_resources(self):
+        """``(backend, executor)`` safe for shared-output per-rank tasks.
+
+        The sharded pipeline's rank tasks scatter into one shared packed
+        output buffer, so they can run serially or on the session's thread
+        pool but never across a process boundary; a process-backend config
+        (or a process-backed session pool) falls back to serial rank
+        execution without ever creating the unusable pool.
+        """
+        if self.config.backend == "process":
+            return "serial", None
+        executor = self.executor
+        if executor_backend(executor) == "process":
+            return "serial", None
+        return self.config.backend, executor
 
     def __enter__(self) -> "SubmatrixContext":
         return self
@@ -204,11 +264,17 @@ class SubmatrixContext:
         self.close()
 
     def stats(self) -> Dict[str, object]:
-        """Session statistics: plan-cache hits/misses, pools, pipelines."""
+        """Session statistics: plan-cache hits/misses, pools, pipelines.
+
+        ``pipelines_built`` counts actual constructions (a monotone
+        counter, unaffected by cache eviction); ``pipelines_cached`` is the
+        current cache size.
+        """
         return {
             "plan_cache": dict(self.plan_cache.stats),
             "executors_created": self._executors_created,
-            "pipelines_built": len(self._pipelines),
+            "pipelines_built": self._pipelines_built,
+            "pipelines_cached": len(self._pipelines),
         }
 
     def _map(self, function, items):
@@ -261,6 +327,7 @@ class SubmatrixContext:
         ``**kernel_params`` (e.g. ``mu=0.2``) are forwarded to the kernel
         factory.
         """
+        self._check_open()
         if isinstance(matrix, BlockSparseMatrix):
             return self.apply_blockwise(
                 matrix,
@@ -298,6 +365,7 @@ class SubmatrixContext:
         **kernel_params,
     ) -> SubmatrixMethodResult:
         """Apply the matrix function column-by-column on a SciPy matrix."""
+        self._check_open()
         if matrix.shape[0] != matrix.shape[1]:
             raise ValueError("the submatrix method requires a square matrix")
         bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
@@ -358,6 +426,7 @@ class SubmatrixContext:
         **kernel_params,
     ) -> SubmatrixMethodResult:
         """Apply the matrix function block-column-wise on a DBCSR-style matrix."""
+        self._check_open()
         bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
         engine = self._resolve_engine(engine)
         start = time.perf_counter()
@@ -471,6 +540,7 @@ class SubmatrixContext:
         μ-bisection runs on the sharded cache — bitwise identical to the
         single-process path.  See :func:`repro.api.density.compute_density`.
         """
+        self._check_open()
         from repro.api.density import compute_density
 
         return compute_density(
@@ -488,6 +558,50 @@ class SubmatrixContext:
             distribution=distribution,
         )
 
+    def trajectory(
+        self,
+        steps,
+        blocks,
+        mu=None,
+        n_electrons=None,
+        solver: str = "eigen",
+        grouping: Optional[ColumnGrouping] = None,
+        mu_tolerance: float = 1e-9,
+        max_mu_iterations: int = 200,
+        ranks: Optional[int] = None,
+        distribution=None,
+        n_steps: Optional[int] = None,
+    ):
+        """Density matrices along an SCF/MD trajectory through this session.
+
+        ``steps`` is a sequence of ``(K, S)`` pairs or a callback
+        ``step(index) -> (K, S) | None``; every step's density matrix is
+        computed exactly like a single-shot :meth:`density` call, but the
+        steps share this session's plan cache, sharded pipelines and
+        executor — value-only steps (unchanged sparsity pattern, detected
+        via the plan cache's content hash) skip all planning.  Returns a
+        :class:`~repro.api.trajectory.TrajectoryResult` with the per-step
+        results and a :class:`~repro.api.trajectory.TrajectoryStats`
+        reuse record.  See :func:`repro.api.trajectory.run_trajectory`.
+        """
+        self._check_open()
+        from repro.api.trajectory import run_trajectory
+
+        return run_trajectory(
+            self,
+            steps,
+            blocks,
+            mu=mu,
+            n_electrons=n_electrons,
+            solver=solver,
+            grouping=grouping,
+            mu_tolerance=mu_tolerance,
+            max_mu_iterations=max_mu_iterations,
+            ranks=ranks,
+            distribution=distribution,
+            n_steps=n_steps,
+        )
+
     # ------------------------------------------------------------------ #
     # distributed sessions
     # ------------------------------------------------------------------ #
@@ -503,6 +617,7 @@ class SubmatrixContext:
         the sharded pipeline; pipelines (and their sharded/transfer plans)
         are cached on the context per (pattern, grouping, rank count).
         """
+        self._check_open()
         n_ranks = self.config.n_ranks if n_ranks is None else int(n_ranks)
         return DistributedSession(
             self, n_ranks, grouping=grouping, distribution=distribution
@@ -523,6 +638,7 @@ class SubmatrixContext:
         passed (the density driver passes ``bucket_pad=None`` to force
         exact-dimension buckets for its eigendecomposition cache).
         """
+        self._check_open()
         coo = (
             pattern
             if isinstance(pattern, CooBlockList)
@@ -531,24 +647,23 @@ class SubmatrixContext:
         n_ranks = self.config.n_ranks if n_ranks is None else int(n_ranks)
         pad = self.config.bucket_pad if bucket_pad is _UNSET else bucket_pad
         sizes = np.asarray(list(block_sizes), dtype=int)
-        key: Optional[tuple] = None
-        if distribution is None:
-            grouping_key = (
-                tuple(map(tuple, grouping.groups)) if grouping is not None else None
-            )
-            key = (
-                coo.fingerprint(),
-                sizes.tobytes(),
-                n_ranks,
-                grouping_key,
-                self.config.balance,
-                pad,
-                self.config.exact_transfers,
-            )
-            cached = self._pipelines.get(key)
-            if cached is not None:
-                self._pipelines.move_to_end(key)
-                return cached
+        grouping_key = (
+            tuple(map(tuple, grouping.groups)) if grouping is not None else None
+        )
+        key = (
+            coo.fingerprint(),
+            sizes.tobytes(),
+            n_ranks,
+            grouping_key,
+            self.config.balance,
+            pad,
+            self.config.exact_transfers,
+            _distribution_key(distribution),
+        )
+        cached = self._pipelines.get(key)
+        if cached is not None:
+            self._pipelines.move_to_end(key)
+            return cached
         pipeline = DistributedSubmatrixPipeline(
             coo,
             sizes,
@@ -561,10 +676,10 @@ class SubmatrixContext:
             plan_cache=self.plan_cache,
             exact_transfers=self.config.exact_transfers,
         )
-        if key is not None:
-            self._pipelines[key] = pipeline
-            while len(self._pipelines) > MAX_CACHED_PIPELINES:
-                self._pipelines.popitem(last=False)
+        self._pipelines_built += 1
+        self._pipelines[key] = pipeline
+        while len(self._pipelines) > MAX_CACHED_PIPELINES:
+            self._pipelines.popitem(last=False)
         return pipeline
 
 
@@ -623,20 +738,13 @@ class DistributedSession:
         """
         if not isinstance(matrix, BlockSparseMatrix):
             raise TypeError("distributed runs operate on a BlockSparseMatrix")
+        self.context._check_open()
         bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
         if coo is None:
             coo = CooBlockList.from_block_matrix(matrix)
         pipeline = self.pipeline(coo, matrix.col_block_sizes)
         config = self.context.config
-        backend = config.backend
-        if backend == "process":
-            # don't even create the session pool: the per-rank tasks share
-            # the packed output buffer and cannot cross a process boundary
-            backend, executor = "serial", None
-        else:
-            executor = self.context.executor
-            if executor_backend(executor) == "process":
-                backend, executor = "serial", None
+        backend, executor = self.context._rank_resources()
         # the pipeline's own resolve_kernel passes a BoundKernel through
         # unchanged, so the spec is resolved exactly once
         return pipeline.run(
@@ -670,3 +778,14 @@ class DistributedSession:
         kwargs.setdefault("grouping", self.grouping)
         kwargs.setdefault("distribution", self.distribution)
         return self.context.density(K, S, blocks, **kwargs)
+
+    def trajectory(self, steps, blocks, **kwargs):
+        """Rank-sharded trajectory (see :meth:`SubmatrixContext.trajectory`).
+
+        The session's rank count, grouping and distribution are applied
+        unless overridden in ``kwargs``.
+        """
+        kwargs.setdefault("ranks", self.n_ranks)
+        kwargs.setdefault("grouping", self.grouping)
+        kwargs.setdefault("distribution", self.distribution)
+        return self.context.trajectory(steps, blocks, **kwargs)

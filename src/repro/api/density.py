@@ -30,6 +30,15 @@ eigenvalue/weight vectors.  Because the per-submatrix decompositions are
 slice-deterministic and the cache is reassembled in global group order, the
 sharded canonical-ensemble search is bitwise identical to the
 single-process solver for any rank count.
+
+The grand-canonical **iterative** solvers (Newton–Schulz, Padé, and any
+registered iterative sign kernel) run rank-sharded through the same
+pipeline (:meth:`~repro.core.runner.DistributedSubmatrixPipeline.run_stacks`):
+they are genuine matrix functions, so the registry's pad-value metadata
+applies unchanged, and because the batched iterations freeze and prescale
+each matrix individually the per-submatrix iterates do not depend on the
+stack composition — the sharded occupation matrices are bitwise identical
+to the single-process solver for any rank count.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ from repro.chem.orthogonalize import orthogonalized_ks
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
 from repro.dbcsr.coo import CooBlockList
+from repro.parallel.executor import map_parallel
 from repro.signfn.registry import get_kernel
 
 __all__ = ["compute_density"]
@@ -102,17 +112,11 @@ def compute_density(
     if ranks < 1:
         raise ValueError("ranks must be positive")
     engine = config.engine
-    if ranks > 1:
-        if not eigen_cache:
-            raise ValueError(
-                "rank-sharded density calculations require the "
-                "eigendecomposition solver"
-            )
-        if engine == "naive":
-            raise ValueError(
-                "rank-sharded density calculations require the plan engine "
-                "(engine='plan' or 'batched')"
-            )
+    if ranks > 1 and engine == "naive":
+        raise ValueError(
+            "rank-sharded density calculations require the plan engine "
+            "(engine='plan' or 'batched')"
+        )
 
     k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=config.eps_filter)
     block_k = block_matrix_from_csr(k_ortho, blocks.block_sizes, threshold=0.0)
@@ -123,18 +127,26 @@ def compute_density(
     # an explicitly requested rank count exercises the sharded path even at
     # ranks == 1 (a single shard of everything), so the bitwise-identity
     # guarantee covers the sharding machinery itself
-    use_sharded = (
-        eigen_cache
-        and engine != "naive"
-        and (ranks > 1 or (explicit_ranks and ranks == 1))
+    use_sharded = engine != "naive" and (
+        ranks > 1 or (explicit_ranks and ranks == 1)
     )
+    pipeline = None
+    if use_sharded:
+        pipeline = context.pipeline(
+            coo,
+            block_k.row_block_sizes,
+            n_ranks=ranks,
+            grouping=grouping,
+            distribution=distribution,
+            # Algorithm 1 needs exact-dimension buckets (see
+            # _decompose_planned); the iterative kernels pad safely
+            **({"bucket_pad": None} if eigen_cache else {}),
+        )
     if eigen_cache:
         if engine == "naive":
             decomposed, plan = _decompose_naive(context, block_k, grouping, coo)
         elif use_sharded:
-            decomposed, plan = _decompose_sharded(
-                context, block_k, grouping, coo, ranks, distribution
-            )
+            decomposed, plan = _decompose_sharded(context, block_k, pipeline)
         else:
             decomposed, plan = _decompose_planned(context, block_k, grouping, coo)
         mu_iterations = 0
@@ -153,7 +165,7 @@ def compute_density(
         dimensions = [d.submatrix.dimension for d in decomposed]
     else:
         occupation_block, dimensions = _iterative_occupations(
-            context, block_k, grouping, coo, float(mu), kernel
+            context, block_k, grouping, coo, float(mu), kernel, pipeline
         )
         mu_iterations = 0
 
@@ -163,6 +175,13 @@ def compute_density(
     energy = band_structure_energy(density_ao, k_dense, config.spin_degeneracy)
     n_elec = electron_count(density_ortho, config.spin_degeneracy)
     wall = time.perf_counter() - start
+    segment_fetch_bytes = None
+    block_fetch_bytes = None
+    if pipeline is not None:
+        transfer = pipeline.transfer_plan
+        block_fetch_bytes = float(transfer.total_fetch_bytes)
+        if transfer.has_segments:
+            segment_fetch_bytes = float(transfer.total_segment_fetch_bytes)
     return SubmatrixDFTResult(
         density_ao=density_ao,
         density_ortho=density_ortho,
@@ -174,6 +193,9 @@ def compute_density(
         eps_filter=config.eps_filter,
         wall_time=wall,
         n_ranks=ranks,
+        pattern_fingerprint=coo.fingerprint(),
+        segment_fetch_bytes=segment_fetch_bytes,
+        block_fetch_bytes=block_fetch_bytes,
     )
 
 
@@ -248,16 +270,11 @@ def _decompose_planned(
 
 
 def _decompose_sharded(
-    context,
-    block_k: BlockSparseMatrix,
-    grouping: ColumnGrouping,
-    coo: CooBlockList,
-    ranks: int,
-    distribution=None,
+    context, block_k: BlockSparseMatrix, pipeline
 ) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
     """Build the eigendecomposition cache rank-sharded through the pipeline.
 
-    The context's :class:`~repro.core.runner.DistributedSubmatrixPipeline`
+    The context-cached :class:`~repro.core.runner.DistributedSubmatrixPipeline`
     fixes the submatrix→rank assignment (``config.balance``), the sharded
     extraction plan and the packed-segment transfer plan; each rank then
     gathers its local buffer and eigendecomposes its shard bucket by bucket
@@ -266,15 +283,6 @@ def _decompose_sharded(
     in global group order, so the subsequent μ-bisection and scatter are
     bitwise identical to the single-process path.
     """
-    pipeline = context.pipeline(
-        coo,
-        block_k.row_block_sizes,
-        n_ranks=ranks,
-        grouping=grouping,
-        distribution=distribution,
-        # Algorithm 1 needs exact-dimension buckets (see _decompose_planned)
-        bucket_pad=None,
-    )
     plan, sharded = pipeline.prepare()
     packed = plan.pack(block_k)
 
@@ -284,7 +292,7 @@ def _decompose_sharded(
             return []
         local = shard.pack_local(packed)
         entries: List[Tuple[int, DecomposedSubmatrix]] = []
-        for bucket in make_stack_tasks(shard.dimensions):
+        for bucket in shard.stack_tasks():
             stack = shard.view.extract_stack(local, bucket.members, bucket.dimension)
             eigenvalues, eigenvectors = np.linalg.eigh(stack)
             for slot, local_index in enumerate(bucket.members):
@@ -301,7 +309,14 @@ def _decompose_sharded(
                 )
         return entries
 
-    per_rank = context._map(decompose_rank, list(range(ranks)))
+    backend, executor = context._rank_resources()
+    per_rank = map_parallel(
+        decompose_rank,
+        list(range(pipeline.n_ranks)),
+        context.config.max_workers,
+        backend,
+        executor=executor,
+    )
     entries: List[Optional[DecomposedSubmatrix]] = [None] * plan.n_groups
     for rank_entries in per_rank:
         for group_index, entry in rank_entries:
@@ -386,6 +401,39 @@ def _scatter_occupations(
 # --------------------------------------------------------------------------- #
 # iterative path (grand-canonical only, used for the solver ablation)
 # --------------------------------------------------------------------------- #
+def _occupation_stack_solver(kernel, bound, mu: float):
+    """Per-stack occupation solver 1/2·(I − sign(A − μI)) for ``kernel``.
+
+    Both the single-process bucket loop and the rank-sharded pipeline map
+    this same closure over their ``(k, d, d)`` stacks, so the two paths
+    perform identical per-submatrix arithmetic — and because the batched
+    sign iterations prescale and freeze every matrix individually, the
+    results are independent of the stack composition (the basis of the
+    sharded path's bitwise-identity guarantee).
+    """
+
+    def solve(stack: np.ndarray) -> np.ndarray:
+        identity = np.eye(stack.shape[-1])
+        shifted = stack - mu * identity
+        if bound.batch_function is not None:
+            signs = np.asarray(bound.batch_function(shifted), dtype=float)
+        else:
+            signs = np.stack(
+                [
+                    np.asarray(bound.function(shifted[slot]), dtype=float)
+                    for slot in range(shifted.shape[0])
+                ]
+            )
+        if signs.shape != shifted.shape:
+            raise ValueError(
+                f"sign kernel {kernel.name!r} returned shape {signs.shape}, "
+                f"expected {shifted.shape}"
+            )
+        return 0.5 * (identity - signs)
+
+    return solve
+
+
 def _iterative_occupations(
     context,
     block_k: BlockSparseMatrix,
@@ -393,6 +441,7 @@ def _iterative_occupations(
     coo: CooBlockList,
     mu: float,
     kernel,
+    pipeline=None,
 ) -> Tuple[BlockSparseMatrix, List[int]]:
     """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
 
@@ -405,10 +454,18 @@ def _iterative_occupations(
     With the plan engine, extraction and scatter run through the cached plan
     and the kernel's batched variant (when it has one) iterates whole
     equal-or-padded-dimension buckets at once.  Bucket padding embeds a
-    small submatrix block-diagonally with ``1 + μ`` on the padding diagonal,
-    so after the μ-shift the padding eigenvalues sit at exactly 1 (well
-    inside the sign iteration's convergence region) and the padded rows
-    never reach the scatter.
+    small submatrix block-diagonally with the kernel's
+    :meth:`~repro.signfn.registry.MatrixFunction.padding_value` (``1 + μ``
+    for the built-in sign iterations) on the padding diagonal, so after the
+    μ-shift the padding eigenvalues sit at exactly 1 (well inside the sign
+    iteration's convergence region) and the padded rows never reach the
+    scatter.
+
+    With a ``pipeline``, each simulated rank gathers its rank-local packed
+    buffer and runs the same per-stack solver over its shard's buckets
+    (:meth:`~repro.core.runner.DistributedSubmatrixPipeline.run_stacks`),
+    scattering into the shared output — bitwise identical to the
+    single-process path for any rank count.
     """
     config = context.config
     bound = kernel.bind()
@@ -430,6 +487,33 @@ def _iterative_occupations(
             scatter_block_submatrix_result(result, occupation, submatrix, coo)
         return result, dimensions
 
+    solve_stack = _occupation_stack_solver(kernel, bound, mu)
+    pad_value = kernel.padding_value(mu)
+
+    if pipeline is not None:
+        # rank-sharded: the pipeline owns the plan, the shard layouts and
+        # the transfer plan (all cached on the context across calls)
+        if pipeline.bucket_pad is not None and not kernel.matrix_function:
+            raise ValueError(
+                f"kernel {kernel.name!r} is not a genuine matrix function; "
+                "bucket padding requires exact-dimension buckets "
+                "(bucket_pad=None)"
+            )
+        plan, _ = pipeline.prepare()
+        packed = plan.pack(block_k)
+        out = plan.new_output()
+        backend, executor = context._rank_resources()
+        pipeline.run_stacks(
+            packed,
+            solve_stack,
+            out,
+            pad_value=pad_value,
+            max_workers=config.max_workers,
+            backend=backend,
+            executor=executor,
+        )
+        return plan.finalize(out), list(plan.dimensions)
+
     plan = block_plan(coo, block_k.row_block_sizes, groups, cache=context.plan_cache)
     packed = plan.pack(block_k)
     dimensions = plan.dimensions
@@ -442,25 +526,10 @@ def _iterative_occupations(
     buckets = make_stack_tasks(dimensions, pad_to=pad)
 
     def solve_bucket(bucket):
-        dim = bucket.dimension
-        identity = np.eye(dim)
-        stack = plan.extract_stack(packed, bucket.members, dim, pad_value=1.0 + mu)
-        stack -= mu * identity
-        if bound.batch_function is not None:
-            signs = np.asarray(bound.batch_function(stack), dtype=float)
-        else:
-            signs = np.stack(
-                [
-                    np.asarray(bound.function(stack[slot]), dtype=float)
-                    for slot in range(len(bucket.members))
-                ]
-            )
-        if signs.shape != stack.shape:
-            raise ValueError(
-                f"sign kernel {kernel.name!r} returned shape {signs.shape}, "
-                f"expected {stack.shape}"
-            )
-        return 0.5 * (identity - signs)
+        stack = plan.extract_stack(
+            packed, bucket.members, bucket.dimension, pad_value=pad_value
+        )
+        return solve_stack(stack)
 
     per_bucket = context._map(solve_bucket, buckets)
     out = plan.new_output()

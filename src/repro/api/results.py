@@ -90,6 +90,18 @@ class SubmatrixDFTResult:
     n_ranks:
         Simulated rank count the eigendecomposition cache was sharded over
         (1 for single-process runs).
+    pattern_fingerprint:
+        Content hash of the (filtered, orthogonalized) block-sparsity
+        pattern the calculation planned against — the same hash that keys
+        the plan cache, so trajectory drivers can detect pattern changes
+        between steps without rehashing.
+    segment_fetch_bytes:
+        Deduplicated packed-segment volume of the sharded pipeline's
+        initialization exchange (``None`` for single-process runs or when
+        segment volumes were not planned).
+    block_fetch_bytes:
+        Whole-block volume of the same exchange (``None`` for
+        single-process runs).
     """
 
     density_ao: np.ndarray
@@ -102,6 +114,9 @@ class SubmatrixDFTResult:
     eps_filter: float
     wall_time: float
     n_ranks: int = 1
+    pattern_fingerprint: Optional[str] = None
+    segment_fetch_bytes: Optional[float] = None
+    block_fetch_bytes: Optional[float] = None
 
     @property
     def n_submatrices(self) -> int:

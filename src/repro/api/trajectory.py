@@ -1,0 +1,315 @@
+"""SCF/MD trajectory driver with cross-step plan and session reuse.
+
+The submatrix method's headline use case (Sec. VII of the paper) is the
+repeated construction of the density matrix along an SCF or MD trajectory:
+the geometry moves a little every step, the matrix *values* change, but the
+block-sparsity pattern of the filtered orthogonalized Kohn–Sham matrix is
+stable for many consecutive steps.  That is exactly the regime the session
+machinery was built for —
+
+* the :class:`~repro.core.plan.PlanCache` keys extraction plans by a
+  content hash of the sparsity pattern, so a value-only step reuses the
+  cached gather/scatter arrays without replanning;
+* the context's pipeline cache keys the per-rank
+  :class:`~repro.core.shard.ShardedPlan` and transfer plan by the same
+  hash, so rank-sharded steps also reuse their shard layouts and bucketed
+  stack layouts (:meth:`~repro.core.shard.RankShard.stack_tasks`);
+* the session's persistent executor serves every step from one pool.
+
+:func:`run_trajectory` (exposed as :meth:`SubmatrixContext.trajectory`)
+drives a sequence of ``(K, S)`` geometry steps through
+:func:`repro.api.density.compute_density`, watches the pattern content hash
+to detect sparsity changes between steps, and returns the per-step
+:class:`~repro.api.results.SubmatrixDFTResult` objects together with a
+:class:`TrajectoryStats` record — plans built vs cache hits, pattern
+changes, per-step wall times and (for sharded runs) fetch volumes.  Every
+step is computed by the same code path as a single-shot
+:meth:`SubmatrixContext.density` call, so per-step results are bitwise
+identical to fresh calls; the driver only removes the redundant planning
+work between them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.results import SubmatrixDFTResult
+from repro.core.combination import ColumnGrouping
+
+__all__ = [
+    "TrajectoryStepRecord",
+    "TrajectoryStats",
+    "TrajectoryResult",
+    "run_trajectory",
+]
+
+#: A geometry step: the Kohn–Sham and overlap matrices of one configuration.
+StepPair = Tuple[object, object]
+
+#: Steps may be given as a materialized sequence, any iterable/generator of
+#: ``(K, S)`` pairs, or a callback ``step(index) -> (K, S) | None`` (``None``
+#: ends the trajectory).
+StepsLike = Union[Iterable[StepPair], Callable[[int], Optional[StepPair]]]
+
+
+@dataclasses.dataclass
+class TrajectoryStepRecord:
+    """Bookkeeping of one trajectory step.
+
+    Attributes
+    ----------
+    step:
+        Zero-based step index.
+    wall_time:
+        Wall-clock seconds of the step's density calculation.
+    pattern_fingerprint:
+        Content hash of the step's filtered block-sparsity pattern (the
+        plan-cache key component).
+    pattern_changed:
+        Whether the pattern differs from the previous step's (the first
+        step always counts as changed — there is nothing to reuse yet).
+    plans_built / plan_cache_hits:
+        Plan-cache misses and hits incurred by this step.
+    pipelines_built:
+        Sharded pipelines built by this step (0 on reuse).
+    mu / n_electrons / mu_iterations:
+        Ensemble outcome of the step (see
+        :class:`~repro.api.results.SubmatrixDFTResult`).
+    segment_fetch_bytes / block_fetch_bytes:
+        Fetch volumes of the sharded initialization exchange (``None`` for
+        single-process steps).
+    """
+
+    step: int
+    wall_time: float
+    pattern_fingerprint: str
+    pattern_changed: bool
+    plans_built: int
+    plan_cache_hits: int
+    pipelines_built: int
+    mu: float
+    n_electrons: float
+    mu_iterations: int
+    segment_fetch_bytes: Optional[float]
+    block_fetch_bytes: Optional[float]
+
+
+@dataclasses.dataclass
+class TrajectoryStats:
+    """Aggregate statistics of one trajectory run.
+
+    Attributes
+    ----------
+    n_steps:
+        Number of geometry steps driven.
+    plans_built / plan_cache_hits:
+        Total plan-cache misses and hits across the run; a value-only
+        trajectory builds exactly one plan and hits the cache on every
+        later step.
+    pattern_changes:
+        Steps (beyond the first) whose sparsity pattern differed from their
+        predecessor — each one invalidates the cross-step reuse once.
+    executors_created:
+        Worker pools created during the run (at most one: the session's
+        persistent executor, and zero when it existed already or the
+        configuration is serial).
+    pipelines_built:
+        Sharded pipelines built during the run (0 when every rank-sharded
+        step reused the context's cached pipeline).
+    total_wall_time:
+        Sum of the per-step wall times.
+    steps:
+        Per-step :class:`TrajectoryStepRecord` entries.
+    """
+
+    n_steps: int
+    plans_built: int
+    plan_cache_hits: int
+    pattern_changes: int
+    executors_created: int
+    pipelines_built: int
+    total_wall_time: float
+    steps: List[TrajectoryStepRecord]
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of plan lookups served from the cache."""
+        total = self.plans_built + self.plan_cache_hits
+        return self.plan_cache_hits / total if total else 0.0
+
+
+@dataclasses.dataclass
+class TrajectoryResult:
+    """Per-step density results plus the trajectory's reuse statistics."""
+
+    results: List[SubmatrixDFTResult]
+    stats: TrajectoryStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SubmatrixDFTResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> SubmatrixDFTResult:
+        return self.results[index]
+
+    @property
+    def mus(self) -> np.ndarray:
+        """Chemical potential of every step."""
+        return np.asarray([r.mu for r in self.results])
+
+    @property
+    def band_energies(self) -> np.ndarray:
+        """Band-structure energy of every step."""
+        return np.asarray([r.band_energy for r in self.results])
+
+
+def _iterate_steps(
+    steps: StepsLike, n_steps: Optional[int]
+) -> Iterator[StepPair]:
+    """Normalize the two step specifications into one iterator."""
+    if callable(steps):
+        index = 0
+        while n_steps is None or index < n_steps:
+            pair = steps(index)
+            if pair is None:
+                return
+            yield pair
+            index += 1
+        return
+    if n_steps is not None:
+        for index, pair in enumerate(steps):
+            if index >= n_steps:
+                return
+            yield pair
+        return
+    yield from steps
+
+
+def _step_value(value, index: int) -> Optional[float]:
+    """Resolve a fixed-or-per-step ensemble parameter for one step."""
+    if value is None:
+        return None
+    if np.ndim(value) == 0:
+        return float(value)
+    return float(value[index])
+
+
+def run_trajectory(
+    context,
+    steps: StepsLike,
+    blocks,
+    mu=None,
+    n_electrons=None,
+    solver: str = "eigen",
+    grouping: Optional[ColumnGrouping] = None,
+    mu_tolerance: float = 1e-9,
+    max_mu_iterations: int = 200,
+    ranks: Optional[int] = None,
+    distribution=None,
+    n_steps: Optional[int] = None,
+) -> TrajectoryResult:
+    """Drive a sequence of geometry steps through one session.
+
+    Parameters
+    ----------
+    context:
+        The :class:`~repro.api.context.SubmatrixContext` whose plan cache,
+        pipeline cache and persistent executor the steps share.
+    steps:
+        Geometry steps: an iterable of ``(K, S)`` matrix pairs or a
+        callback ``step(index) -> (K, S)`` (return ``None`` to end the
+        trajectory early).
+    blocks:
+        The :class:`~repro.chem.hamiltonian.BlockStructure` shared by all
+        steps (MD moves atoms, not basis functions).
+    mu / n_electrons:
+        Exactly one must be given: a fixed chemical potential
+        (grand-canonical) or electron count (canonical) — either a scalar
+        applied to every step or a per-step sequence.
+    solver, grouping, mu_tolerance, max_mu_iterations, ranks, distribution:
+        Forwarded to every step's density calculation (see
+        :meth:`SubmatrixContext.density`); with ``ranks`` the steps run
+        rank-sharded and reuse the cached sharded pipeline.
+    n_steps:
+        Maximum number of steps (required information only when ``steps``
+        is an unbounded callback; sequences end on their own).
+
+    Returns
+    -------
+    TrajectoryResult
+        Per-step results (bitwise identical to fresh single-shot
+        :meth:`SubmatrixContext.density` calls) and the reuse statistics.
+    """
+    from repro.api.density import compute_density
+
+    context._check_open()
+    if (mu is None) == (n_electrons is None):
+        raise ValueError("specify exactly one of mu and n_electrons")
+
+    results: List[SubmatrixDFTResult] = []
+    records: List[TrajectoryStepRecord] = []
+    previous_fingerprint: Optional[str] = None
+    pattern_changes = 0
+    session_before = context.stats()
+    executors_at_start = session_before["executors_created"]
+    cache_before = dict(context.plan_cache.stats)
+
+    for index, (K, S) in enumerate(_iterate_steps(steps, n_steps)):
+        result = compute_density(
+            context,
+            K,
+            S,
+            blocks,
+            mu=_step_value(mu, index),
+            n_electrons=_step_value(n_electrons, index),
+            solver=solver,
+            grouping=grouping,
+            mu_tolerance=mu_tolerance,
+            max_mu_iterations=max_mu_iterations,
+            ranks=ranks,
+            distribution=distribution,
+        )
+        cache_after = dict(context.plan_cache.stats)
+        session_after = context.stats()
+        fingerprint = result.pattern_fingerprint or ""
+        changed = fingerprint != previous_fingerprint
+        if changed and previous_fingerprint is not None:
+            pattern_changes += 1
+        records.append(
+            TrajectoryStepRecord(
+                step=index,
+                wall_time=result.wall_time,
+                pattern_fingerprint=fingerprint,
+                pattern_changed=changed,
+                plans_built=cache_after["misses"] - cache_before["misses"],
+                plan_cache_hits=cache_after["hits"] - cache_before["hits"],
+                pipelines_built=session_after["pipelines_built"]
+                - session_before["pipelines_built"],
+                mu=result.mu,
+                n_electrons=result.n_electrons,
+                mu_iterations=result.mu_iterations,
+                segment_fetch_bytes=result.segment_fetch_bytes,
+                block_fetch_bytes=result.block_fetch_bytes,
+            )
+        )
+        results.append(result)
+        previous_fingerprint = fingerprint
+        cache_before = cache_after
+        session_before = session_after
+
+    stats = TrajectoryStats(
+        n_steps=len(results),
+        plans_built=sum(r.plans_built for r in records),
+        plan_cache_hits=sum(r.plan_cache_hits for r in records),
+        pattern_changes=pattern_changes,
+        executors_created=context.stats()["executors_created"] - executors_at_start,
+        pipelines_built=sum(r.pipelines_built for r in records),
+        total_wall_time=float(sum(r.wall_time for r in records)),
+        steps=records,
+    )
+    return TrajectoryResult(results=results, stats=stats)

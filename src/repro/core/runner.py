@@ -556,6 +556,69 @@ class DistributedSubmatrixPipeline:
             wall_time=time.perf_counter() - start,
         )
 
+    def run_stacks(
+        self,
+        packed: np.ndarray,
+        solve_stack: Callable[[np.ndarray], np.ndarray],
+        out: np.ndarray,
+        pad_value: float = 1.0,
+        max_workers: Optional[int] = None,
+        backend: str = "serial",
+        executor=None,
+        max_batch_elements: int = MAX_BATCH_ELEMENTS,
+    ) -> None:
+        """Map a custom stack solver over every rank's bucketed stacks.
+
+        The structural twin of :meth:`run` for callers that need to control
+        the per-bucket numerics themselves (e.g. the density driver's
+        μ-shifted iterative occupation path): per rank, gather the
+        rank-local packed buffer, assemble each bucketed ``(k, d, d)`` stack
+        (padded with ``pad_value``), evaluate ``solve_stack(stack)`` and
+        scatter the result straight into the shared packed output ``out``
+        (disjoint across ranks).  Bucket layouts are memoized on the shards
+        (:meth:`~repro.core.shard.RankShard.stack_tasks`), so repeated calls
+        over an unchanged pattern skip all layout work.
+
+        Like :meth:`run`, the shared output restricts execution to the
+        serial and thread backends.
+        """
+        if backend == "process" or executor_backend(executor) == "process":
+            raise ValueError(
+                "the pipeline's per-rank tasks share the packed output "
+                "buffer; use the 'serial' or 'thread' backend"
+            )
+        self._ensure_execution()
+        assert self.sharded is not None
+
+        def run_rank(rank: int) -> None:
+            shard = self.sharded.shards[rank]
+            if shard.n_groups == 0:
+                return
+            local = shard.pack_local(packed)
+            for bucket in shard.stack_tasks(
+                pad_to=self.bucket_pad, max_batch_elements=max_batch_elements
+            ):
+                stack = shard.view.extract_stack(
+                    local, bucket.members, bucket.dimension, pad_value=pad_value
+                )
+                evaluated = np.asarray(solve_stack(stack), dtype=float)
+                if evaluated.shape != stack.shape:
+                    raise ValueError(
+                        f"stack solver returned shape {evaluated.shape}, "
+                        f"expected {stack.shape}"
+                    )
+                shard.view.scatter_stack(
+                    out, bucket.members, evaluated, bucket.dimension
+                )
+
+        map_parallel(
+            run_rank,
+            list(range(self.n_ranks)),
+            max_workers,
+            backend,
+            executor=executor,
+        )
+
 
 def submatrix_method_cost(
     pattern: PatternLike,

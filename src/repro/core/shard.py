@@ -36,10 +36,11 @@ ranks *through* the fast engine instead of beside it.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import MAX_BATCH_ELEMENTS, Bucket, make_stack_tasks
 from repro.core.plan import GroupPlan, SubmatrixPlan
 
 __all__ = ["ShardView", "RankShard", "ShardedPlan"]
@@ -109,6 +110,13 @@ class RankShard:
     local_offsets: np.ndarray
     local_to_global: np.ndarray
     view: ShardView
+    # bucketed stack layouts by (pad_to, max_batch_elements); the shard (and
+    # with it this cache) lives as long as its pipeline, so repeated
+    # evaluations over an unchanged pattern — μ-bisections, MD trajectories —
+    # rebuild neither the bucket lists nor the view's stacked index arrays
+    _stack_tasks: Dict[Tuple, List[Bucket]] = dataclasses.field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @property
     def n_groups(self) -> int:
@@ -136,6 +144,26 @@ class RankShard:
     def segment_bytes(self, bytes_per_element: int = 8) -> float:
         """Total bytes of all required segments (local buffer size)."""
         return float(self.n_local_values * bytes_per_element)
+
+    def stack_tasks(
+        self,
+        pad_to: Optional[int] = None,
+        max_batch_elements: int = MAX_BATCH_ELEMENTS,
+    ) -> List[Bucket]:
+        """Cached bucketed stack layout of this shard's submatrices.
+
+        The buckets index into :attr:`view` (shard-local member order) and
+        are memoized per ``(pad_to, max_batch_elements)``, so cross-step
+        reuse of a sharded plan also reuses its stack layout.
+        """
+        key = (pad_to, int(max_batch_elements))
+        tasks = self._stack_tasks.get(key)
+        if tasks is None:
+            tasks = make_stack_tasks(
+                self.dimensions, pad_to=pad_to, max_batch_elements=max_batch_elements
+            )
+            self._stack_tasks[key] = tasks
+        return tasks
 
 
 class ShardedPlan:

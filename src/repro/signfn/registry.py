@@ -100,6 +100,22 @@ class MatrixFunction:
         Optional factory returning the batched ``(k, d, d)`` callable.
     matrix_function:
         Whether the kernel is a genuine matrix function (padding-safe).
+    iterative:
+        ``True`` for kernels that evaluate f by an iteration on the
+        (μ-shifted) matrix itself (Newton–Schulz, Padé) rather than through
+        a spectral decomposition.  Iterative kernels cannot serve the
+        canonical-ensemble μ-bisection (no cached spectra), but the density
+        driver runs them rank-sharded through the distributed pipeline in
+        the grand-canonical ensemble.
+    shift_pad:
+        Padding anchor of the bucketed stack evaluator for μ-shifted
+        evaluations: a submatrix embedded block-diagonally *before* the
+        shift ``A − μI`` uses ``shift_pad + μ`` on its padding diagonal, so
+        the shifted padding eigenvalues sit at exactly ``shift_pad``.  The
+        default 1.0 places them at the sign/occupation fixed point — well
+        inside the Newton–Schulz/Padé convergence region and mapped to
+        occupation 0, so the padded rows are exact and never reach the
+        scatter.  See :meth:`padding_value`.
     supports_mu_bisection:
         Declares the kernel *spectrally equivalent* to the built-in
         eigendecomposition evaluation: its result equals
@@ -118,8 +134,20 @@ class MatrixFunction:
     make: Callable[..., Callable[[np.ndarray], np.ndarray]]
     make_batched: Optional[Callable[..., Callable[[np.ndarray], np.ndarray]]] = None
     matrix_function: bool = True
+    iterative: bool = False
+    shift_pad: float = 1.0
     supports_mu_bisection: bool = False
     description: str = ""
+
+    def padding_value(self, mu: float = 0.0) -> float:
+        """Safe padding diagonal for a μ-shifted evaluation of this kernel.
+
+        The bucketed stack evaluator embeds a small submatrix as
+        ``blockdiag(a, p·I)`` *before* the caller applies the shift
+        ``· − μI``; this returns the ``p`` for which the shifted padding
+        eigenvalues land exactly on :attr:`shift_pad`.
+        """
+        return self.shift_pad + mu
 
     def bind(self, **params) -> BoundKernel:
         """Build the callables for one parameter set (e.g. ``mu=0.2``)."""
@@ -175,6 +203,7 @@ def register_callable(
     function: Callable[[np.ndarray], np.ndarray],
     batch_function: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     matrix_function: bool = False,
+    iterative: bool = False,
     description: str = "",
     overwrite: bool = False,
 ) -> MatrixFunction:
@@ -207,6 +236,7 @@ def register_callable(
             make=make,
             make_batched=make_batched if batch_function is not None else None,
             matrix_function=matrix_function,
+            iterative=iterative,
             description=description,
         ),
         overwrite=overwrite,
@@ -331,6 +361,7 @@ register_kernel(
         name="newton_schulz",
         make=_make_newton_schulz,
         make_batched=_make_newton_schulz_batched,
+        iterative=True,
         description="sign(A − μI) via the 2nd-order Newton–Schulz iteration (Eq. 11)",
     )
 )
@@ -338,6 +369,7 @@ register_kernel(
     MatrixFunction(
         name="pade",
         make=_make_pade,
+        iterative=True,
         description="sign(A − μI) via the higher-order Padé iteration (Eq. 19)",
     )
 )

@@ -161,11 +161,23 @@ class TestKernelRegistry:
         with pytest.raises(ValueError, match="bucket padding"):
             ctx.apply(matrix, name)
 
+    def test_kernel_metadata(self):
+        # iterative vs spectral, and the μ-shifted padding anchor
+        assert get_kernel("newton_schulz").iterative
+        assert get_kernel("pade").iterative
+        assert not get_kernel("eigen").iterative
+        assert not get_kernel("occupation").iterative
+        assert get_kernel("newton_schulz").padding_value(0.25) == 1.25
+        assert get_kernel("eigen").padding_value() == 1.0
+
     def test_top_level_exports(self):
         assert repro.EngineConfig is EngineConfig
         assert repro.SubmatrixContext is SubmatrixContext
         assert "SubmatrixContext" in repro.__all__
         assert "EngineConfig" in repro.__all__
+        assert "TrajectoryResult" in repro.__all__
+        assert "TrajectoryStats" in repro.api.__all__
+        assert "run_trajectory" in repro.api.__all__
 
 
 # --------------------------------------------------------------------------- #
@@ -281,6 +293,139 @@ class TestSessionReuse:
 
 
 # --------------------------------------------------------------------------- #
+# session lifecycle: close is idempotent and a closed context is unusable
+# --------------------------------------------------------------------------- #
+class TestSessionLifecycle:
+    def test_double_close_is_idempotent(self):
+        ctx = SubmatrixContext(EngineConfig(backend="thread", max_workers=2))
+        assert not ctx.closed
+        assert ctx.executor is not None
+        ctx.close()
+        ctx.close()
+        assert ctx.closed
+
+    def test_close_without_executor(self):
+        ctx = SubmatrixContext(EngineConfig())
+        ctx.close()
+        ctx.close()
+        assert ctx.closed
+
+    def test_close_after_finalizer_fired(self):
+        # the weakref.finalize shutdown path (gc of an abandoned session)
+        # may run before an explicit close(); close() must stay silent
+        ctx = SubmatrixContext(EngineConfig(backend="thread", max_workers=2))
+        assert ctx.executor is not None
+        ctx._finalizer()
+        ctx.close()
+        ctx.close()
+        assert ctx.closed
+
+    def test_closed_context_raises_runtime_error_everywhere(
+        self, water32_matrices, gap_mu
+    ):
+        pair = water32_matrices
+        matrix = sp.eye(4, format="csr")
+        # a *serial* context never creates an executor, so without an
+        # explicit guard reuse would fail late (or not at all) instead of
+        # with a clear RuntimeError
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        ctx.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.apply(matrix, "eigen")
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.trajectory([(pair.K, pair.S)], pair.blocks, mu=gap_mu)
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.distributed(2)
+        with pytest.raises(RuntimeError, match="closed"):
+            ctx.pipeline(matrix, [1, 1, 1, 1], n_ranks=2)
+
+    def test_closed_context_rejects_distributed_run_on_process_config(
+        self, water32_matrices, gap_mu
+    ):
+        # the process-backend distributed path never touches the session
+        # executor, so before the explicit guard it silently kept working
+        # on a closed context
+        _, blocked = orthogonalized_block(water32_matrices)
+        ctx = SubmatrixContext(
+            EngineConfig(engine="batched", backend="process", max_workers=2)
+        )
+        session = ctx.distributed(2)
+        ctx.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(blocked, "eigen", mu=gap_mu)
+
+    def test_facade_close_is_idempotent_after_finalize(self):
+        solver = SubmatrixDFTSolver(
+            config=EngineConfig(backend="thread", max_workers=2)
+        )
+        assert solver.context.executor is not None
+        solver.context._finalizer()
+        solver.close()
+        solver.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            solver.compute_density(None, None, None, mu=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# temperature handling of the occupation kernel
+# --------------------------------------------------------------------------- #
+class TestOccupationTemperature:
+    def test_zero_temperature_selects_extended_signum(
+        self, water32_matrices, gap_mu
+    ):
+        """T = 0 must mean the extended-signum limit, never a 1/(kB·T)."""
+        pair = water32_matrices
+        config = EngineConfig(engine="batched", eps_filter=EPS, temperature=0.0)
+        with np.errstate(divide="raise", invalid="raise", over="raise"):
+            occupation = SubmatrixContext(config).density(
+                pair.K, pair.S, pair.blocks, mu=gap_mu, solver="occupation"
+            )
+            eigen = SubmatrixContext(config).density(
+                pair.K, pair.S, pair.blocks, mu=gap_mu, solver="eigen"
+            )
+        assert np.array_equal(occupation.density_ao, eigen.density_ao)
+
+    def test_tiny_temperature_is_continuous_with_zero(
+        self, water32_matrices, gap_mu
+    ):
+        """Sub-resolution temperatures behave exactly like T = 0, and small
+        finite temperatures approach the T = 0 result smoothly."""
+        pair = water32_matrices
+
+        def density_at(temperature):
+            config = EngineConfig(
+                engine="batched", eps_filter=EPS, temperature=temperature
+            )
+            with np.errstate(divide="raise", invalid="raise", over="raise"):
+                return SubmatrixContext(config).density(
+                    pair.K, pair.S, pair.blocks, mu=gap_mu, solver="occupation"
+                )
+
+        cold = density_at(0.0)
+        # below the resolution threshold: bitwise the extended-signum limit
+        assert np.array_equal(density_at(1e-12).density_ao, cold.density_ao)
+        # small finite temperatures: continuous approach to the limit
+        for temperature, tolerance in ((1e-6, 1e-12), (1.0, 1e-8)):
+            warm = density_at(temperature)
+            assert np.allclose(
+                warm.density_ao, cold.density_ao, atol=tolerance
+            ), temperature
+
+    def test_zero_temperature_canonical_bisection(self, water32_matrices):
+        """The T = 0 bisection (Heaviside counting) must not divide by zero."""
+        pair = water32_matrices
+        config = EngineConfig(engine="batched", eps_filter=EPS, temperature=0.0)
+        with np.errstate(divide="raise", invalid="raise", over="raise"):
+            result = SubmatrixContext(config).density(
+                pair.K, pair.S, pair.blocks, n_electrons=256.0,
+                solver="occupation",
+            )
+        assert result.n_electrons == pytest.approx(256.0, abs=1e-6)
+
+
+# --------------------------------------------------------------------------- #
 # density through the session, including rank sharding
 # --------------------------------------------------------------------------- #
 class TestDensitySession:
@@ -338,17 +483,60 @@ class TestDensitySession:
         assert sharded.mu == single.mu
         assert np.array_equal(sharded.density_ao, single.density_ao)
 
-    def test_sharded_requires_eigen_and_plan(self, water32_matrices, gap_mu):
+    def test_sharded_requires_plan_engine(self, water32_matrices, gap_mu):
         pair = water32_matrices
         naive = SubmatrixContext(EngineConfig(engine="naive", eps_filter=EPS))
         with pytest.raises(ValueError, match="plan engine"):
             naive.density(pair.K, pair.S, pair.blocks, mu=gap_mu, ranks=2)
+
+    def test_canonical_still_requires_eigen_cache(self, water32_matrices):
+        # the μ-bisection needs the cached spectra; iterative kernels stay
+        # grand-canonical only, sharded or not
+        pair = water32_matrices
         ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
         with pytest.raises(ValueError, match="eigendecomposition"):
             ctx.density(
-                pair.K, pair.S, pair.blocks, mu=gap_mu, solver="newton_schulz",
-                ranks=2,
+                pair.K, pair.S, pair.blocks, n_electrons=256.0,
+                solver="newton_schulz", ranks=2,
             )
+
+    @pytest.mark.parametrize("solver", ["newton_schulz", "pade"])
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_sharded_iterative_solver_bitwise(
+        self, water32_matrices, gap_mu, solver, ranks
+    ):
+        """Acceptance: sharded Newton–Schulz/Padé ≡ single-process, ranks {1,2,4}."""
+        pair = water32_matrices
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        single = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu, solver=solver)
+        sharded = ctx.density(
+            pair.K, pair.S, pair.blocks, mu=gap_mu, solver=solver, ranks=ranks
+        )
+        assert np.array_equal(sharded.density_ao, single.density_ao)
+        assert np.array_equal(
+            sharded.density_ortho.toarray(), single.density_ortho.toarray()
+        )
+        assert sharded.n_ranks == ranks
+        # the sharded run reports its initialization-exchange volumes
+        assert sharded.block_fetch_bytes is not None
+        assert sharded.segment_fetch_bytes is not None
+        assert sharded.segment_fetch_bytes <= sharded.block_fetch_bytes
+        assert single.segment_fetch_bytes is None
+
+    def test_sharded_iterative_with_bucket_padding_bitwise(
+        self, water32_matrices, gap_mu
+    ):
+        """Padded buckets use the kernel's pad-value metadata on every rank."""
+        pair = water32_matrices
+        config = EngineConfig(engine="batched", eps_filter=EPS, bucket_pad=8)
+        ctx = SubmatrixContext(config)
+        single = ctx.density(
+            pair.K, pair.S, pair.blocks, mu=gap_mu, solver="newton_schulz"
+        )
+        sharded = ctx.density(
+            pair.K, pair.S, pair.blocks, mu=gap_mu, solver="newton_schulz", ranks=2
+        )
+        assert np.array_equal(sharded.density_ao, single.density_ao)
 
     def test_solver_config_not_clobbered_by_defaults(self):
         """A supplied config keeps its eps_filter/temperature/spin_degeneracy."""

@@ -1,0 +1,286 @@
+"""Tests for the trajectory session driver (`repro.api.trajectory`).
+
+Covers the acceptance criteria of the trajectory tentpole:
+
+* N ≥ 5 value-only geometry steps build exactly **one** plan and **one**
+  executor, with every later step served from the plan cache;
+* per-step results are bitwise identical to fresh single-shot
+  ``context.density`` calls;
+* a sparsity-pattern change between steps is detected via the plan cache's
+  content hash and triggers exactly one replan;
+* rank-sharded trajectories reuse the context-cached pipeline across steps
+  and report the initialization-exchange fetch volumes.
+
+This file is part of the strict CI pass (``-W error::DeprecationWarning``).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import (
+    EngineConfig,
+    SubmatrixContext,
+    TrajectoryResult,
+    TrajectoryStats,
+)
+
+EPS = 1e-5
+N_ELECTRONS = 8.0 * 32
+
+
+def value_only_steps(pair, n_steps, scale=1e-4):
+    """Geometry steps that perturb values but keep the filtered pattern.
+
+    Scaling K leaves S (and hence the Löwdin transform) untouched, so the
+    orthogonalized matrix scales uniformly — no entry crosses the filter
+    threshold for these factors on the deterministic water system.
+    """
+    return [(pair.K * (1.0 + scale * step), pair.S) for step in range(n_steps)]
+
+
+#: Filter threshold at which the water pattern is genuinely sparse, so a
+#: value change can move entries across the threshold (at the tight default
+#: the 32-molecule pattern is fully dense and no value change can alter it).
+EPS_SPARSE = 1e-2
+
+
+def pattern_breaking_step(pair):
+    """A step whose scaled K pushes filtered-out entries back over ``EPS_SPARSE``."""
+    return pair.K * 3.0, pair.S
+
+
+class TestValueOnlyTrajectory:
+    def test_one_plan_one_executor_across_steps(self, water32_matrices):
+        """Acceptance: N ≥ 5 value-only steps → 1 plan build, 1 pool."""
+        steps = value_only_steps(water32_matrices, 6)
+        ctx = SubmatrixContext(
+            EngineConfig(
+                engine="batched", eps_filter=EPS, backend="thread", max_workers=2
+            )
+        )
+        traj = ctx.trajectory(steps, water32_matrices.blocks, n_electrons=N_ELECTRONS)
+        stats = traj.stats
+        assert isinstance(traj, TrajectoryResult)
+        assert isinstance(stats, TrajectoryStats)
+        assert stats.n_steps == 6
+        assert stats.plans_built == 1
+        assert stats.plan_cache_hits == 5
+        assert stats.pattern_changes == 0
+        assert stats.executors_created == 1
+        assert ctx.stats()["executors_created"] == 1
+        assert stats.reuse_rate == pytest.approx(5 / 6)
+        assert stats.steps[0].pattern_changed  # nothing to reuse yet
+        assert not any(record.pattern_changed for record in stats.steps[1:])
+        assert all(
+            record.pattern_fingerprint == stats.steps[0].pattern_fingerprint
+            for record in stats.steps
+        )
+        assert stats.total_wall_time == pytest.approx(
+            sum(record.wall_time for record in stats.steps)
+        )
+        ctx.close()
+
+    def test_steps_bitwise_identical_to_fresh_calls(self, water32_matrices):
+        """Acceptance: per-step results ≡ fresh single-shot density calls."""
+        steps = value_only_steps(water32_matrices, 5)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(steps, water32_matrices.blocks, n_electrons=N_ELECTRONS)
+        for step, (K, S) in enumerate(steps):
+            fresh = SubmatrixContext(
+                EngineConfig(engine="batched", eps_filter=EPS)
+            ).density(K, S, water32_matrices.blocks, n_electrons=N_ELECTRONS)
+            assert np.array_equal(traj[step].density_ao, fresh.density_ao), step
+            assert traj[step].mu == fresh.mu
+            assert traj[step].band_energy == fresh.band_energy
+        # the μ really moves along the trajectory (the steps are distinct)
+        assert len(set(traj.mus.tolist())) > 1
+
+    def test_result_conveniences(self, water32_matrices):
+        steps = value_only_steps(water32_matrices, 5)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(steps, water32_matrices.blocks, n_electrons=N_ELECTRONS)
+        assert len(traj) == 5
+        assert [r.mu for r in traj] == traj.mus.tolist()
+        assert traj.band_energies.shape == (5,)
+        assert traj[0] is traj.results[0]
+
+
+class TestPatternChanges:
+    def test_pattern_change_detected_and_replanned(self, water32_matrices, gap_mu):
+        steps = value_only_steps(water32_matrices, 3)
+        steps += [pattern_breaking_step(water32_matrices)] * 2
+        ctx = SubmatrixContext(
+            EngineConfig(engine="batched", eps_filter=EPS_SPARSE)
+        )
+        traj = ctx.trajectory(steps, water32_matrices.blocks, mu=gap_mu)
+        stats = traj.stats
+        assert stats.n_steps == 5
+        # the rescaled matrix retains more blocks after filtering: one replan
+        assert stats.steps[3].pattern_changed
+        assert stats.steps[3].plans_built == 1
+        assert stats.plans_built == 2
+        assert stats.pattern_changes == 1
+        assert not stats.steps[4].pattern_changed  # the new pattern is stable
+        assert (
+            stats.steps[3].pattern_fingerprint
+            != stats.steps[0].pattern_fingerprint
+        )
+
+    def test_changed_values_are_not_stale(self, water32_matrices):
+        """A cache hit must never replay a previous step's values."""
+        steps = value_only_steps(water32_matrices, 2, scale=5e-4)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS
+        )
+        assert traj.stats.plans_built == 1
+        assert traj.stats.plan_cache_hits == 1
+        # the scaled spectrum moves both μ and the band energy; a stale
+        # plan replaying step 0's packed values would reproduce them
+        assert traj[1].mu != traj[0].mu
+        assert traj[1].band_energy != traj[0].band_energy
+
+
+class TestStepSpecifications:
+    def test_callback_steps_with_n_steps(self, water32_matrices):
+        pair = water32_matrices
+
+        def step(index):
+            return pair.K * (1.0 + 1e-4 * index), pair.S
+
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(
+            step, pair.blocks, n_electrons=N_ELECTRONS, n_steps=5
+        )
+        assert traj.stats.n_steps == 5
+        assert traj.stats.plans_built == 1
+
+    def test_callback_ends_trajectory_with_none(self, water32_matrices):
+        pair = water32_matrices
+
+        def step(index):
+            if index >= 3:
+                return None
+            return pair.K * (1.0 + 1e-4 * index), pair.S
+
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(step, pair.blocks, n_electrons=N_ELECTRONS)
+        assert traj.stats.n_steps == 3
+
+    def test_n_steps_truncates_sequences(self, water32_matrices):
+        steps = value_only_steps(water32_matrices, 6)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS, n_steps=2
+        )
+        assert traj.stats.n_steps == 2
+
+    def test_per_step_mu_sequence(self, water32_matrices, gap_mu):
+        steps = value_only_steps(water32_matrices, 3)
+        mus = [gap_mu - 0.05, gap_mu, gap_mu + 0.05]
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(steps, water32_matrices.blocks, mu=mus)
+        assert traj.mus.tolist() == [float(m) for m in mus]
+        assert traj.stats.plans_built == 1
+
+    def test_requires_exactly_one_ensemble(self, water32_matrices):
+        pair = water32_matrices
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        with pytest.raises(ValueError):
+            ctx.trajectory([(pair.K, pair.S)], pair.blocks)
+        with pytest.raises(ValueError):
+            ctx.trajectory(
+                [(pair.K, pair.S)], pair.blocks, mu=0.0, n_electrons=1.0
+            )
+
+
+class TestShardedTrajectory:
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_sharded_steps_bitwise_and_pipeline_reuse(
+        self, water32_matrices, ranks
+    ):
+        steps = value_only_steps(water32_matrices, 5)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS, ranks=ranks
+        )
+        stats = traj.stats
+        assert stats.plans_built == 1
+        assert stats.pipelines_built == 1  # shard layouts shared by all steps
+        assert all(
+            record.segment_fetch_bytes is not None for record in stats.steps
+        )
+        single = ctx.trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS
+        )
+        for step in range(len(steps)):
+            assert np.array_equal(
+                traj[step].density_ao, single[step].density_ao
+            ), step
+            assert traj[step].mu == single[step].mu
+
+    def test_sharded_iterative_trajectory(self, water32_matrices, gap_mu):
+        """Grand-canonical Newton–Schulz steps run sharded with full reuse."""
+        steps = value_only_steps(water32_matrices, 5)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        sharded = ctx.trajectory(
+            steps, water32_matrices.blocks, mu=gap_mu,
+            solver="newton_schulz", ranks=2,
+        )
+        single = ctx.trajectory(
+            steps, water32_matrices.blocks, mu=gap_mu, solver="newton_schulz"
+        )
+        assert sharded.stats.plans_built == 1
+        assert single.stats.plans_built == 0  # pattern already planned above
+        for step in range(len(steps)):
+            assert np.array_equal(
+                sharded[step].density_ao, single[step].density_ao
+            ), step
+
+    def test_explicit_distribution_reuses_one_pipeline(self, water32_matrices):
+        """An explicit block distribution must not force a replan per step."""
+        from repro.dbcsr.distribution import BlockDistribution, ProcessGrid2D
+        from repro.parallel.topology import balanced_dims
+
+        n_blocks = 32
+        grid = ProcessGrid2D(2, balanced_dims(2))
+        steps = value_only_steps(water32_matrices, 5)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        traj = ctx.trajectory(
+            steps,
+            water32_matrices.blocks,
+            n_electrons=N_ELECTRONS,
+            ranks=2,
+            distribution=BlockDistribution(n_blocks, n_blocks, grid),
+        )
+        assert traj.stats.pipelines_built == 1
+        # equal-content distribution objects share the cached pipeline
+        again = ctx.trajectory(
+            steps,
+            water32_matrices.blocks,
+            n_electrons=N_ELECTRONS,
+            ranks=2,
+            distribution=BlockDistribution(n_blocks, n_blocks, grid),
+        )
+        assert again.stats.pipelines_built == 0
+        default = ctx.trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS, ranks=2
+        )
+        for step in range(len(steps)):
+            assert np.array_equal(traj[step].density_ao, default[step].density_ao)
+
+    def test_distributed_session_trajectory(self, water32_matrices):
+        steps = value_only_steps(water32_matrices, 5)
+        ctx = SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS))
+        via_session = ctx.distributed(2).trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS
+        )
+        direct = ctx.trajectory(
+            steps, water32_matrices.blocks, n_electrons=N_ELECTRONS, ranks=2
+        )
+        for step in range(len(steps)):
+            assert np.array_equal(
+                via_session[step].density_ao, direct[step].density_ao
+            )
+        assert all(r.n_ranks == 2 for r in via_session)

@@ -4,6 +4,7 @@ canonical, finite temperature, alternative per-submatrix solvers)."""
 import numpy as np
 import pytest
 
+from repro.api import EngineConfig
 from repro.chem import reference_density_matrix
 from repro.core.combination import group_columns_greedy_chunks
 from repro.core.sign_dft import SubmatrixDFTSolver
@@ -213,11 +214,15 @@ class TestAlternativeSolvers:
         assert difference * 1000 < 0.5
 
     def test_thread_backend_matches_serial(self, water32_matrices, gap_mu):
-        serial = SubmatrixDFTSolver(eps_filter=1e-5, backend="serial").compute_density(
+        serial = SubmatrixDFTSolver(
+            config=EngineConfig(engine="batched", eps_filter=1e-5)
+        ).compute_density(
             water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
         )
         threaded = SubmatrixDFTSolver(
-            eps_filter=1e-5, backend="thread", max_workers=2
+            config=EngineConfig(
+                engine="batched", eps_filter=1e-5, backend="thread", max_workers=2
+            )
         ).compute_density(
             water32_matrices.K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
         )

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.api import EngineConfig
 from repro.core import (
     DEFAULT_PLAN_CACHE,
     BlockSubmatrixPlan,
@@ -249,6 +250,56 @@ class TestPlanCache:
         method.apply_elementwise(matrix, engine="plan")
         assert cache.stats == {"hits": 1, "misses": 1, "plans": 1}
 
+    def test_value_only_mutation_hits_cache_without_stale_result(self):
+        """Trajectory contract: the content hash keys the *pattern*, so an
+        in-place value mutation reuses the plan — and because plans store
+        only index arrays (``pack`` re-reads the values every call), the
+        cached plan must never replay the previous values."""
+        cache = PlanCache()
+        matrix = random_block_symmetric(6, 2, 2, 5)
+        coo = CooBlockList.from_block_matrix(matrix)
+        method = SubmatrixMethod(lambda a: a @ a, plan_cache=cache)
+        first = method.apply_blockwise(matrix, coo=coo, engine="plan")
+        blocks = matrix.raw_blocks()
+        key = sorted(blocks)[0]
+        blocks[key][...] *= 2.0  # in-place value change, same pattern
+        assert CooBlockList.from_block_matrix(matrix).fingerprint() == (
+            coo.fingerprint()
+        )
+        second = method.apply_blockwise(matrix, coo=coo, engine="plan")
+        assert cache.stats == {"hits": 1, "misses": 1, "plans": 1}
+        reference = SubmatrixMethod(lambda a: a @ a).apply_blockwise(
+            matrix, coo=coo, engine="naive"
+        )
+        assert np.array_equal(
+            block_matrix_to_dense(second.result),
+            block_matrix_to_dense(reference.result),
+        )
+        assert not np.array_equal(
+            block_matrix_to_dense(second.result),
+            block_matrix_to_dense(first.result),
+        )
+
+    def test_block_pattern_change_misses_cache(self):
+        """Adding (or removing) a block changes the content hash: replan."""
+        cache = PlanCache()
+        matrix = random_block_symmetric(6, 2, 2, 5)
+        coo = CooBlockList.from_block_matrix(matrix)
+        groups = [[c] for c in range(6)]
+        cache.block_plan(coo, matrix.row_block_sizes, groups)
+        grown = block_matrix_from_dense(
+            block_matrix_to_dense(matrix), matrix.row_block_sizes
+        )
+        grown.put_block(0, 5, np.ones((2, 2)))
+        grown.put_block(5, 0, np.ones((2, 2)))
+        coo_grown = CooBlockList.from_block_matrix(grown)
+        assert coo_grown.fingerprint() != coo.fingerprint()
+        cache.block_plan(coo_grown, grown.row_block_sizes, groups)
+        assert cache.stats == {"hits": 0, "misses": 2, "plans": 2}
+        shrunk_coo = CooBlockList.from_block_matrix(matrix)
+        cache.block_plan(shrunk_coo, matrix.row_block_sizes, groups)
+        assert cache.stats["hits"] == 1  # back to the original pattern
+
     def test_method_uses_default_cache(self):
         matrix = random_sparse_symmetric(25, 0.1, 6)
         method = SubmatrixMethod(lambda a: a @ a)
@@ -367,9 +418,12 @@ class TestBatchedSignKernels:
 class TestSignDFTPlanEquivalence:
     def test_grand_canonical_plan_matches_naive(self, water32_matrices, gap_mu):
         pair = water32_matrices
-        settings = dict(eps_filter=1e-5, solver="eigen")
-        fast = SubmatrixDFTSolver(use_plan=True, **settings)
-        slow = SubmatrixDFTSolver(use_plan=False, **settings)
+        fast = SubmatrixDFTSolver(
+            solver="eigen", config=EngineConfig(engine="batched", eps_filter=1e-5)
+        )
+        slow = SubmatrixDFTSolver(
+            solver="eigen", config=EngineConfig(engine="naive", eps_filter=1e-5)
+        )
         result_fast = fast.compute_density(
             pair.K, pair.S, pair.blocks, mu=gap_mu
         )
@@ -388,8 +442,8 @@ class TestSignDFTPlanEquivalence:
     def test_canonical_bisection_plan_matches_naive(self, water32_matrices):
         pair = water32_matrices
         n_electrons = 8.0 * 32  # 8 valence electrons per water molecule
-        fast = SubmatrixDFTSolver(eps_filter=1e-5, use_plan=True)
-        slow = SubmatrixDFTSolver(eps_filter=1e-5, use_plan=False)
+        fast = SubmatrixDFTSolver(config=EngineConfig(engine="batched", eps_filter=1e-5))
+        slow = SubmatrixDFTSolver(config=EngineConfig(engine="naive", eps_filter=1e-5))
         result_fast = fast.compute_density(
             pair.K, pair.S, pair.blocks, n_electrons=n_electrons
         )
@@ -401,9 +455,14 @@ class TestSignDFTPlanEquivalence:
 
     def test_iterative_solver_plan_matches_naive(self, water32_matrices, gap_mu):
         pair = water32_matrices
-        settings = dict(eps_filter=1e-5, solver="newton_schulz")
-        fast = SubmatrixDFTSolver(use_plan=True, **settings)
-        slow = SubmatrixDFTSolver(use_plan=False, **settings)
+        fast = SubmatrixDFTSolver(
+            solver="newton_schulz",
+            config=EngineConfig(engine="batched", eps_filter=1e-5),
+        )
+        slow = SubmatrixDFTSolver(
+            solver="newton_schulz",
+            config=EngineConfig(engine="naive", eps_filter=1e-5),
+        )
         result_fast = fast.compute_density(pair.K, pair.S, pair.blocks, mu=gap_mu)
         result_slow = slow.compute_density(pair.K, pair.S, pair.blocks, mu=gap_mu)
         assert np.allclose(
