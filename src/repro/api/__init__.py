@@ -30,7 +30,11 @@ from repro.api.results import (
     SubmatrixDFTResult,
     SubmatrixMethodResult,
 )
-from repro.api.context import DistributedSession, SubmatrixContext
+from repro.api.context import (
+    REPLAN_MODES,
+    DistributedSession,
+    SubmatrixContext,
+)
 from repro.api.trajectory import (
     TrajectoryResult,
     TrajectoryStats,
@@ -57,6 +61,7 @@ __all__ = [
     "EIGENSOLVE_FLOP_CONSTANT",
     "SubmatrixContext",
     "DistributedSession",
+    "REPLAN_MODES",
     "TrajectoryResult",
     "TrajectoryStats",
     "TrajectoryStepRecord",

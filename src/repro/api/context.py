@@ -45,7 +45,14 @@ from repro.api.results import SubmatrixMethodResult
 from repro.core.batch import evaluate_batched
 from repro.core.combination import ColumnGrouping
 from repro.core.load_balance import resolve_bucket_pad
-from repro.core.plan import PlanCache, SubmatrixPlan, block_plan, element_plan
+from repro.core.plan import (
+    PATCH_DELTA_FRACTION,
+    BlockSubmatrixPlan,
+    PlanCache,
+    SubmatrixPlan,
+    block_plan,
+    element_plan,
+)
 from repro.core.runner import (
     DistributedSubmatrixPipeline,
     PipelineResult,
@@ -62,7 +69,7 @@ from repro.dbcsr.coo import CooBlockList
 from repro.parallel.executor import executor_backend, make_executor, map_parallel
 from repro.signfn.registry import BoundKernel, resolve_kernel
 
-__all__ = ["SubmatrixContext", "DistributedSession"]
+__all__ = ["SubmatrixContext", "DistributedSession", "REPLAN_MODES"]
 
 _UNSET = object()
 
@@ -71,6 +78,17 @@ _UNSET = object()
 #: LRU-bounded PlanCache they must not accumulate without limit across
 #: pattern/rank-count sweeps.
 MAX_CACHED_PIPELINES = 32
+
+#: Upper bound on the per-(grouping, sizes) anchor maps used by incremental
+#: replanning (the most recent plan/pipeline per configuration).
+MAX_REPLAN_ANCHORS = 16
+
+#: Valid ``replan`` modes of the incremental-replan machinery:
+#: ``"full"`` always rebuilds on a pattern change, ``"patch"`` always patches
+#: the previous plan/pipeline when one exists, ``"auto"`` patches when the
+#: block delta is small (≤ :data:`repro.core.plan.PATCH_DELTA_FRACTION`).
+#: All three modes produce bitwise-identical results.
+REPLAN_MODES = ("auto", "full", "patch")
 
 
 # --------------------------------------------------------------------------- #
@@ -179,6 +197,14 @@ class SubmatrixContext:
             OrderedDict()
         )
         self._pipelines_built = 0
+        self._pipelines_patched = 0
+        # incremental-replan anchors: the most recent plan per
+        # (sizes, grouping) and pipeline per configuration, the objects a
+        # drifted pattern is patched *from*
+        self._plan_anchors: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._pipeline_anchors: "OrderedDict[tuple, DistributedSubmatrixPipeline]" = (
+            OrderedDict()
+        )
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -274,6 +300,7 @@ class SubmatrixContext:
             "plan_cache": dict(self.plan_cache.stats),
             "executors_created": self._executors_created,
             "pipelines_built": self._pipelines_built,
+            "pipelines_patched": self._pipelines_patched,
             "pipelines_cached": len(self._pipelines),
         }
 
@@ -292,6 +319,85 @@ class SubmatrixContext:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}")
         return engine
+
+    # ------------------------------------------------------------------ #
+    # incremental replanning
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_replan(replan: str) -> str:
+        if replan not in REPLAN_MODES:
+            raise ValueError(f"replan must be one of {REPLAN_MODES}")
+        return replan
+
+    @staticmethod
+    def _trim_anchors(anchors: OrderedDict) -> None:
+        while len(anchors) > MAX_REPLAN_ANCHORS:
+            anchors.popitem(last=False)
+
+    def block_plan_for(
+        self,
+        coo: CooBlockList,
+        block_sizes: Sequence[int],
+        column_groups: Sequence[Sequence[int]],
+        replan: str = "full",
+    ) -> BlockSubmatrixPlan:
+        """Block extraction plan for ``coo``, optionally by incremental patch.
+
+        With ``replan="full"`` this is a content-keyed
+        :func:`~repro.core.plan.block_plan` cache lookup.  The other modes
+        consult the session's anchor — the most recent plan served for the
+        same block sizes and grouping:
+
+        * an unchanged pattern reuses the anchor plan directly (counted as a
+          plan-cache hit), which also keeps *patched* plans (cached under
+          their delta key, not a content key) serving later value-only steps;
+        * a changed pattern is patched from the anchor
+          (:meth:`~repro.core.plan.PlanCache.patched_block_plan`) — always
+          under ``"patch"``, and under ``"auto"`` only while the block delta
+          stays small; otherwise, and when no anchor exists or the block grid
+          changed, it falls back to a full content-keyed build.
+
+        Every mode returns a plan whose pack/extract/scatter results are
+        bitwise identical to a freshly built plan.
+        """
+        self._check_open()
+        self._check_replan(replan)
+        sizes = np.asarray(list(block_sizes), dtype=int)
+        anchor_key = (
+            sizes.tobytes(),
+            tuple(map(tuple, column_groups)),
+        )
+        fingerprint = coo.fingerprint()
+        if replan != "full":
+            anchor = self._plan_anchors.get(anchor_key)
+            if anchor is not None:
+                anchor_fingerprint, anchor_plan = anchor
+                if anchor_fingerprint == fingerprint:
+                    self._plan_anchors.move_to_end(anchor_key)
+                    return self.plan_cache.reuse(anchor_plan)
+                plan = self._try_patch_plan(anchor_plan, coo, replan)
+                if plan is not None:
+                    self._plan_anchors[anchor_key] = (fingerprint, plan)
+                    self._plan_anchors.move_to_end(anchor_key)
+                    return plan
+        plan = block_plan(coo, sizes, column_groups, cache=self.plan_cache)
+        self._plan_anchors[anchor_key] = (fingerprint, plan)
+        self._plan_anchors.move_to_end(anchor_key)
+        self._trim_anchors(self._plan_anchors)
+        return plan
+
+    def _try_patch_plan(
+        self, anchor_plan: BlockSubmatrixPlan, coo: CooBlockList, replan: str
+    ) -> Optional[BlockSubmatrixPlan]:
+        """Patched plan from the anchor, or ``None`` to fall back to full."""
+        try:
+            delta = anchor_plan.delta_to(coo)
+            if replan == "auto" and delta.fraction_changed > PATCH_DELTA_FRACTION:
+                return None
+            return self.plan_cache.patched_block_plan(anchor_plan, coo, delta=delta)
+        except ValueError:
+            # e.g. a changed block grid — patching is impossible, rebuild
+            return None
 
     def _bucket_pad_for(self, bound: BoundKernel, dimensions) -> Optional[int]:
         pad = resolve_bucket_pad(self.config.bucket_pad, dimensions)
@@ -529,6 +635,8 @@ class SubmatrixContext:
         max_mu_iterations: int = 200,
         ranks: Optional[int] = None,
         distribution=None,
+        replan: str = "full",
+        mu_bracket=None,
     ):
         """Density matrix from the Kohn–Sham and overlap matrices (Eq. 16).
 
@@ -538,7 +646,9 @@ class SubmatrixContext:
         eigendecomposition cache is built rank-sharded through
         :class:`~repro.core.runner.DistributedSubmatrixPipeline` and the
         μ-bisection runs on the sharded cache — bitwise identical to the
-        single-process path.  See :func:`repro.api.density.compute_density`.
+        single-process path.  ``replan`` and ``mu_bracket`` are the
+        incremental-replan and warm-start hooks of the trajectory driver
+        (see :func:`repro.api.density.compute_density`).
         """
         self._check_open()
         from repro.api.density import compute_density
@@ -556,6 +666,8 @@ class SubmatrixContext:
             max_mu_iterations=max_mu_iterations,
             ranks=ranks,
             distribution=distribution,
+            replan=replan,
+            mu_bracket=mu_bracket,
         )
 
     def trajectory(
@@ -571,6 +683,8 @@ class SubmatrixContext:
         ranks: Optional[int] = None,
         distribution=None,
         n_steps: Optional[int] = None,
+        replan: str = "auto",
+        warm_start_mu: bool = False,
     ):
         """Density matrices along an SCF/MD trajectory through this session.
 
@@ -579,7 +693,12 @@ class SubmatrixContext:
         computed exactly like a single-shot :meth:`density` call, but the
         steps share this session's plan cache, sharded pipelines and
         executor — value-only steps (unchanged sparsity pattern, detected
-        via the plan cache's content hash) skip all planning.  Returns a
+        via the plan cache's content hash) skip all planning, and with
+        ``replan="auto"`` (default) or ``"patch"`` a *drifted* pattern
+        patches the previous step's plans instead of rebuilding them.
+        ``warm_start_mu=True`` seeds each canonical step's μ-bisection from
+        the previous step's μ (an opt-in that trades the bitwise identity of
+        μ for fewer bisection iterations).  Returns a
         :class:`~repro.api.trajectory.TrajectoryResult` with the per-step
         results and a :class:`~repro.api.trajectory.TrajectoryStats`
         reuse record.  See :func:`repro.api.trajectory.run_trajectory`.
@@ -600,6 +719,8 @@ class SubmatrixContext:
             ranks=ranks,
             distribution=distribution,
             n_steps=n_steps,
+            replan=replan,
+            warm_start_mu=warm_start_mu,
         )
 
     # ------------------------------------------------------------------ #
@@ -631,14 +752,24 @@ class SubmatrixContext:
         grouping: Optional[ColumnGrouping] = None,
         distribution=None,
         bucket_pad=_UNSET,
+        replan: str = "full",
     ) -> DistributedSubmatrixPipeline:
         """Fetch (or build and cache) a configured sharded pipeline.
 
         ``bucket_pad`` is taken from the session config unless explicitly
         passed (the density driver passes ``bucket_pad=None`` to force
         exact-dimension buckets for its eigendecomposition cache).
+
+        With ``replan="patch"`` (always) or ``"auto"`` (small block deltas),
+        a cache miss for a drifted pattern is served by patching the most
+        recently used pipeline of the same configuration
+        (:meth:`~repro.core.runner.DistributedSubmatrixPipeline.patch`)
+        instead of rebuilding plans, shards and transfer plan from scratch;
+        the patched pipeline is cached like a built one.  Results are
+        bitwise identical in every mode.
         """
         self._check_open()
+        self._check_replan(replan)
         coo = (
             pattern
             if isinstance(pattern, CooBlockList)
@@ -650,8 +781,7 @@ class SubmatrixContext:
         grouping_key = (
             tuple(map(tuple, grouping.groups)) if grouping is not None else None
         )
-        key = (
-            coo.fingerprint(),
+        configuration_key = (
             sizes.tobytes(),
             n_ranks,
             grouping_key,
@@ -660,27 +790,58 @@ class SubmatrixContext:
             self.config.exact_transfers,
             _distribution_key(distribution),
         )
+        key = (coo.fingerprint(),) + configuration_key
         cached = self._pipelines.get(key)
         if cached is not None:
             self._pipelines.move_to_end(key)
+            self._pipeline_anchors[configuration_key] = cached
+            self._pipeline_anchors.move_to_end(configuration_key)
+            self._trim_anchors(self._pipeline_anchors)
             return cached
-        pipeline = DistributedSubmatrixPipeline(
-            coo,
-            sizes,
-            n_ranks,
-            grouping=grouping,
-            distribution=distribution,
-            balance=self.config.balance,
-            bucket_pad=pad,
-            flop_constant=self.config.flop_constant,
-            plan_cache=self.plan_cache,
-            exact_transfers=self.config.exact_transfers,
-        )
-        self._pipelines_built += 1
+        pipeline = None
+        if replan != "full":
+            anchor = self._pipeline_anchors.get(configuration_key)
+            if anchor is not None:
+                pipeline = self._try_patch_pipeline(anchor, coo, replan)
+        if pipeline is None:
+            pipeline = DistributedSubmatrixPipeline(
+                coo,
+                sizes,
+                n_ranks,
+                grouping=grouping,
+                distribution=distribution,
+                balance=self.config.balance,
+                bucket_pad=pad,
+                flop_constant=self.config.flop_constant,
+                plan_cache=self.plan_cache,
+                exact_transfers=self.config.exact_transfers,
+            )
+            self._pipelines_built += 1
         self._pipelines[key] = pipeline
         while len(self._pipelines) > MAX_CACHED_PIPELINES:
             self._pipelines.popitem(last=False)
+        self._pipeline_anchors[configuration_key] = pipeline
+        self._pipeline_anchors.move_to_end(configuration_key)
+        self._trim_anchors(self._pipeline_anchors)
         return pipeline
+
+    def _try_patch_pipeline(
+        self,
+        anchor: DistributedSubmatrixPipeline,
+        coo: CooBlockList,
+        replan: str,
+    ) -> Optional[DistributedSubmatrixPipeline]:
+        """Patched pipeline from the anchor, or ``None`` to build fresh."""
+        try:
+            anchor.prepare()
+            delta = anchor.plan.delta_to(coo)
+            if replan == "auto" and delta.fraction_changed > PATCH_DELTA_FRACTION:
+                return None
+            patched = anchor.patch(coo, plan_cache=self.plan_cache, delta=delta)
+        except ValueError:
+            return None
+        self._pipelines_patched += 1
+        return patched
 
 
 class DistributedSession:

@@ -54,7 +54,7 @@ from repro.chem.density import band_structure_energy, electron_count, fermi_occu
 from repro.core.batch import make_stack_tasks
 from repro.core.combination import ColumnGrouping, single_column_groups
 from repro.core.load_balance import resolve_bucket_pad
-from repro.core.plan import BlockSubmatrixPlan, block_plan
+from repro.core.plan import BlockSubmatrixPlan
 from repro.core.submatrix import (
     Submatrix,
     extract_block_submatrix,
@@ -83,6 +83,8 @@ def compute_density(
     max_mu_iterations: int = 200,
     ranks: Optional[int] = None,
     distribution=None,
+    replan: str = "full",
+    mu_bracket: Optional[Tuple[float, float]] = None,
 ) -> SubmatrixDFTResult:
     """Compute the density matrix for a given K, S and ensemble.
 
@@ -91,6 +93,19 @@ def compute_density(
     cache and persistent executor; ``ranks`` overrides
     ``context.config.n_ranks`` for the sharded eigendecomposition cache and
     ``distribution`` fixes the block ownership of its transfer plan.
+
+    ``replan`` controls how a sparsity pattern unseen by the session is
+    planned: ``"full"`` (default) builds extraction plans and pipelines from
+    scratch, ``"patch"``/``"auto"`` incrementally patch the session's most
+    recent plan/pipeline of the same configuration (see
+    :meth:`SubmatrixContext.block_plan_for`) — results are bitwise identical
+    in every mode.  ``mu_bracket`` optionally seeds the canonical ensemble's
+    μ-bisection with a warm ``(lo, hi)`` bracket (expanded automatically if
+    it does not bracket the electron count); a warm bracket changes the
+    bisection's iterate sequence, so the resulting μ is not bitwise
+    reproducible against a cold start — both converge the electron count
+    to within ``mu_tolerance``, but at T = 0 the μ values may settle at
+    different points of a degenerate gap plateau.
     """
     config = context.config
     start = time.perf_counter()
@@ -138,6 +153,7 @@ def compute_density(
             n_ranks=ranks,
             grouping=grouping,
             distribution=distribution,
+            replan=replan,
             # Algorithm 1 needs exact-dimension buckets (see
             # _decompose_planned); the iterative kernels pad safely
             **({"bucket_pad": None} if eigen_cache else {}),
@@ -148,7 +164,9 @@ def compute_density(
         elif use_sharded:
             decomposed, plan = _decompose_sharded(context, block_k, pipeline)
         else:
-            decomposed, plan = _decompose_planned(context, block_k, grouping, coo)
+            decomposed, plan = _decompose_planned(
+                context, block_k, grouping, coo, replan
+            )
         mu_iterations = 0
         if canonical:
             mu, mu_iterations = _bisect_mu(
@@ -157,6 +175,7 @@ def compute_density(
                 float(n_electrons),
                 mu_tolerance,
                 max_mu_iterations,
+                bracket=mu_bracket,
             )
         assert mu is not None
         occupation_block = _scatter_occupations(
@@ -165,7 +184,7 @@ def compute_density(
         dimensions = [d.submatrix.dimension for d in decomposed]
     else:
         occupation_block, dimensions = _iterative_occupations(
-            context, block_k, grouping, coo, float(mu), kernel, pipeline
+            context, block_k, grouping, coo, float(mu), kernel, pipeline, replan
         )
         mu_iterations = 0
 
@@ -233,7 +252,11 @@ def _decompose_naive(
 
 
 def _decompose_planned(
-    context, block_k: BlockSparseMatrix, grouping: ColumnGrouping, coo: CooBlockList
+    context,
+    block_k: BlockSparseMatrix,
+    grouping: ColumnGrouping,
+    coo: CooBlockList,
+    replan: str = "full",
 ) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
     """Extract and eigendecompose every submatrix (Eq. 17, first step).
 
@@ -245,7 +268,9 @@ def _decompose_planned(
     spectrum bookkeeping.
     """
     groups = list(grouping.groups)
-    plan = block_plan(coo, block_k.row_block_sizes, groups, cache=context.plan_cache)
+    plan = context.block_plan_for(
+        coo, block_k.row_block_sizes, groups, replan=replan
+    )
     packed = plan.pack(block_k)
     buckets = make_stack_tasks(plan.dimensions)
 
@@ -335,6 +360,7 @@ def _bisect_mu(
     n_electrons: float,
     tolerance: float,
     max_iterations: int,
+    bracket: Optional[Tuple[float, float]] = None,
 ) -> Tuple[float, int]:
     """Adjust μ by bisection on the cached eigendecompositions (Alg. 1).
 
@@ -344,18 +370,48 @@ def _bisect_mu(
     ``weights · f(λ − μ)``.  The eigenvalues and weights of all
     submatrices are concatenated once, so every bisection step is a
     single vectorized occupation evaluation plus a dot product.
+
+    ``bracket`` optionally warm-starts the search (SCF/MD trajectories seed
+    it from the previous step's μ): the bracket is clipped to the spectrum
+    bounds and expanded geometrically — each expansion's electron-count
+    evaluation billed as an iteration — until it encloses the target
+    electron count, so convergence never depends on the seed's quality.
+    Warm starts change the iterate sequence and therefore the exact
+    floating-point μ; without a bracket the iterates are identical to the
+    cold-start search.
     """
     all_eigenvalues = np.concatenate([d.eigenvalues for d in decomposed])
     all_weights = np.concatenate([d.weights() for d in decomposed])
-    lo = float(all_eigenvalues.min()) - 1.0
-    hi = float(all_eigenvalues.max()) + 1.0
-    iterations = 0
-    mu = 0.5 * (lo + hi)
-    for iterations in range(1, max_iterations + 1):
-        mu = 0.5 * (lo + hi)
+    full_lo = float(all_eigenvalues.min()) - 1.0
+    full_hi = float(all_eigenvalues.max()) + 1.0
+
+    def electron_count_at(mu: float) -> float:
         occupations = _occupations(config, all_eigenvalues, mu)
-        count = config.spin_degeneracy * float(np.dot(all_weights, occupations))
-        error = count - n_electrons
+        return config.spin_degeneracy * float(np.dot(all_weights, occupations))
+
+    lo, hi = full_lo, full_hi
+    iterations = 0
+    if bracket is not None:
+        warm_lo = max(float(bracket[0]), full_lo)
+        warm_hi = min(float(bracket[1]), full_hi)
+        if warm_lo < warm_hi:
+            width = warm_hi - warm_lo
+            # expand until count(lo) ≤ N ≤ count(hi) (occupation is
+            # nondecreasing in μ), falling back to the spectrum bounds
+            while warm_lo > full_lo and electron_count_at(warm_lo) > n_electrons:
+                iterations += 1
+                warm_lo = max(full_lo, warm_lo - width)
+                width *= 2.0
+            while warm_hi < full_hi and electron_count_at(warm_hi) < n_electrons:
+                iterations += 1
+                warm_hi = min(full_hi, warm_hi + width)
+                width *= 2.0
+            lo, hi = warm_lo, warm_hi
+    mu = 0.5 * (lo + hi)
+    while iterations < max_iterations:
+        iterations += 1
+        mu = 0.5 * (lo + hi)
+        error = electron_count_at(mu) - n_electrons
         if abs(error) <= tolerance:
             break
         if error < 0:
@@ -442,6 +498,7 @@ def _iterative_occupations(
     mu: float,
     kernel,
     pipeline=None,
+    replan: str = "full",
 ) -> Tuple[BlockSparseMatrix, List[int]]:
     """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
 
@@ -514,7 +571,9 @@ def _iterative_occupations(
         )
         return plan.finalize(out), list(plan.dimensions)
 
-    plan = block_plan(coo, block_k.row_block_sizes, groups, cache=context.plan_cache)
+    plan = context.block_plan_for(
+        coo, block_k.row_block_sizes, groups, replan=replan
+    )
     packed = plan.pack(block_k)
     dimensions = plan.dimensions
     pad = resolve_bucket_pad(config.bucket_pad, dimensions)

@@ -21,12 +21,30 @@ drives a sequence of ``(K, S)`` geometry steps through
 :func:`repro.api.density.compute_density`, watches the pattern content hash
 to detect sparsity changes between steps, and returns the per-step
 :class:`~repro.api.results.SubmatrixDFTResult` objects together with a
-:class:`TrajectoryStats` record — plans built vs cache hits, pattern
-changes, per-step wall times and (for sharded runs) fetch volumes.  Every
-step is computed by the same code path as a single-shot
-:meth:`SubmatrixContext.density` call, so per-step results are bitwise
-identical to fresh calls; the driver only removes the redundant planning
-work between them.
+:class:`TrajectoryStats` record — plans built vs patched vs cache hits,
+pattern changes, per-step wall times and (for sharded runs) fetch volumes.
+
+**Incremental replans.**  When the pattern *does* drift (an atom pair
+crossing the filter threshold adds or removes a few blocks), ``replan=``
+decides how the new pattern is planned: ``"full"`` rebuilds every
+extraction plan and pipeline from scratch, ``"patch"`` diffs the patterns
+and rebuilds only the column groups the delta invalidates
+(:meth:`~repro.core.plan.BlockSubmatrixPlan.patch`), and ``"auto"`` (the
+default) patches for small deltas and rebuilds for large ones.  Patched
+plans, shards and pipelines are **bitwise identical** to fully rebuilt
+ones in every pack/extract/scatter result, so the mode changes cost only,
+never numbers.
+
+**Warm-started μ.**  ``warm_start_mu=True`` seeds each canonical step's
+μ-bisection bracket from the previous step's μ (SCF-style).  This is the
+one opt-in that trades exactness guarantees for speed: the bisection's
+iterate sequence changes, so the converged μ (and with it the occupation
+matrix) is *not* bitwise identical to a cold-started single-shot call —
+both deliver an electron count within ``mu_tolerance`` of the target, but
+at T = 0 the two μ values can even sit at different points of a
+degenerate gap plateau.  Every other knob preserves the contract that
+per-step results are bitwise identical to fresh single-shot
+:meth:`SubmatrixContext.density` calls.
 """
 
 from __future__ import annotations
@@ -44,7 +62,13 @@ __all__ = [
     "TrajectoryStats",
     "TrajectoryResult",
     "run_trajectory",
+    "WARM_START_HALF_WIDTH",
 ]
+
+#: Default half-width (in energy units of K) of the warm-started μ-bisection
+#: bracket around the previous step's μ.  The bracket self-expands when μ
+#: drifts out of it, so this only tunes the best-case iteration savings.
+WARM_START_HALF_WIDTH = 0.05
 
 #: A geometry step: the Kohn–Sham and overlap matrices of one configuration.
 StepPair = Tuple[object, object]
@@ -72,15 +96,25 @@ class TrajectoryStepRecord:
         Whether the pattern differs from the previous step's (the first
         step always counts as changed — there is nothing to reuse yet).
     plans_built / plan_cache_hits:
-        Plan-cache misses and hits incurred by this step.
-    pipelines_built:
-        Sharded pipelines built by this step (0 on reuse).
+        Plan-cache misses and hits incurred by this step.  ``plans_built``
+        counts every plan *construction*, whether full or incremental;
+        ``plans_patched`` says how many of them were incremental.
+    plans_patched / groups_rebuilt:
+        Plans built by patching the previous step's plan, and the group
+        plans those patches had to rebuild (the reused remainder was
+        translated, not rebuilt).
+    pipelines_built / pipelines_patched:
+        Sharded pipelines built from scratch / patched from the previous
+        step's pipeline by this step (both 0 on reuse).
     mu / n_electrons / mu_iterations:
         Ensemble outcome of the step (see
         :class:`~repro.api.results.SubmatrixDFTResult`).
     segment_fetch_bytes / block_fetch_bytes:
         Fetch volumes of the sharded initialization exchange (``None`` for
         single-process steps).
+    warm_started:
+        Whether this step's μ-bisection was seeded from the previous step's
+        μ (``warm_start_mu=True`` and a canonical predecessor existed).
     """
 
     step: int
@@ -95,6 +129,10 @@ class TrajectoryStepRecord:
     mu_iterations: int
     segment_fetch_bytes: Optional[float]
     block_fetch_bytes: Optional[float]
+    plans_patched: int = 0
+    groups_rebuilt: int = 0
+    pipelines_patched: int = 0
+    warm_started: bool = False
 
 
 @dataclasses.dataclass
@@ -106,9 +144,12 @@ class TrajectoryStats:
     n_steps:
         Number of geometry steps driven.
     plans_built / plan_cache_hits:
-        Total plan-cache misses and hits across the run; a value-only
-        trajectory builds exactly one plan and hits the cache on every
-        later step.
+        Total plan constructions (full or incremental) and cache hits
+        across the run; a value-only trajectory builds exactly one plan and
+        hits the cache on every later step.
+    plans_patched / groups_rebuilt:
+        Plan constructions served by incremental patching, and the group
+        plans those patches rebuilt (``replan="patch"``/``"auto"`` only).
     pattern_changes:
         Steps (beyond the first) whose sparsity pattern differed from their
         predecessor — each one invalidates the cross-step reuse once.
@@ -116,13 +157,17 @@ class TrajectoryStats:
         Worker pools created during the run (at most one: the session's
         persistent executor, and zero when it existed already or the
         configuration is serial).
-    pipelines_built:
-        Sharded pipelines built during the run (0 when every rank-sharded
-        step reused the context's cached pipeline).
+    pipelines_built / pipelines_patched:
+        Sharded pipelines built from scratch / patched from a predecessor
+        during the run (both 0 when every rank-sharded step reused the
+        context's cached pipeline).
     total_wall_time:
         Sum of the per-step wall times.
     steps:
         Per-step :class:`TrajectoryStepRecord` entries.
+
+    All ratio properties are well-defined for empty trajectories (they
+    return 0.0 instead of dividing by zero).
     """
 
     n_steps: int
@@ -133,12 +178,20 @@ class TrajectoryStats:
     pipelines_built: int
     total_wall_time: float
     steps: List[TrajectoryStepRecord]
+    plans_patched: int = 0
+    groups_rebuilt: int = 0
+    pipelines_patched: int = 0
 
     @property
     def reuse_rate(self) -> float:
         """Fraction of plan lookups served from the cache."""
         total = self.plans_built + self.plan_cache_hits
         return self.plan_cache_hits / total if total else 0.0
+
+    @property
+    def patch_rate(self) -> float:
+        """Fraction of plan constructions served by incremental patching."""
+        return self.plans_patched / self.plans_built if self.plans_built else 0.0
 
 
 @dataclasses.dataclass
@@ -159,13 +212,15 @@ class TrajectoryResult:
 
     @property
     def mus(self) -> np.ndarray:
-        """Chemical potential of every step."""
-        return np.asarray([r.mu for r in self.results])
+        """Chemical potential of every step (float64, even for 0 steps)."""
+        return np.asarray([r.mu for r in self.results], dtype=np.float64)
 
     @property
     def band_energies(self) -> np.ndarray:
-        """Band-structure energy of every step."""
-        return np.asarray([r.band_energy for r in self.results])
+        """Band-structure energy of every step (float64, even for 0 steps)."""
+        return np.asarray(
+            [r.band_energy for r in self.results], dtype=np.float64
+        )
 
 
 def _iterate_steps(
@@ -212,6 +267,8 @@ def run_trajectory(
     ranks: Optional[int] = None,
     distribution=None,
     n_steps: Optional[int] = None,
+    replan: str = "auto",
+    warm_start_mu: bool = False,
 ) -> TrajectoryResult:
     """Drive a sequence of geometry steps through one session.
 
@@ -223,7 +280,9 @@ def run_trajectory(
     steps:
         Geometry steps: an iterable of ``(K, S)`` matrix pairs or a
         callback ``step(index) -> (K, S)`` (return ``None`` to end the
-        trajectory early).
+        trajectory early).  ``None`` itself is rejected — an empty
+        trajectory must be an empty sequence or a callback returning
+        ``None`` at step 0.
     blocks:
         The :class:`~repro.chem.hamiltonian.BlockStructure` shared by all
         steps (MD moves atoms, not basis functions).
@@ -238,41 +297,85 @@ def run_trajectory(
     n_steps:
         Maximum number of steps (required information only when ``steps``
         is an unbounded callback; sequences end on their own).
+    replan:
+        How a step whose sparsity pattern drifted from its predecessor is
+        planned.  ``"full"`` rebuilds plans and pipelines from scratch;
+        ``"patch"`` always patches the previous step's plans
+        (:meth:`~repro.core.plan.BlockSubmatrixPlan.patch`), rebuilding
+        only the column groups the block delta invalidates; ``"auto"``
+        (default) patches while the delta stays small
+        (≤ :data:`repro.core.plan.PATCH_DELTA_FRACTION` of the blocks) and
+        rebuilds beyond that.  **Bitwise contract:** all three modes
+        produce identical densities, μ values and band energies — patched
+        plans are property-tested to be bitwise identical to full replans,
+        so ``replan`` trades planning time only.
+    warm_start_mu:
+        Seed each canonical step's μ-bisection bracket from the previous
+        step's μ (±:data:`WARM_START_HALF_WIDTH`, self-expanding when the
+        seed does not bracket the electron count).  **Bitwise contract:**
+        this *breaks* the bitwise identity of μ (and hence of the
+        occupation matrices) with cold-started single-shot calls — both
+        starts converge to an electron count within ``mu_tolerance`` of
+        the target, but the μ iterate sequences differ, and at T = 0 the
+        two can settle at different points of a degenerate gap plateau.
+        Leave ``False`` (default) whenever exact reproducibility across
+        call styles matters.
 
     Returns
     -------
     TrajectoryResult
         Per-step results (bitwise identical to fresh single-shot
-        :meth:`SubmatrixContext.density` calls) and the reuse statistics.
+        :meth:`SubmatrixContext.density` calls unless ``warm_start_mu``
+        is enabled) and the reuse statistics.
     """
     from repro.api.density import compute_density
 
     context._check_open()
+    if steps is None:
+        raise ValueError(
+            "steps must be a sequence of (K, S) pairs or a callback "
+            "step(index) -> (K, S) | None, not None"
+        )
+    context._check_replan(replan)
     if (mu is None) == (n_electrons is None):
         raise ValueError("specify exactly one of mu and n_electrons")
 
     results: List[SubmatrixDFTResult] = []
     records: List[TrajectoryStepRecord] = []
     previous_fingerprint: Optional[str] = None
+    previous_mu: Optional[float] = None
     pattern_changes = 0
     session_before = context.stats()
     executors_at_start = session_before["executors_created"]
     cache_before = dict(context.plan_cache.stats)
+    bracket_half_width = max(WARM_START_HALF_WIDTH, 8.0 * mu_tolerance)
 
     for index, (K, S) in enumerate(_iterate_steps(steps, n_steps)):
+        step_n_electrons = _step_value(n_electrons, index)
+        warm = (
+            warm_start_mu
+            and step_n_electrons is not None
+            and previous_mu is not None
+        )
         result = compute_density(
             context,
             K,
             S,
             blocks,
             mu=_step_value(mu, index),
-            n_electrons=_step_value(n_electrons, index),
+            n_electrons=step_n_electrons,
             solver=solver,
             grouping=grouping,
             mu_tolerance=mu_tolerance,
             max_mu_iterations=max_mu_iterations,
             ranks=ranks,
             distribution=distribution,
+            replan=replan,
+            mu_bracket=(
+                (previous_mu - bracket_half_width, previous_mu + bracket_half_width)
+                if warm
+                else None
+            ),
         )
         cache_after = dict(context.plan_cache.stats)
         session_after = context.stats()
@@ -295,10 +398,17 @@ def run_trajectory(
                 mu_iterations=result.mu_iterations,
                 segment_fetch_bytes=result.segment_fetch_bytes,
                 block_fetch_bytes=result.block_fetch_bytes,
+                plans_patched=cache_after["patches"] - cache_before["patches"],
+                groups_rebuilt=cache_after["groups_rebuilt"]
+                - cache_before["groups_rebuilt"],
+                pipelines_patched=session_after["pipelines_patched"]
+                - session_before["pipelines_patched"],
+                warm_started=bool(warm),
             )
         )
         results.append(result)
         previous_fingerprint = fingerprint
+        previous_mu = float(result.mu)
         cache_before = cache_after
         session_before = session_after
 
@@ -311,5 +421,8 @@ def run_trajectory(
         pipelines_built=sum(r.pipelines_built for r in records),
         total_wall_time=float(sum(r.wall_time for r in records)),
         steps=records,
+        plans_patched=sum(r.plans_patched for r in records),
+        groups_rebuilt=sum(r.groups_rebuilt for r in records),
+        pipelines_patched=sum(r.pipelines_patched for r in records),
     )
     return TrajectoryResult(results=results, stats=stats)

@@ -39,10 +39,14 @@ from repro.core.plan import (
     SubmatrixPlan,
     ElementSubmatrixPlan,
     BlockSubmatrixPlan,
+    BlockPatternDelta,
+    PlanPatchReport,
     PlanCache,
     DEFAULT_PLAN_CACHE,
+    PATCH_DELTA_FRACTION,
     element_plan,
     block_plan,
+    block_pattern_delta,
 )
 from repro.core.batch import Bucket, make_buckets, evaluate_batched
 from repro.core.method import SubmatrixMethod, SubmatrixMethodResult
@@ -95,10 +99,14 @@ __all__ = [
     "SubmatrixPlan",
     "ElementSubmatrixPlan",
     "BlockSubmatrixPlan",
+    "BlockPatternDelta",
+    "PlanPatchReport",
     "PlanCache",
     "DEFAULT_PLAN_CACHE",
+    "PATCH_DELTA_FRACTION",
     "element_plan",
     "block_plan",
+    "block_pattern_delta",
     "Bucket",
     "make_buckets",
     "evaluate_batched",
