@@ -1,0 +1,265 @@
+"""Benchmark — cost of the resilience layer and of fault recovery.
+
+Quantifies the two promises of the fault-tolerance machinery:
+
+* **No faults → (near-)zero overhead.**  The same canonical density
+  workload runs once with ``ResiliencePolicy.disabled()`` (the exact
+  pre-resilience execution path: ``execute_ranks`` short-circuits to a
+  plain ``map_parallel``) and once with the default active policy but no
+  fault injector.  The median-of-N overhead of the active policy is
+  recorded; the acceptance bar is ≤ 5 %.
+* **Faults → bitwise-identical recovery.**  The same workload runs under
+  injected rank crashes (retry/rebalance), under an unrecoverable
+  all-ranks crash (degradation to the single-process batched engine) and
+  — for the trajectory driver — killed mid-run and resumed from its
+  checkpoint.  Every recovered density must equal the fault-free one
+  bit for bit; the recovery costs are recorded alongside.
+
+Writes ``BENCH_fault_recovery.json`` at the repository root so future PRs
+can track the overhead, plus the usual table under ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, ResiliencePolicy, SubmatrixContext
+from repro.chem import HamiltonianModel, build_matrices, water_box
+from repro.parallel.faults import FaultInjector, FaultPlan
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from common import bench_scale, report  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ROOT_JSON = REPO_ROOT / "BENCH_fault_recovery.json"
+
+EPS_FILTER = 1e-5
+N_ELECTRONS_PER_MOLECULE = 8.0
+RANKS = 4
+
+
+def _density(pair, n_electrons, policy):
+    config = EngineConfig(
+        engine="batched", eps_filter=EPS_FILTER, resilience=policy
+    )
+    with SubmatrixContext(config) as context:
+        start = time.perf_counter()
+        result = context.density(
+            pair.K, pair.S, pair.blocks, n_electrons=n_electrons, ranks=RANKS
+        )
+        elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_fault_recovery_benchmark():
+    system = water_box(1)
+    pair = build_matrices(system, model=HamiltonianModel())
+    n_electrons = N_ELECTRONS_PER_MOLECULE * system.n_molecules
+    repetitions = max(3, int(round(5 * bench_scale())))
+
+    # -- overhead: disabled (pre-resilience path) vs active-but-clean ----- #
+    disabled_times, active_times = [], []
+    baseline = None
+    for _ in range(repetitions):
+        result, elapsed = _density(
+            pair, n_electrons, ResiliencePolicy.disabled()
+        )
+        disabled_times.append(elapsed)
+        baseline = result
+        clean, elapsed = _density(pair, n_electrons, ResiliencePolicy())
+        active_times.append(elapsed)
+    disabled_median = float(np.median(disabled_times))
+    active_median = float(np.median(active_times))
+    overhead = (
+        (active_median - disabled_median) / disabled_median
+        if disabled_median > 0
+        else 0.0
+    )
+    clean_bitwise = bool(
+        np.array_equal(baseline.density_ao, clean.density_ao)
+    )
+
+    # -- recovery: one crashed rank, retried and rebalanced --------------- #
+    injector = FaultInjector(FaultPlan.rank_crashes([1], seed=7))
+    recovered, recovery_time = _density(
+        pair, n_electrons, ResiliencePolicy(fault_injector=injector)
+    )
+    recovery_bitwise = bool(
+        np.array_equal(baseline.density_ao, recovered.density_ao)
+    )
+
+    # -- degradation: every rank fails every attempt ---------------------- #
+    injector = FaultInjector(
+        FaultPlan.rank_crashes(list(range(RANKS)), seed=7, times=None)
+    )
+    degraded, degraded_time = _density(
+        pair, n_electrons, ResiliencePolicy(fault_injector=injector)
+    )
+    degraded_bitwise = bool(
+        np.array_equal(baseline.density_ao, degraded.density_ao)
+    )
+
+    # -- checkpoint resume: kill a trajectory at its midpoint ------------- #
+    n_steps = max(4, int(round(6 * bench_scale())))
+    steps = [(pair.K * (1.0 + 1e-4 * s), pair.S) for s in range(n_steps)]
+    config = EngineConfig(engine="batched", eps_filter=EPS_FILTER)
+    with SubmatrixContext(config) as context:
+        start = time.perf_counter()
+        uninterrupted = context.trajectory(
+            steps, pair.blocks, n_electrons=n_electrons
+        )
+        full_time = time.perf_counter() - start
+
+    kill_at = n_steps // 2
+    checkpoint_dir = tempfile.mkdtemp(prefix="bench_fault_ckpt_")
+
+    class _Killed(Exception):
+        pass
+
+    def dying_steps(index):
+        if index == kill_at:
+            raise _Killed()
+        return steps[index] if index < len(steps) else None
+
+    try:
+        with SubmatrixContext(config) as context:
+            try:
+                context.trajectory(
+                    dying_steps,
+                    pair.blocks,
+                    n_electrons=n_electrons,
+                    checkpoint=checkpoint_dir,
+                )
+            except _Killed:
+                pass
+        with SubmatrixContext(config) as context:
+            start = time.perf_counter()
+            resumed = context.trajectory(
+                steps,
+                pair.blocks,
+                n_electrons=n_electrons,
+                checkpoint=checkpoint_dir,
+            )
+            resume_time = time.perf_counter() - start
+    finally:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    resume_bitwise = all(
+        np.array_equal(before.density_ao, after.density_ao)
+        and before.mu == after.mu
+        for before, after in zip(uninterrupted.results, resumed.results)
+    )
+
+    payload = {
+        "benchmark": "fault_recovery",
+        "system": {
+            "molecules": int(system.n_molecules),
+            "n_electrons": n_electrons,
+            "ranks": RANKS,
+            "repetitions": repetitions,
+        },
+        "overhead": {
+            "disabled_median_s": disabled_median,
+            "active_clean_median_s": active_median,
+            "overhead_fraction": overhead,
+            "overhead_percent": 100.0 * overhead,
+            "bitwise_identical": clean_bitwise,
+            "acceptance_max_percent": 5.0,
+        },
+        "rank_crash_recovery": {
+            "time_s": recovery_time,
+            "retries": int(recovered.retries),
+            "reassigned_stacks": int(recovered.reassigned_stacks),
+            "bitwise_identical": recovery_bitwise,
+        },
+        "degradation": {
+            "time_s": degraded_time,
+            "degraded": bool(degraded.degraded),
+            "bitwise_identical": degraded_bitwise,
+        },
+        "checkpoint_resume": {
+            "n_steps": n_steps,
+            "killed_at_step": kill_at,
+            "full_run_s": full_time,
+            "resume_run_s": resume_time,
+            "steps_resumed": int(resumed.stats.steps_resumed),
+            "bitwise_identical": bool(resume_bitwise),
+        },
+    }
+    rows = [
+        [
+            "resilience disabled (pre-PR baseline)",
+            disabled_median,
+            0.0,
+            True,
+        ],
+        [
+            "resilience active, no faults",
+            active_median,
+            100.0 * overhead,
+            clean_bitwise,
+        ],
+        [
+            "rank crash → retry + rebalance",
+            recovery_time,
+            100.0 * (recovery_time / disabled_median - 1.0)
+            if disabled_median
+            else 0.0,
+            recovery_bitwise,
+        ],
+        [
+            "all ranks crash → degrade to batched",
+            degraded_time,
+            100.0 * (degraded_time / disabled_median - 1.0)
+            if disabled_median
+            else 0.0,
+            degraded_bitwise,
+        ],
+        [
+            f"trajectory resume ({kill_at}/{n_steps} steps checkpointed)",
+            resume_time,
+            100.0 * (resume_time / full_time - 1.0) if full_time else 0.0,
+            bool(resume_bitwise),
+        ],
+    ]
+    with open(ROOT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return rows, payload
+
+
+def _report(rows, payload):
+    system = payload["system"]
+    report(
+        "fault_recovery",
+        ["path", "seconds", "overhead vs baseline (%)", "bitwise identical"],
+        rows,
+        f"Fault injection and recovery ({system['molecules']} molecules, "
+        f"{system['ranks']} ranks)",
+    )
+
+
+@pytest.mark.benchmark(group="api")
+def test_fault_recovery(benchmark):
+    rows, payload = benchmark.pedantic(
+        run_fault_recovery_benchmark, rounds=1, iterations=1
+    )
+    _report(rows, payload)
+    assert payload["overhead"]["bitwise_identical"]
+    assert payload["rank_crash_recovery"]["bitwise_identical"]
+    assert payload["degradation"]["bitwise_identical"]
+    assert payload["checkpoint_resume"]["bitwise_identical"]
+
+
+if __name__ == "__main__":
+    table_rows, result_payload = run_fault_recovery_benchmark()
+    _report(table_rows, result_payload)
+    overhead_percent = result_payload["overhead"]["overhead_percent"]
+    print(f"clean-run overhead: {overhead_percent:+.2f}% (acceptance ≤ 5%)")
+    print(f"wrote {ROOT_JSON}")

@@ -53,9 +53,11 @@ from repro.api import (
     DistributedSession,
     EngineConfig,
     MatrixFunction,
+    ResiliencePolicy,
     SubmatrixContext,
     SubmatrixDFTResult,
     SubmatrixMethodResult,
+    TrajectoryCheckpoint,
     TrajectoryResult,
     TrajectoryStats,
     UnknownKernelError,
@@ -69,10 +71,12 @@ from repro.api import (
 __all__ = [
     "__version__",
     "EngineConfig",
+    "ResiliencePolicy",
     "SubmatrixContext",
     "DistributedSession",
     "SubmatrixMethodResult",
     "SubmatrixDFTResult",
+    "TrajectoryCheckpoint",
     "TrajectoryResult",
     "TrajectoryStats",
     "MatrixFunction",

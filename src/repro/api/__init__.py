@@ -24,7 +24,9 @@ from repro.api.config import (
     EIGENSOLVE_FLOP_CONSTANT,
     ENGINES,
     EngineConfig,
+    ResiliencePolicy,
 )
+from repro.api.checkpoint import CheckpointError, TrajectoryCheckpoint
 from repro.api.results import (
     DecomposedSubmatrix,
     SubmatrixDFTResult,
@@ -43,6 +45,7 @@ from repro.api.trajectory import (
 )
 from repro.signfn.registry import (
     BoundKernel,
+    KernelConvergenceError,
     MatrixFunction,
     SIGN_SOLVERS,
     UnknownKernelError,
@@ -59,6 +62,10 @@ __all__ = [
     "BACKENDS",
     "BALANCE_STRATEGIES",
     "EIGENSOLVE_FLOP_CONSTANT",
+    "ResiliencePolicy",
+    "TrajectoryCheckpoint",
+    "CheckpointError",
+    "KernelConvergenceError",
     "SubmatrixContext",
     "DistributedSession",
     "REPLAN_MODES",

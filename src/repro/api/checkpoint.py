@@ -1,0 +1,258 @@
+"""Trajectory checkpointing: persist per-step results, resume after a crash.
+
+A :class:`TrajectoryCheckpoint` is a directory holding one ``.npz`` file per
+completed trajectory step plus a small ``trajectory.json`` manifest.  The
+trajectory driver (:func:`repro.api.trajectory.run_trajectory`) saves every
+step as soon as it completes and, on a later run pointed at the same
+directory, *loads* the saved steps instead of recomputing them — so a
+trajectory killed at step k resumes at step k, and the resumed run's
+results are **bitwise identical** to an uninterrupted one:
+
+* the density matrices and every scalar are stored as float64 NumPy arrays
+  (``.npz`` round-trips them bit-exactly, no text formatting involved);
+* the previous step's μ — the seed of a warm-started μ-bisection — and the
+  previous pattern fingerprint are restored from the loaded result, so the
+  first recomputed step sees exactly the state it would have seen had the
+  earlier steps just run.
+
+Step files are written atomically (temporary file + ``os.replace``), so a
+crash *during* a save leaves either the complete previous state or the
+complete new state — never a torn file.  The manifest records a caller
+``signature`` of the trajectory's parameters; resuming with different
+parameters (a different solver, ensemble or step count) raises
+:class:`CheckpointError` instead of silently splicing incompatible steps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.api.results import SubmatrixDFTResult
+
+__all__ = ["TrajectoryCheckpoint", "CheckpointError"]
+
+_MANIFEST = "trajectory.json"
+_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory is unusable for the requested trajectory.
+
+    Raised when the manifest's parameter signature does not match the
+    resuming trajectory's, or when a step file is missing or corrupt.
+    """
+
+
+def _float_or_nan(value: Optional[float]) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def _nan_to_none(value: float) -> Optional[float]:
+    return None if np.isnan(value) else float(value)
+
+
+class TrajectoryCheckpoint:
+    """Directory-backed store of per-step trajectory results.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint directory; created (including parents) on first use.
+        An existing directory is resumed from.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._signature_json: Optional[str] = None
+        manifest = self._read_manifest()
+        if manifest is not None:
+            self._signature_json = json.dumps(
+                manifest.get("signature"), sort_keys=True
+            )
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    def _manifest_path(self) -> Path:
+        return self.path / _MANIFEST
+
+    def _read_manifest(self) -> Optional[Dict]:
+        manifest_path = self._manifest_path()
+        if not manifest_path.exists():
+            return None
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest {manifest_path}: {error!r}"
+            ) from error
+
+    def _write_manifest(self, signature) -> None:
+        payload = {"version": _VERSION, "signature": signature}
+        self._atomic_write_text(
+            self._manifest_path(), json.dumps(payload, sort_keys=True, indent=2)
+        )
+
+    def _atomic_write_text(self, target: Path, text: str) -> None:
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(self.path), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def ensure_signature(self, signature) -> None:
+        """Bind this checkpoint to one trajectory parameter signature.
+
+        The first call records ``signature`` (any JSON-serializable value)
+        in the manifest; later calls — including from a resuming process —
+        must present an equal signature or :class:`CheckpointError` is
+        raised, so saved steps are never spliced into a trajectory with
+        different parameters.
+        """
+        incoming = json.dumps(signature, sort_keys=True)
+        if self._signature_json is None:
+            self._write_manifest(signature)
+            self._signature_json = incoming
+            return
+        if incoming != self._signature_json:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written by a trajectory with "
+                f"different parameters (saved signature "
+                f"{self._signature_json}, requested {incoming}); use a "
+                "fresh checkpoint directory"
+            )
+
+    # ------------------------------------------------------------------ #
+    # steps
+    # ------------------------------------------------------------------ #
+    def _step_path(self, index: int) -> Path:
+        return self.path / f"step_{int(index):05d}.npz"
+
+    def has_step(self, index: int) -> bool:
+        """Whether step ``index`` has a completed, saved result."""
+        return self._step_path(index).exists()
+
+    @property
+    def n_saved_steps(self) -> int:
+        """Number of contiguously saved steps starting at step 0."""
+        count = 0
+        while self.has_step(count):
+            count += 1
+        return count
+
+    def save_step(self, index: int, result: SubmatrixDFTResult) -> None:
+        """Persist one step's result (atomic; safe against crashes)."""
+        ortho = sp.csr_matrix(result.density_ortho)
+        arrays = {
+            "density_ao": np.asarray(result.density_ao, dtype=np.float64),
+            "ortho_data": np.asarray(ortho.data, dtype=np.float64),
+            "ortho_indices": np.asarray(ortho.indices, dtype=np.int64),
+            "ortho_indptr": np.asarray(ortho.indptr, dtype=np.int64),
+            "ortho_shape": np.asarray(ortho.shape, dtype=np.int64),
+            "dimensions": np.asarray(
+                result.submatrix_dimensions, dtype=np.int64
+            ),
+            "scalars": np.asarray(
+                [
+                    result.mu,
+                    result.n_electrons,
+                    result.band_energy,
+                    result.eps_filter,
+                    result.wall_time,
+                    _float_or_nan(result.segment_fetch_bytes),
+                    _float_or_nan(result.block_fetch_bytes),
+                ],
+                dtype=np.float64,
+            ),
+            "counters": np.asarray(
+                [
+                    result.mu_iterations,
+                    result.n_ranks,
+                    result.retries,
+                    result.reassigned_stacks,
+                    result.kernel_fallbacks,
+                    int(result.degraded),
+                ],
+                dtype=np.int64,
+            ),
+            "fingerprint": np.asarray(result.pattern_fingerprint or ""),
+        }
+        target = self._step_path(index)
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=str(self.path), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    def load_step(self, index: int) -> SubmatrixDFTResult:
+        """Reconstruct one step's result, bit-exact to what was saved."""
+        step_path = self._step_path(index)
+        if not step_path.exists():
+            raise CheckpointError(
+                f"checkpoint {self.path} has no saved step {index}"
+            )
+        try:
+            with np.load(step_path, allow_pickle=False) as data:
+                density_ao = np.array(data["density_ao"], dtype=np.float64)
+                ortho = sp.csr_matrix(
+                    (
+                        np.array(data["ortho_data"]),
+                        np.array(data["ortho_indices"]),
+                        np.array(data["ortho_indptr"]),
+                    ),
+                    shape=tuple(int(n) for n in data["ortho_shape"]),
+                )
+                dimensions = [int(d) for d in data["dimensions"]]
+                scalars = np.array(data["scalars"], dtype=np.float64)
+                counters = np.array(data["counters"], dtype=np.int64)
+                fingerprint = str(data["fingerprint"])
+        except (OSError, ValueError, KeyError) as error:
+            raise CheckpointError(
+                f"corrupt checkpoint step file {step_path}: {error!r}"
+            ) from error
+        return SubmatrixDFTResult(
+            density_ao=density_ao,
+            density_ortho=ortho,
+            mu=float(scalars[0]),
+            n_electrons=float(scalars[1]),
+            band_energy=float(scalars[2]),
+            submatrix_dimensions=dimensions,
+            mu_iterations=int(counters[0]),
+            eps_filter=float(scalars[3]),
+            wall_time=float(scalars[4]),
+            n_ranks=int(counters[1]),
+            pattern_fingerprint=fingerprint or None,
+            segment_fetch_bytes=_nan_to_none(scalars[5]),
+            block_fetch_bytes=_nan_to_none(scalars[6]),
+            retries=int(counters[2]),
+            reassigned_stacks=int(counters[3]),
+            kernel_fallbacks=int(counters[4]),
+            degraded=bool(counters[5]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrajectoryCheckpoint(path={str(self.path)!r}, "
+            f"n_saved_steps={self.n_saved_steps})"
+        )

@@ -24,6 +24,7 @@ from repro.parallel.executor import default_worker_count
 
 __all__ = [
     "EngineConfig",
+    "ResiliencePolicy",
     "ENGINES",
     "BACKENDS",
     "BALANCE_STRATEGIES",
@@ -44,6 +45,142 @@ BALANCE_STRATEGIES = ("chunks", "stacks", "round_robin")
 #: roughly 4/3·n³ for the tridiagonal reduction plus ~4·n³ for the
 #: divide-and-conquer back-transformation; forming Q Λ' Qᵀ adds ~4·n³.
 EIGENSOLVE_FLOP_CONSTANT = 9.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ResiliencePolicy:
+    """Failure-handling policy of the submatrix engine.
+
+    Carried on :class:`EngineConfig` and threaded through
+    :class:`~repro.api.context.SubmatrixContext` →
+    :class:`~repro.core.runner.DistributedSubmatrixPipeline` →
+    ``run_stacks`` and the iterative sign kernels.  Every recovery path
+    preserves the engine's bitwise-identity discipline: a retried rank
+    re-executes the *same* shard closure (scatter ranges are disjoint and
+    idempotent), a retried kernel restarts the iteration from the original
+    shifted submatrix (per-matrix iterates are independent of the stack
+    composition), and the degraded single-process batched engine is the
+    very path the sharded pipeline is property-tested against — so a
+    recovered run equals the fault-free run bit for bit.
+
+    Attributes
+    ----------
+    max_rank_retries:
+        Retry rounds for failed pipeline rank tasks before the run is
+        declared failed (and, with ``degrade_to_batched``, degraded).  The
+        default 1 recovers every transient single-fault scenario at the
+        cost of one re-execution.
+    rank_rebalance:
+        Reassign a failed rank's shard work to the surviving ranks via the
+        existing LPT load-balance machinery
+        (:func:`~repro.core.load_balance.assign_balanced_stacks`) instead
+        of retrying it in place.  Affects bookkeeping (which survivor is
+        billed) and the ``reassigned_stacks`` counter, never results.
+    backoff_base:
+        Seconds slept before retry round *r*: ``backoff_base · 2^(r−1)``.
+        The default 0 keeps tests and simulations instantaneous; real
+        deployments would set tens of milliseconds.
+    stage_timeout:
+        Wall-clock budget in seconds for one pipeline stage *including*
+        its retry rounds; once exceeded, no further retries are attempted
+        and the stage fails over to degradation.  ``None`` (default) means
+        no timeout — the simulated substrate cannot hang.
+    kernel_retries:
+        Convergence retries of an iterative sign kernel
+        (``newton_schulz``/``pade``) per stack before falling back.  Each
+        retry restarts the non-converged matrices from their original
+        shifted values with an iteration budget scaled by
+        ``kernel_retry_growth`` — a genuine tightened-parameter retry, and
+        bitwise identical to a fault-free solve once it converges.
+    kernel_retry_growth:
+        Multiplier applied to the iteration budget per kernel retry round
+        (default 4: 100 → 400 → 1600 iterations).
+    kernel_fallback:
+        Registered kernel evaluating any still-non-converged submatrices
+        after the retries (default ``"eigen"``, the paper's robust dense
+        solver).  ``None`` raises
+        :class:`~repro.signfn.registry.KernelConvergenceError` instead.
+        Fallbacks are *recorded* (``kernel_fallbacks`` counters), never
+        raised.
+    degrade_to_batched:
+        After ``max_rank_retries`` exhausted rounds, re-run the whole
+        evaluation through the single-process batched engine (bitwise
+        identical to the sharded path) instead of raising.  With ``False``
+        the pipeline raises
+        :class:`~repro.core.runner.PipelineExecutionError`.
+    fault_injector:
+        Optional :class:`~repro.parallel.faults.FaultInjector` consulted at
+        the ``"rank"`` and ``"kernel"`` sites — the deterministic test
+        substrate for all of the above.  Excluded from equality/hashing.
+    """
+
+    max_rank_retries: int = 1
+    rank_rebalance: bool = True
+    backoff_base: float = 0.0
+    stage_timeout: Optional[float] = None
+    kernel_retries: int = 1
+    kernel_retry_growth: float = 4.0
+    kernel_fallback: Optional[str] = "eigen"
+    degrade_to_batched: bool = True
+    fault_injector: Optional[object] = dataclasses.field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self):
+        self.validate()
+
+    def validate(self) -> "ResiliencePolicy":
+        """Check every field; returns ``self`` so calls can be chained."""
+        if self.max_rank_retries < 0:
+            raise ValueError("max_rank_retries must be non-negative")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.stage_timeout is not None and self.stage_timeout <= 0:
+            raise ValueError("stage_timeout must be positive (or None)")
+        if self.kernel_retries < 0:
+            raise ValueError("kernel_retries must be non-negative")
+        if self.kernel_retry_growth < 1.0:
+            raise ValueError("kernel_retry_growth must be at least 1")
+        if self.kernel_fallback is not None and not isinstance(
+            self.kernel_fallback, str
+        ):
+            raise ValueError("kernel_fallback must be a kernel name or None")
+        return self
+
+    def replace(self, **changes) -> "ResiliencePolicy":
+        """A validated copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def disabled(cls) -> "ResiliencePolicy":
+        """Policy with every recovery mechanism off (the PR-5 behaviour).
+
+        Used as the baseline of ``benchmarks/bench_fault_recovery.py``:
+        with this policy the engine takes the exact pre-resilience code
+        paths, so the benchmark isolates the overhead of the layer.
+        """
+        return cls(
+            max_rank_retries=0,
+            rank_rebalance=False,
+            kernel_retries=0,
+            kernel_fallback=None,
+            degrade_to_batched=False,
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether any recovery mechanism (or an injector) is configured.
+
+        An inactive policy short-circuits to the unguarded pre-resilience
+        execution paths, so it costs nothing.
+        """
+        return bool(
+            self.max_rank_retries > 0
+            or self.kernel_retries > 0
+            or self.kernel_fallback is not None
+            or self.degrade_to_batched
+            or self.fault_injector is not None
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,6 +225,14 @@ class EngineConfig:
     flop_constant:
         Cost of one per-submatrix solve as a multiple of n³ (used by load
         balancing and the machine model).
+    resilience:
+        The session's :class:`ResiliencePolicy` (rank retry/rebalance,
+        kernel degradation, graceful fallback to the batched engine).  The
+        default policy retries once, falls back to ``eigen`` on kernel
+        non-convergence and degrades to the single-process engine on
+        persistent pipeline failure; use
+        :meth:`ResiliencePolicy.disabled` for the bare pre-resilience
+        behaviour.
     """
 
     engine: str = "plan"
@@ -102,6 +247,9 @@ class EngineConfig:
     plan_cache_size: int = 64
     exact_transfers: bool = True
     flop_constant: float = EIGENSOLVE_FLOP_CONSTANT
+    resilience: ResiliencePolicy = dataclasses.field(
+        default_factory=ResiliencePolicy
+    )
 
     def __post_init__(self):
         self.validate()
@@ -140,6 +288,9 @@ class EngineConfig:
             raise ValueError("plan_cache_size must be at least 1")
         if self.flop_constant <= 0:
             raise ValueError("flop_constant must be positive")
+        if not isinstance(self.resilience, ResiliencePolicy):
+            raise ValueError("resilience must be a ResiliencePolicy")
+        self.resilience.validate()
         return self
 
     def resolved(self) -> "EngineConfig":

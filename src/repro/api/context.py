@@ -685,6 +685,7 @@ class SubmatrixContext:
         n_steps: Optional[int] = None,
         replan: str = "auto",
         warm_start_mu: bool = False,
+        checkpoint=None,
     ):
         """Density matrices along an SCF/MD trajectory through this session.
 
@@ -698,9 +699,12 @@ class SubmatrixContext:
         patches the previous step's plans instead of rebuilding them.
         ``warm_start_mu=True`` seeds each canonical step's μ-bisection from
         the previous step's μ (an opt-in that trades the bitwise identity of
-        μ for fewer bisection iterations).  Returns a
-        :class:`~repro.api.trajectory.TrajectoryResult` with the per-step
-        results and a :class:`~repro.api.trajectory.TrajectoryStats`
+        μ for fewer bisection iterations).  ``checkpoint=`` persists every
+        completed step to a directory and resumes an interrupted trajectory
+        from its first unsaved step, bitwise identical to an uninterrupted
+        run (see :class:`~repro.api.checkpoint.TrajectoryCheckpoint`).
+        Returns a :class:`~repro.api.trajectory.TrajectoryResult` with the
+        per-step results and a :class:`~repro.api.trajectory.TrajectoryStats`
         reuse record.  See :func:`repro.api.trajectory.run_trajectory`.
         """
         self._check_open()
@@ -721,6 +725,7 @@ class SubmatrixContext:
             n_steps=n_steps,
             replan=replan,
             warm_start_mu=warm_start_mu,
+            checkpoint=checkpoint,
         )
 
     # ------------------------------------------------------------------ #

@@ -61,11 +61,11 @@ from repro.core.submatrix import (
     scatter_block_submatrix_result,
 )
 from repro.chem.orthogonalize import orthogonalized_ks
+from repro.core.runner import PipelineExecutionError, ResilienceReport
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
 from repro.dbcsr.coo import CooBlockList
-from repro.parallel.executor import map_parallel
-from repro.signfn.registry import get_kernel
+from repro.signfn.registry import get_kernel, resilient_stack_solver
 
 __all__ = ["compute_density"]
 
@@ -109,6 +109,8 @@ def compute_density(
     """
     config = context.config
     start = time.perf_counter()
+    policy = config.resilience if config.resilience.active else None
+    report = ResilienceReport() if policy is not None else None
     if (mu is None) == (n_electrons is None):
         raise ValueError("specify exactly one of mu and n_electrons")
     canonical = n_electrons is not None
@@ -162,7 +164,23 @@ def compute_density(
         if engine == "naive":
             decomposed, plan = _decompose_naive(context, block_k, grouping, coo)
         elif use_sharded:
-            decomposed, plan = _decompose_sharded(context, block_k, pipeline)
+            try:
+                decomposed, plan = _decompose_sharded(
+                    context, block_k, pipeline, policy, report
+                )
+            except PipelineExecutionError:
+                if policy is None or not policy.degrade_to_batched:
+                    raise
+                # graceful degradation: rebuild the cache with the
+                # single-process planned path — the per-submatrix
+                # eigendecompositions are slice-deterministic, so the
+                # recovered cache (and everything downstream) is bitwise
+                # identical to the sharded run
+                assert report is not None
+                report.degraded = True
+                decomposed, plan = _decompose_planned(
+                    context, block_k, grouping, coo, replan
+                )
         else:
             decomposed, plan = _decompose_planned(
                 context, block_k, grouping, coo, replan
@@ -184,7 +202,16 @@ def compute_density(
         dimensions = [d.submatrix.dimension for d in decomposed]
     else:
         occupation_block, dimensions = _iterative_occupations(
-            context, block_k, grouping, coo, float(mu), kernel, pipeline, replan
+            context,
+            block_k,
+            grouping,
+            coo,
+            float(mu),
+            kernel,
+            pipeline,
+            replan,
+            policy=policy,
+            report=report,
         )
         mu_iterations = 0
 
@@ -215,6 +242,10 @@ def compute_density(
         pattern_fingerprint=coo.fingerprint(),
         segment_fetch_bytes=segment_fetch_bytes,
         block_fetch_bytes=block_fetch_bytes,
+        retries=report.retries if report is not None else 0,
+        reassigned_stacks=report.reassigned_stacks if report is not None else 0,
+        kernel_fallbacks=report.kernel_fallbacks if report is not None else 0,
+        degraded=report.degraded if report is not None else False,
     )
 
 
@@ -295,7 +326,7 @@ def _decompose_planned(
 
 
 def _decompose_sharded(
-    context, block_k: BlockSparseMatrix, pipeline
+    context, block_k: BlockSparseMatrix, pipeline, policy=None, report=None
 ) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
     """Build the eigendecomposition cache rank-sharded through the pipeline.
 
@@ -307,6 +338,14 @@ def _decompose_sharded(
     kept instead of an evaluated matrix function.  Entries are reassembled
     in global group order, so the subsequent μ-bisection and scatter are
     bitwise identical to the single-process path.
+
+    With an active ``policy`` the rank tasks run through
+    :meth:`~repro.core.runner.DistributedSubmatrixPipeline.execute_ranks`
+    (retry/rebalance on injected or genuine rank failures — the rank
+    closures are idempotent, so a re-execution rebuilds exactly the same
+    cache entries); a persistent failure raises
+    :class:`~repro.core.runner.PipelineExecutionError` for
+    :func:`compute_density`'s degradation logic.
     """
     plan, sharded = pipeline.prepare()
     packed = plan.pack(block_k)
@@ -335,12 +374,13 @@ def _decompose_sharded(
         return entries
 
     backend, executor = context._rank_resources()
-    per_rank = map_parallel(
+    per_rank = pipeline.execute_ranks(
         decompose_rank,
-        list(range(pipeline.n_ranks)),
         context.config.max_workers,
         backend,
         executor=executor,
+        policy=policy,
+        report=report,
     )
     entries: List[Optional[DecomposedSubmatrix]] = [None] * plan.n_groups
     for rank_entries in per_rank:
@@ -457,21 +497,33 @@ def _scatter_occupations(
 # --------------------------------------------------------------------------- #
 # iterative path (grand-canonical only, used for the solver ablation)
 # --------------------------------------------------------------------------- #
-def _occupation_stack_solver(kernel, bound, mu: float):
+def _occupation_stack_solver(kernel, bound, mu: float, policy=None, report=None):
     """Per-stack occupation solver 1/2·(I − sign(A − μI)) for ``kernel``.
 
     Both the single-process bucket loop and the rank-sharded pipeline map
     this same closure over their ``(k, d, d)`` stacks, so the two paths
     perform identical per-submatrix arithmetic — and because the batched
-    sign iterations prescale and freeze every matrix individually, the
+    sign iterations prescale and freeze each matrix individually, the
     results are independent of the stack composition (the basis of the
     sharded path's bitwise-identity guarantee).
+
+    With an active ``policy`` and a kernel that provides a
+    convergence-checked batched variant, the sign evaluation runs through
+    :func:`~repro.signfn.registry.resilient_stack_solver`: non-converged
+    submatrices are restarted with an escalated iteration budget and
+    ultimately handed to the policy's fallback kernel — recorded on the
+    ``report``, not raised.  A retried matrix restarts from its original
+    shifted values, so a recovered solve is bitwise identical to a
+    fault-free converged one.
     """
+    resilient = resilient_stack_solver(kernel, policy, report)
 
     def solve(stack: np.ndarray) -> np.ndarray:
         identity = np.eye(stack.shape[-1])
         shifted = stack - mu * identity
-        if bound.batch_function is not None:
+        if resilient is not None:
+            signs = np.asarray(resilient(shifted), dtype=float)
+        elif bound.batch_function is not None:
             signs = np.asarray(bound.batch_function(shifted), dtype=float)
         else:
             signs = np.stack(
@@ -499,6 +551,8 @@ def _iterative_occupations(
     kernel,
     pipeline=None,
     replan: str = "full",
+    policy=None,
+    report=None,
 ) -> Tuple[BlockSparseMatrix, List[int]]:
     """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
 
@@ -544,7 +598,7 @@ def _iterative_occupations(
             scatter_block_submatrix_result(result, occupation, submatrix, coo)
         return result, dimensions
 
-    solve_stack = _occupation_stack_solver(kernel, bound, mu)
+    solve_stack = _occupation_stack_solver(kernel, bound, mu, policy, report)
     pad_value = kernel.padding_value(mu)
 
     if pipeline is not None:
@@ -568,6 +622,8 @@ def _iterative_occupations(
             max_workers=config.max_workers,
             backend=backend,
             executor=executor,
+            policy=policy,
+            report=report,
         )
         return plan.finalize(out), list(plan.dimensions)
 

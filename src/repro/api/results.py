@@ -102,6 +102,22 @@ class SubmatrixDFTResult:
     block_fetch_bytes:
         Whole-block volume of the same exchange (``None`` for
         single-process runs).
+    retries:
+        Total recovery retries the resilience layer performed — rank tasks
+        re-executed after a failure plus iterative sign solves restarted
+        with an escalated budget (0 for clean or policy-less runs; see
+        :class:`~repro.api.config.ResiliencePolicy`).
+    reassigned_stacks:
+        Bucketed stack tasks of failed ranks' shards that were reassigned
+        to surviving ranks during retry rounds.
+    kernel_fallbacks:
+        Submatrices whose iterative sign solve failed convergence even
+        after the retries and was evaluated by the policy's fallback
+        kernel instead.
+    degraded:
+        Whether the computation fell back to the single-process batched
+        engine after exhausting the rank retries (the result is still
+        bitwise identical to a fault-free run).
     """
 
     density_ao: np.ndarray
@@ -117,6 +133,10 @@ class SubmatrixDFTResult:
     pattern_fingerprint: Optional[str] = None
     segment_fetch_bytes: Optional[float] = None
     block_fetch_bytes: Optional[float] = None
+    retries: int = 0
+    reassigned_stacks: int = 0
+    kernel_fallbacks: int = 0
+    degraded: bool = False
 
     @property
     def n_submatrices(self) -> int:

@@ -45,15 +45,25 @@ at T = 0 the two μ values can even sit at different points of a
 degenerate gap plateau.  Every other knob preserves the contract that
 per-step results are bitwise identical to fresh single-shot
 :meth:`SubmatrixContext.density` calls.
+
+**Checkpoint/resume.**  ``checkpoint=`` points the driver at a
+:class:`~repro.api.checkpoint.TrajectoryCheckpoint` directory: every
+completed step is persisted atomically and a re-run against the same
+directory replays the saved steps instead of recomputing them, resuming
+the trajectory at the first unsaved step — with results bitwise identical
+to an uninterrupted run (the per-step arrays round-trip as float64, and
+the warm-start state is restored from the loaded results).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.api.checkpoint import TrajectoryCheckpoint
 from repro.api.results import SubmatrixDFTResult
 from repro.core.combination import ColumnGrouping
 
@@ -115,6 +125,13 @@ class TrajectoryStepRecord:
     warm_started:
         Whether this step's μ-bisection was seeded from the previous step's
         μ (``warm_start_mu=True`` and a canonical predecessor existed).
+    retries / reassigned_stacks / kernel_fallbacks:
+        Recovery counters of the step's density calculation (see
+        :class:`~repro.api.results.SubmatrixDFTResult`; all 0 for clean or
+        policy-less steps, and carried over verbatim for resumed steps).
+    resumed:
+        Whether the step was loaded from the trajectory checkpoint instead
+        of recomputed (``wall_time`` is then the load time).
     """
 
     step: int
@@ -133,6 +150,10 @@ class TrajectoryStepRecord:
     groups_rebuilt: int = 0
     pipelines_patched: int = 0
     warm_started: bool = False
+    retries: int = 0
+    reassigned_stacks: int = 0
+    kernel_fallbacks: int = 0
+    resumed: bool = False
 
 
 @dataclasses.dataclass
@@ -165,6 +186,12 @@ class TrajectoryStats:
         Sum of the per-step wall times.
     steps:
         Per-step :class:`TrajectoryStepRecord` entries.
+    retries / reassigned_stacks / kernel_fallbacks:
+        Totals of the per-step recovery counters (0 unless the session's
+        :class:`~repro.api.config.ResiliencePolicy` actually recovered
+        from failures; see :class:`~repro.api.results.SubmatrixDFTResult`).
+    steps_resumed:
+        Steps loaded from the trajectory checkpoint instead of recomputed.
 
     All ratio properties are well-defined for empty trajectories (they
     return 0.0 instead of dividing by zero).
@@ -181,6 +208,10 @@ class TrajectoryStats:
     plans_patched: int = 0
     groups_rebuilt: int = 0
     pipelines_patched: int = 0
+    retries: int = 0
+    reassigned_stacks: int = 0
+    kernel_fallbacks: int = 0
+    steps_resumed: int = 0
 
     @property
     def reuse_rate(self) -> float:
@@ -254,6 +285,15 @@ def _step_value(value, index: int) -> Optional[float]:
     return float(value[index])
 
 
+def _signature_value(value):
+    """JSON form of a fixed-or-per-step ensemble parameter (for checkpoints)."""
+    if value is None:
+        return None
+    if np.ndim(value) == 0:
+        return float(value)
+    return [float(v) for v in value]
+
+
 def run_trajectory(
     context,
     steps: StepsLike,
@@ -269,6 +309,7 @@ def run_trajectory(
     n_steps: Optional[int] = None,
     replan: str = "auto",
     warm_start_mu: bool = False,
+    checkpoint=None,
 ) -> TrajectoryResult:
     """Drive a sequence of geometry steps through one session.
 
@@ -320,6 +361,20 @@ def run_trajectory(
         two can settle at different points of a degenerate gap plateau.
         Leave ``False`` (default) whenever exact reproducibility across
         call styles matters.
+    checkpoint:
+        Optional checkpoint directory (a path or a
+        :class:`~repro.api.checkpoint.TrajectoryCheckpoint`).  Every
+        completed step is persisted there atomically, and a later call
+        pointed at the same directory *loads* the saved steps instead of
+        recomputing them — a trajectory killed at step k resumes at
+        step k.  **Bitwise contract:** resumed runs are bitwise identical
+        to uninterrupted ones — results round-trip as float64 arrays, and
+        the previous step's μ and pattern fingerprint are restored from
+        the loaded result, so the first recomputed step (including a
+        warm-started μ-bisection) sees exactly the state it would have
+        seen in one uninterrupted run.  Resuming with different trajectory
+        parameters raises
+        :class:`~repro.api.checkpoint.CheckpointError`.
 
     Returns
     -------
@@ -340,6 +395,26 @@ def run_trajectory(
     if (mu is None) == (n_electrons is None):
         raise ValueError("specify exactly one of mu and n_electrons")
 
+    ckpt: Optional[TrajectoryCheckpoint] = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, TrajectoryCheckpoint)
+            else TrajectoryCheckpoint(checkpoint)
+        )
+        ckpt.ensure_signature(
+            {
+                "solver": solver,
+                "mu": _signature_value(mu),
+                "n_electrons": _signature_value(n_electrons),
+                "ranks": None if ranks is None else int(ranks),
+                "replan": replan,
+                "warm_start_mu": bool(warm_start_mu),
+                "mu_tolerance": float(mu_tolerance),
+                "max_mu_iterations": int(max_mu_iterations),
+            }
+        )
+
     results: List[SubmatrixDFTResult] = []
     records: List[TrajectoryStepRecord] = []
     previous_fingerprint: Optional[str] = None
@@ -357,26 +432,43 @@ def run_trajectory(
             and step_n_electrons is not None
             and previous_mu is not None
         )
-        result = compute_density(
-            context,
-            K,
-            S,
-            blocks,
-            mu=_step_value(mu, index),
-            n_electrons=step_n_electrons,
-            solver=solver,
-            grouping=grouping,
-            mu_tolerance=mu_tolerance,
-            max_mu_iterations=max_mu_iterations,
-            ranks=ranks,
-            distribution=distribution,
-            replan=replan,
-            mu_bracket=(
-                (previous_mu - bracket_half_width, previous_mu + bracket_half_width)
-                if warm
-                else None
-            ),
-        )
+        resumed = ckpt is not None and ckpt.has_step(index)
+        if resumed:
+            # replay a checkpointed step: the loaded result is bit-exact,
+            # so restoring previous_mu/previous_fingerprint from it hands
+            # the next computed step exactly the state of an uninterrupted
+            # run — warm-started brackets included
+            load_start = time.perf_counter()
+            result = ckpt.load_step(index)
+            step_wall = time.perf_counter() - load_start
+            warm = False
+        else:
+            result = compute_density(
+                context,
+                K,
+                S,
+                blocks,
+                mu=_step_value(mu, index),
+                n_electrons=step_n_electrons,
+                solver=solver,
+                grouping=grouping,
+                mu_tolerance=mu_tolerance,
+                max_mu_iterations=max_mu_iterations,
+                ranks=ranks,
+                distribution=distribution,
+                replan=replan,
+                mu_bracket=(
+                    (
+                        previous_mu - bracket_half_width,
+                        previous_mu + bracket_half_width,
+                    )
+                    if warm
+                    else None
+                ),
+            )
+            step_wall = result.wall_time
+            if ckpt is not None:
+                ckpt.save_step(index, result)
         cache_after = dict(context.plan_cache.stats)
         session_after = context.stats()
         fingerprint = result.pattern_fingerprint or ""
@@ -386,7 +478,7 @@ def run_trajectory(
         records.append(
             TrajectoryStepRecord(
                 step=index,
-                wall_time=result.wall_time,
+                wall_time=step_wall,
                 pattern_fingerprint=fingerprint,
                 pattern_changed=changed,
                 plans_built=cache_after["misses"] - cache_before["misses"],
@@ -404,6 +496,10 @@ def run_trajectory(
                 pipelines_patched=session_after["pipelines_patched"]
                 - session_before["pipelines_patched"],
                 warm_started=bool(warm),
+                retries=result.retries,
+                reassigned_stacks=result.reassigned_stacks,
+                kernel_fallbacks=result.kernel_fallbacks,
+                resumed=resumed,
             )
         )
         results.append(result)
@@ -424,5 +520,9 @@ def run_trajectory(
         plans_patched=sum(r.plans_patched for r in records),
         groups_rebuilt=sum(r.groups_rebuilt for r in records),
         pipelines_patched=sum(r.pipelines_patched for r in records),
+        retries=sum(r.retries for r in records),
+        reassigned_stacks=sum(r.reassigned_stacks for r in records),
+        kernel_fallbacks=sum(r.kernel_fallbacks for r in records),
+        steps_resumed=sum(1 for r in records if r.resumed),
     )
     return TrajectoryResult(results=results, stats=stats)

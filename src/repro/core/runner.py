@@ -46,6 +46,7 @@ from repro.api.config import (
     BALANCE_STRATEGIES,
     EIGENSOLVE_FLOP_CONSTANT,
     EngineConfig,
+    ResiliencePolicy,
 )
 from repro.core.batch import (
     MAX_BATCH_ELEMENTS,
@@ -77,6 +78,8 @@ __all__ = [
     "DistributedSubmatrixPipeline",
     "PipelineRankReport",
     "PipelineResult",
+    "PipelineExecutionError",
+    "ResilienceReport",
     "SubmatrixRunCost",
     "submatrix_method_cost",
     "newton_schulz_cost",
@@ -124,6 +127,80 @@ class PipelineRankReport:
 
 
 @dataclasses.dataclass
+class ResilienceReport:
+    """What the resilience machinery did during one pipeline execution.
+
+    Attributes
+    ----------
+    rank_retries:
+        Rank tasks re-executed after a failure (summed over retry rounds).
+    kernel_retries:
+        Submatrices whose iterative sign solve was restarted with an
+        escalated iteration budget after failing convergence.
+    kernel_fallbacks:
+        Submatrices ultimately evaluated by the policy's fallback kernel.
+    reassigned_stacks:
+        Bucketed stack tasks of failed ranks' shards shipped to surviving
+        ranks for re-execution (0 when ``rank_rebalance`` is off or no
+        survivor existed).
+    degraded:
+        Whether the run fell back to the single-process batched engine
+        after exhausting the rank retries.
+    reassignments:
+        ``(retry_round, failed_rank, executing_rank)`` triples; the
+        executing rank equals the failed rank when rebalancing was off or
+        every rank had failed.
+    failures:
+        Human-readable reprs of the errors that triggered recovery.
+    """
+
+    rank_retries: int = 0
+    kernel_retries: int = 0
+    kernel_fallbacks: int = 0
+    reassigned_stacks: int = 0
+    degraded: bool = False
+    reassignments: List[tuple] = dataclasses.field(default_factory=list)
+    failures: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        """Total recovery retries (rank re-executions + kernel restarts)."""
+        return self.rank_retries + self.kernel_retries
+
+    @property
+    def clean(self) -> bool:
+        """Whether the execution needed no recovery at all."""
+        return (
+            self.rank_retries == 0
+            and self.kernel_retries == 0
+            and self.kernel_fallbacks == 0
+            and not self.degraded
+        )
+
+
+class PipelineExecutionError(RuntimeError):
+    """Rank tasks kept failing after every configured retry round.
+
+    Raised by :meth:`DistributedSubmatrixPipeline.execute_ranks` when an
+    active :class:`~repro.api.config.ResiliencePolicy` exhausts its
+    ``max_rank_retries`` (or its ``stage_timeout``); callers with
+    ``degrade_to_batched`` catch it and fall back to the single-process
+    batched engine.  ``failures`` maps the failed rank indices to their
+    last exceptions; the first of them is chained as ``__cause__``.
+    """
+
+    def __init__(self, failures: Dict[int, BaseException], attempts: int):
+        self.failures = dict(failures)
+        self.attempts = int(attempts)
+        ranks = ", ".join(str(rank) for rank in sorted(self.failures))
+        first = self.failures[min(self.failures)] if self.failures else None
+        detail = f": {first!r}" if first is not None else ""
+        super().__init__(
+            f"rank tasks {{{ranks}}} failed after {attempts} attempt(s){detail}"
+        )
+
+
+@dataclasses.dataclass
 class PipelineResult:
     """Result of one :class:`DistributedSubmatrixPipeline` execution."""
 
@@ -134,6 +211,7 @@ class PipelineResult:
     rank_of_group: np.ndarray
     submatrix_dimensions: List[int]
     wall_time: float
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def n_ranks(self) -> int:
@@ -530,6 +608,130 @@ class DistributedSubmatrixPipeline:
     # ------------------------------------------------------------------ #
     # execution side
     # ------------------------------------------------------------------ #
+    def _shard_stack_count(self, rank: int, max_batch_elements: int) -> int:
+        """Bucketed stack tasks of one rank's shard (for the reassignment
+        bookkeeping); falls back to the group count before shards exist."""
+        if self.sharded is None:
+            return int(np.count_nonzero(self.rank_of_group == rank))
+        return count_stack_tasks(
+            self.sharded.shards[rank].dimensions,
+            pad_to=self.bucket_pad,
+            max_batch_elements=max_batch_elements,
+        )
+
+    def execute_ranks(
+        self,
+        run_rank: Callable[[int], object],
+        max_workers: Optional[int] = None,
+        backend: str = "serial",
+        executor=None,
+        policy: Optional[ResiliencePolicy] = None,
+        report: Optional[ResilienceReport] = None,
+        max_batch_elements: int = MAX_BATCH_ELEMENTS,
+    ) -> List[object]:
+        """Run ``run_rank`` once per rank, with retry/rebalance on failure.
+
+        The fault-tolerant core shared by :meth:`run`, :meth:`run_stacks`
+        and the session's sharded eigendecomposition cache.  Without an
+        *active* policy this is exactly one :func:`map_parallel` over the
+        ranks — the unguarded pre-resilience path, with zero overhead and
+        unchanged exception behaviour.
+
+        With an active policy every rank task is guarded (and, when the
+        policy carries a fault injector, its ``"rank"`` site is consulted
+        first).  Failed ranks are retried for up to
+        ``policy.max_rank_retries`` rounds — within ``stage_timeout`` and
+        after the exponential ``backoff_base`` sleep — by re-executing the
+        *same* rank closure: scatter ranges are disjoint across ranks and
+        idempotent per rank, so a re-execution writes exactly the bytes
+        the failed attempt would have written and the recovered result is
+        bitwise identical to a fault-free run.  With ``rank_rebalance``
+        the failed shards are assigned to surviving ranks via the LPT
+        load-balance heuristic
+        (:func:`~repro.core.load_balance.assign_balanced_stacks` over the
+        shards' executed FLOPs) and the shipped stack tasks are recorded
+        on the ``report``.  Ranks that still fail raise
+        :class:`PipelineExecutionError` for the caller's degradation
+        logic.
+        """
+        ranks = list(range(self.n_ranks))
+        if policy is None or not policy.active:
+            return map_parallel(
+                run_rank, ranks, max_workers, backend, executor=executor
+            )
+        injector = policy.fault_injector
+
+        def guarded(rank: int):
+            try:
+                if injector is not None:
+                    injector.maybe_crash("rank", rank)
+                return run_rank(rank), None
+            except Exception as error:
+                return None, error
+
+        outcomes = map_parallel(
+            guarded, ranks, max_workers, backend, executor=executor
+        )
+        results: List[object] = [result for result, _ in outcomes]
+        failures: Dict[int, BaseException] = {
+            rank: error
+            for rank, (_, error) in zip(ranks, outcomes)
+            if error is not None
+        }
+        if not failures:
+            return results
+        if report is not None:
+            report.failures.extend(
+                repr(failures[rank]) for rank in sorted(failures)
+            )
+        deadline = None
+        if policy.stage_timeout is not None:
+            deadline = time.monotonic() + float(policy.stage_timeout)
+        attempt = 0
+        while failures and attempt < policy.max_rank_retries:
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            attempt += 1
+            if policy.backoff_base > 0.0:
+                time.sleep(policy.backoff_base * 2.0 ** (attempt - 1))
+            failed = sorted(failures)
+            survivors = [rank for rank in ranks if rank not in failures]
+            if report is not None:
+                report.rank_retries += len(failed)
+                if policy.rank_rebalance and survivors:
+                    # reassign the failed shards to survivors with the same
+                    # LPT machinery that balances whole stacks across ranks
+                    shares = assign_balanced_stacks(
+                        [float(self.rank_flops[rank]) for rank in failed],
+                        len(survivors),
+                    )
+                    for slot, indices in enumerate(shares):
+                        for failed_index in indices:
+                            report.reassignments.append(
+                                (attempt, failed[failed_index], survivors[slot])
+                            )
+                            report.reassigned_stacks += self._shard_stack_count(
+                                failed[failed_index], max_batch_elements
+                            )
+                else:
+                    report.reassignments.extend(
+                        (attempt, rank, rank) for rank in failed
+                    )
+            retried = map_parallel(
+                guarded, failed, max_workers, backend, executor=executor
+            )
+            for rank, (result, error) in zip(failed, retried):
+                if error is None:
+                    results[rank] = result
+                    del failures[rank]
+                else:
+                    failures[rank] = error
+                    if report is not None:
+                        report.failures.append(repr(error))
+        if failures:
+            raise PipelineExecutionError(failures, attempts=attempt + 1)
+        return results
+
     def run(
         self,
         matrix: BlockSparseMatrix,
@@ -540,6 +742,7 @@ class DistributedSubmatrixPipeline:
         backend: str = "serial",
         executor=None,
         max_batch_elements: int = MAX_BATCH_ELEMENTS,
+        policy: Optional[ResiliencePolicy] = None,
         **kernel_params,
     ) -> PipelineResult:
         """Evaluate f on every submatrix through the sharded pipeline.
@@ -560,6 +763,14 @@ class DistributedSubmatrixPipeline:
         Ranks scatter into shared process memory, so only the serial and
         thread backends are supported (a process pool could neither pickle
         the rank closure nor write back into the shared output).
+
+        With an *active* ``policy`` (see
+        :class:`~repro.api.config.ResiliencePolicy`) failed rank tasks are
+        retried/rebalanced via :meth:`execute_ranks`, and once the retries
+        are exhausted the evaluation degrades to the single-process
+        batched engine over the full plan — bitwise identical to the
+        sharded execution — instead of raising; the
+        :attr:`PipelineResult.resilience` report records what happened.
         """
         if backend == "process" or executor_backend(executor) == "process":
             raise ValueError(
@@ -599,13 +810,39 @@ class DistributedSubmatrixPipeline:
                 max_batch_elements=max_batch_elements,
             )
 
-        stacks_per_rank = map_parallel(
-            run_rank,
-            list(range(self.n_ranks)),
-            max_workers,
-            backend,
-            executor=executor,
+        report = (
+            ResilienceReport() if policy is not None and policy.active else None
         )
+        try:
+            stacks_per_rank = self.execute_ranks(
+                run_rank,
+                max_workers,
+                backend,
+                executor=executor,
+                policy=policy,
+                report=report,
+                max_batch_elements=max_batch_elements,
+            )
+        except PipelineExecutionError:
+            if policy is None or not policy.degrade_to_batched:
+                raise
+            # graceful degradation: the single-process batched engine over
+            # the full plan writes every scatter range the shards would
+            # have written (bitwise identical for any rank count)
+            assert report is not None
+            report.degraded = True
+            evaluate_batched(
+                self.plan,
+                packed,
+                function=function,
+                batch_function=batch_function,
+                pad_to=self.bucket_pad,
+                pad_value=pad_value,
+                max_batch_elements=max_batch_elements,
+                backend="serial",
+                out=out,
+            )
+            stacks_per_rank = [0] * self.n_ranks
         result = self.plan.finalize(out)
         transfer_plan = self.transfer_plan
         per_rank = [
@@ -628,6 +865,7 @@ class DistributedSubmatrixPipeline:
             rank_of_group=self.rank_of_group.copy(),
             submatrix_dimensions=list(self.dimensions),
             wall_time=time.perf_counter() - start,
+            resilience=report,
         )
 
     def run_stacks(
@@ -640,7 +878,9 @@ class DistributedSubmatrixPipeline:
         backend: str = "serial",
         executor=None,
         max_batch_elements: int = MAX_BATCH_ELEMENTS,
-    ) -> None:
+        policy: Optional[ResiliencePolicy] = None,
+        report: Optional[ResilienceReport] = None,
+    ) -> Optional[ResilienceReport]:
         """Map a custom stack solver over every rank's bucketed stacks.
 
         The structural twin of :meth:`run` for callers that need to control
@@ -654,7 +894,13 @@ class DistributedSubmatrixPipeline:
         over an unchanged pattern skip all layout work.
 
         Like :meth:`run`, the shared output restricts execution to the
-        serial and thread backends.
+        serial and thread backends.  With an *active* ``policy``, failed
+        rank tasks are retried/rebalanced via :meth:`execute_ranks` and a
+        persistent failure degrades to a single-process bucket loop over
+        the full plan (bitwise identical: the solver operates per matrix,
+        independent of stack composition).  Returns the resilience report
+        (``None`` without an active policy); pass ``report`` to accumulate
+        into a caller-owned one.
         """
         if backend == "process" or executor_backend(executor) == "process":
             raise ValueError(
@@ -685,13 +931,41 @@ class DistributedSubmatrixPipeline:
                     out, bucket.members, evaluated, bucket.dimension
                 )
 
-        map_parallel(
-            run_rank,
-            list(range(self.n_ranks)),
-            max_workers,
-            backend,
-            executor=executor,
-        )
+        if report is None and policy is not None and policy.active:
+            report = ResilienceReport()
+        try:
+            self.execute_ranks(
+                run_rank,
+                max_workers,
+                backend,
+                executor=executor,
+                policy=policy,
+                report=report,
+                max_batch_elements=max_batch_elements,
+            )
+        except PipelineExecutionError:
+            if policy is None or not policy.degrade_to_batched:
+                raise
+            assert report is not None and self.plan is not None
+            report.degraded = True
+            for bucket in make_stack_tasks(
+                self.plan.dimensions,
+                pad_to=self.bucket_pad,
+                max_batch_elements=max_batch_elements,
+            ):
+                stack = self.plan.extract_stack(
+                    packed, bucket.members, bucket.dimension, pad_value=pad_value
+                )
+                evaluated = np.asarray(solve_stack(stack), dtype=float)
+                if evaluated.shape != stack.shape:
+                    raise ValueError(
+                        f"stack solver returned shape {evaluated.shape}, "
+                        f"expected {stack.shape}"
+                    )
+                self.plan.scatter_stack(
+                    out, bucket.members, evaluated, bucket.dimension
+                )
+        return report
 
 
 def submatrix_method_cost(

@@ -16,23 +16,56 @@ point operations each rank performs — through the classes in this subpackage:
   into simulated wall-clock times for the scaling experiments (Figs. 6,
   8–10),
 * :mod:`repro.parallel.executor` — thread/process pools for genuinely
-  parallel execution of the embarrassingly parallel submatrix solves.
+  parallel execution of the embarrassingly parallel submatrix solves,
+* :mod:`repro.parallel.faults` — seeded deterministic fault injection
+  (rank crashes, message loss, worker exceptions, forced kernel
+  non-convergence) for exercising the resilience machinery.
 """
 
 from repro.parallel.stats import RankCounters, TrafficLog
-from repro.parallel.comm import SimComm
+from repro.parallel.comm import (
+    CommError,
+    CommRankError,
+    CommRecvError,
+    SimComm,
+)
 from repro.parallel.topology import CartesianGrid2D, balanced_dims
 from repro.parallel.machine import MachineModel, SimulatedTime, PAPER_MACHINE
-from repro.parallel.executor import map_parallel
+from repro.parallel.executor import (
+    TaskExecutionError,
+    map_parallel,
+    wrap_task_error,
+)
+from repro.parallel.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    RankCrashError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "RankCounters",
     "TrafficLog",
     "SimComm",
+    "CommError",
+    "CommRankError",
+    "CommRecvError",
     "CartesianGrid2D",
     "balanced_dims",
     "MachineModel",
     "SimulatedTime",
     "PAPER_MACHINE",
     "map_parallel",
+    "TaskExecutionError",
+    "wrap_task_error",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RankCrashError",
+    "WorkerCrashError",
 ]

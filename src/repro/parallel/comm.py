@@ -17,13 +17,59 @@ from __future__ import annotations
 
 import collections
 import sys
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.parallel.stats import TrafficLog
 
-__all__ = ["SimComm", "payload_nbytes"]
+__all__ = [
+    "SimComm",
+    "payload_nbytes",
+    "CommError",
+    "CommRankError",
+    "CommRecvError",
+]
+
+
+class CommError(RuntimeError):
+    """A communicator-level failure with the rank and mailbox context.
+
+    Attributes
+    ----------
+    rank:
+        The rank the failing operation addressed (``None`` when not
+        applicable).
+    mailbox_state:
+        Snapshot ``{(destination, tag): pending count}`` of the non-empty
+        mailboxes at the time of the failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: Optional[int] = None,
+        mailbox_state: Optional[Dict[Tuple[int, Hashable], int]] = None,
+    ):
+        self.rank = rank
+        self.mailbox_state = dict(mailbox_state or {})
+        super().__init__(message)
+
+
+class CommRankError(CommError, IndexError):
+    """An operation addressed an unknown or crashed rank.
+
+    Also an :class:`IndexError` so legacy call sites that treated
+    out-of-range ranks as index errors keep working.
+    """
+
+
+class CommRecvError(CommError, LookupError):
+    """A receive found no matching pending message.
+
+    Also a :class:`LookupError` — the historical type for the simulated
+    deadlock — so existing ``except``/``pytest.raises`` sites keep working.
+    """
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -57,15 +103,29 @@ class SimComm:
     log:
         Optional existing :class:`TrafficLog` to record into; a new one is
         created if omitted.
+    fault_injector:
+        Optional :class:`~repro.parallel.faults.FaultInjector`.  Its
+        ``"comm_crash"`` site (key: rank index, consulted on every send and
+        recv endpoint) marks ranks crashed — subsequent operations touching
+        them raise :class:`CommRankError` — and its ``"message"`` site
+        (key: ``(source, destination)``) drops individual messages after
+        the traffic accounting, so the receiver sees an empty mailbox.
     """
 
-    def __init__(self, n_ranks: int, log: Optional[TrafficLog] = None):
+    def __init__(
+        self,
+        n_ranks: int,
+        log: Optional[TrafficLog] = None,
+        fault_injector=None,
+    ):
         if n_ranks < 1:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = int(n_ranks)
         self.log = log if log is not None else TrafficLog(self.n_ranks)
         if self.log.n_ranks != self.n_ranks:
             raise ValueError("traffic log rank count does not match communicator")
+        self.fault_injector = fault_injector
+        self._crashed: Set[int] = set()
         # mailboxes[(destination, tag)] -> FIFO of (source, payload)
         self._mailboxes: Dict[Tuple[int, Hashable], collections.deque] = (
             collections.defaultdict(collections.deque)
@@ -86,10 +146,27 @@ class SimComm:
 
         The payload is stored in the destination's mailbox and its size is
         recorded.  Self-sends are allowed and free.
+
+        Raises
+        ------
+        CommRankError
+            If either endpoint is out of range or has crashed (via
+            :meth:`crash_rank` or an injected ``"comm_crash"`` fault).
         """
         self._check(source)
         self._check(destination)
+        self._consult_crash(source)
+        self._consult_crash(destination)
+        self._check_alive(source)
+        self._check_alive(destination)
         self.log.record_message(source, destination, payload_nbytes(payload))
+        if self.fault_injector is not None and self.fault_injector.fire(
+            "message", (source, destination)
+        ):
+            # injected message loss: the bytes left the source (already
+            # accounted) but never arrive — the receiver's mailbox stays
+            # empty and a matching recv raises CommRecvError
+            return
         self._mailboxes[(destination, tag)].append((source, payload))
 
     def recv(self, destination: int, tag: Hashable = 0, source: Optional[int] = None):
@@ -111,15 +188,23 @@ class SimComm:
 
         Raises
         ------
-        LookupError
-            If no matching message is pending — the simulated equivalent of a
-            deadlock, always a programming error in the calling algorithm.
+        CommRecvError
+            If no matching message is pending — the simulated equivalent of
+            a deadlock (or, under fault injection, a lost message).  Also a
+            :class:`LookupError`, the historical type.
+        CommRankError
+            If ``destination`` is out of range or has crashed.
         """
         self._check(destination)
+        self._consult_crash(destination)
+        self._check_alive(destination)
         queue = self._mailboxes.get((destination, tag))
         if not queue:
-            raise LookupError(
-                f"no pending message for rank {destination} with tag {tag!r}"
+            raise CommRecvError(
+                f"no pending message for rank {destination} with tag {tag!r} "
+                f"({self._mailbox_summary()})",
+                rank=destination,
+                mailbox_state=self.mailbox_state(),
             )
         if source is None:
             return queue.popleft()
@@ -127,8 +212,11 @@ class SimComm:
             if src == source:
                 del queue[index]
                 return src, payload
-        raise LookupError(
-            f"no pending message for rank {destination} from {source} (tag {tag!r})"
+        raise CommRecvError(
+            f"no pending message for rank {destination} from {source} "
+            f"(tag {tag!r}; {self._mailbox_summary()})",
+            rank=destination,
+            mailbox_state=self.mailbox_state(),
         )
 
     def pending_messages(self, destination: int, tag: Hashable = 0) -> int:
@@ -195,9 +283,66 @@ class SimComm:
                 if i != j and send_matrix[i, j] > 0:
                     self.log.record_message(i, j, float(send_matrix[i, j]))
 
+    # ------------------------------------------------------------------ #
+    # rank liveness (crash injection)
+    # ------------------------------------------------------------------ #
+    def crash_rank(self, rank: int) -> None:
+        """Mark ``rank`` crashed; subsequent operations touching it raise."""
+        self._check(rank)
+        self._crashed.add(int(rank))
+
+    def restore_rank(self, rank: int) -> None:
+        """Bring a crashed rank back (its mailboxes are left untouched)."""
+        self._check(rank)
+        self._crashed.discard(int(rank))
+
+    @property
+    def crashed_ranks(self) -> frozenset:
+        """Ranks currently marked crashed."""
+        return frozenset(self._crashed)
+
+    def mailbox_state(self) -> Dict[Tuple[int, Hashable], int]:
+        """Snapshot ``{(destination, tag): pending count}`` (non-empty only)."""
+        return {
+            address: len(queue)
+            for address, queue in self._mailboxes.items()
+            if queue
+        }
+
+    def _mailbox_summary(self) -> str:
+        state = self.mailbox_state()
+        if not state:
+            return "all mailboxes empty"
+        entries = ", ".join(
+            f"rank {destination}/tag {tag!r}: {count}"
+            for (destination, tag), count in sorted(
+                state.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+            )
+        )
+        return f"pending mailboxes: {entries}"
+
+    def _consult_crash(self, rank: int) -> None:
+        if self.fault_injector is not None and self.fault_injector.fire(
+            "comm_crash", rank
+        ):
+            self._crashed.add(int(rank))
+
+    def _check_alive(self, rank: int) -> None:
+        if rank in self._crashed:
+            raise CommRankError(
+                f"rank {rank} has crashed ({self._mailbox_summary()})",
+                rank=rank,
+                mailbox_state=self.mailbox_state(),
+            )
+
     def _check(self, rank: int) -> None:
         if not 0 <= rank < self.n_ranks:
-            raise IndexError(f"rank {rank} out of range for {self.n_ranks} ranks")
+            raise CommRankError(
+                f"rank {rank} out of range for {self.n_ranks} ranks "
+                f"({self._mailbox_summary()})",
+                rank=rank,
+                mailbox_state=self.mailbox_state(),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimComm(n_ranks={self.n_ranks})"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -22,7 +22,128 @@ __all__ = [
     "split_chunks",
     "make_executor",
     "executor_backend",
+    "TaskExecutionError",
+    "wrap_task_error",
 ]
+
+
+class TaskExecutionError(RuntimeError):
+    """A ``map_parallel`` task failed; carries the task context.
+
+    Attributes
+    ----------
+    task_index / n_tasks:
+        Zero-based index of the failing item and the total item count.
+    chunk_index:
+        Chunk the task was dispatched in (0 unless the process backend ran
+        with ``chunksize > 1``).
+    original:
+        The exception the task raised.
+
+    The concrete class raised is a dynamically created subclass of *both*
+    this type and the original exception's type (``TaskValueError``,
+    ``TaskKeyError``, …), so existing ``except ValueError`` /
+    ``pytest.raises(ValueError)`` call sites keep catching wrapped worker
+    errors while retry logic (and humans) can tell which task died.
+    """
+
+    task_index: int = -1
+    n_tasks: int = 0
+    chunk_index: int = 0
+    original: Optional[BaseException] = None
+
+
+_WRAPPED_ERROR_TYPES: Dict[type, type] = {TaskExecutionError: TaskExecutionError}
+
+
+def _wrapped_error_type(base: type) -> type:
+    """Dual-inheritance error type ``(TaskExecutionError, base)``, cached."""
+    cached = _WRAPPED_ERROR_TYPES.get(base)
+    if cached is not None:
+        return cached
+    if issubclass(base, TaskExecutionError):
+        wrapped = base
+    else:
+        try:
+            wrapped = type(
+                "Task" + base.__name__,
+                (TaskExecutionError, base),
+                {"__module__": __name__, "__qualname__": "Task" + base.__name__},
+            )
+        except TypeError:  # exotic metaclass/layout — plain wrapper
+            wrapped = TaskExecutionError
+    _WRAPPED_ERROR_TYPES[base] = wrapped
+    return wrapped
+
+
+def wrap_task_error(
+    error: BaseException, index: int, n_tasks: int, chunksize: int = 1
+) -> TaskExecutionError:
+    """Wrap a worker exception with the failing task's index and chunk.
+
+    The wrapped error remains an instance of the original type (see
+    :class:`TaskExecutionError`); construction falls back to the plain
+    wrapper for exception types whose ``__init__`` rejects a single
+    message argument.
+    """
+    chunk_index = index // max(1, chunksize)
+    message = (
+        f"task {index} of {n_tasks} (chunk {chunk_index}) failed with "
+        f"{type(error).__name__}: {error}"
+    )
+    wrapped_type = _wrapped_error_type(type(error))
+    try:
+        wrapped = wrapped_type(message)
+    except Exception:
+        try:
+            # the original type's __init__ demands its own arguments (e.g.
+            # InjectedFault's (site, key, occurrence)); build the instance
+            # without it so the dual-inheritance isinstance contract holds
+            wrapped = wrapped_type.__new__(wrapped_type)
+            BaseException.__init__(wrapped, message)
+            wrapped.__dict__.update(getattr(error, "__dict__", {}))
+        except Exception:
+            wrapped = TaskExecutionError(message)
+    wrapped.task_index = int(index)
+    wrapped.n_tasks = int(n_tasks)
+    wrapped.chunk_index = int(chunk_index)
+    wrapped.original = error
+    return wrapped
+
+
+class _TaskFailure:
+    """Child-side capture of one failed task (re-raised by the parent).
+
+    Capturing instead of raising keeps the failing *index* attached across
+    pool boundaries — a process pool could not unpickle a dynamically
+    created wrapper class, and ``Executor.map`` loses the item index when
+    an exception propagates through its iterator.
+    """
+
+    __slots__ = ("index", "error")
+
+    def __init__(self, index: int, error: BaseException):
+        self.index = index
+        self.error = error
+
+
+class _GuardedTask:
+    """Picklable per-item runner: fault injection plus failure capture."""
+
+    __slots__ = ("function", "fault_injector")
+
+    def __init__(self, function: Callable, fault_injector=None):
+        self.function = function
+        self.fault_injector = fault_injector
+
+    def __call__(self, indexed: Tuple[int, T]):
+        index, item = indexed
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.maybe_crash("worker", index)
+            return self.function(item)
+        except Exception as error:
+            return _TaskFailure(index, error)
 
 
 def default_worker_count() -> int:
@@ -94,6 +215,7 @@ def map_parallel(
     backend: str = "thread",
     chunksize: int = 1,
     executor: Optional[concurrent.futures.Executor] = None,
+    fault_injector=None,
 ) -> List[R]:
     """Apply ``function`` to every item, optionally in parallel.
 
@@ -119,30 +241,60 @@ def map_parallel(
         iterations) pays the pool start-up cost once instead of per call.
         ``max_workers`` and ``backend`` are ignored in that case (except
         that single-item inputs still short-circuit to a plain loop).
+    fault_injector:
+        Optional :class:`~repro.parallel.faults.FaultInjector`; its
+        ``"worker"`` site (key: task index) is consulted before each task
+        runs.
 
     Returns
     -------
     list
         Results in input order.
+
+    Raises
+    ------
+    TaskExecutionError
+        When a task raises, its exception is re-raised wrapped with the
+        failing task index and chunk context.  The wrapper subclasses the
+        original exception type, so existing ``except``/``pytest.raises``
+        sites keep matching; the original is chained as ``__cause__`` and
+        kept on ``.original``.  With several failures the lowest task
+        index wins (every task still runs — a failure no longer aborts the
+        remaining tasks mid-pool, which is what makes rank-level retry
+        meaningful).
     """
     items = list(items)
     if backend not in ("serial", "thread", "process"):
         raise ValueError(f"unknown backend {backend!r}")
+    runner = _GuardedTask(function, fault_injector)
+    indexed = list(enumerate(items))
+    effective_chunksize = 1
     if executor is not None:
         if len(items) <= 1:
-            return [function(item) for item in items]
-        return list(executor.map(function, items))
-    if max_workers is None:
-        max_workers = default_worker_count()
-    if max_workers < 1:
+            raw = [runner(pair) for pair in indexed]
+        else:
+            raw = list(executor.map(runner, indexed))
+    elif max_workers is not None and max_workers < 1:
         raise ValueError("max_workers must be at least 1")
-
-    if backend == "serial" or max_workers == 1 or len(items) <= 1:
-        return [function(item) for item in items]
-
-    if backend == "thread":
-        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(function, items))
-
-    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(function, items, chunksize=max(1, chunksize)))
+    else:
+        if max_workers is None:
+            max_workers = default_worker_count()
+        if backend == "serial" or max_workers == 1 or len(items) <= 1:
+            raw = [runner(pair) for pair in indexed]
+        elif backend == "thread":
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=max_workers
+            ) as pool:
+                raw = list(pool.map(runner, indexed))
+        else:
+            effective_chunksize = max(1, chunksize)
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers
+            ) as pool:
+                raw = list(pool.map(runner, indexed, chunksize=effective_chunksize))
+    for result in raw:
+        if isinstance(result, _TaskFailure):
+            raise wrap_task_error(
+                result.error, result.index, len(items), effective_chunksize
+            ) from result.error
+    return raw

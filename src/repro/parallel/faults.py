@@ -1,0 +1,321 @@
+"""Seeded, deterministic fault injection for the execution substrates.
+
+The resilience layer (rank retry/rebalance in
+:class:`~repro.core.runner.DistributedSubmatrixPipeline`, kernel-level
+degradation in :mod:`repro.signfn.registry`, checkpoint/resume in
+:func:`repro.api.trajectory.run_trajectory`) is only trustworthy if its
+recovery paths can be exercised *reproducibly*.  This module provides that
+test substrate: a :class:`FaultPlan` declares which fault *sites* fail, how
+often, and with what probability, and a :class:`FaultInjector` evaluates the
+plan at runtime.
+
+Determinism does not rely on a shared RNG call order (which a thread pool
+would scramble): every decision is a pure function of
+``(seed, site, key, occurrence)`` hashed through SHA-256, and occurrences
+are counted per ``(site, key)``.  Two runs with the same plan, seed and
+per-key call sequence therefore inject exactly the same faults, regardless
+of thread interleaving across keys.
+
+Known sites (the substrates consult them; unknown sites are simply never
+matched):
+
+``"rank"``
+    One pipeline rank task (key: rank index).  A match raises
+    :class:`RankCrashError` before the rank's shard work starts — the
+    pipeline's retry/rebalance logic re-executes the shard on a survivor.
+``"worker"``
+    One :func:`~repro.parallel.executor.map_parallel` task (key: task
+    index).  A match raises :class:`WorkerCrashError`.
+``"kernel"``
+    One iterative sign-kernel stack solve (key: kernel name).  A match does
+    not raise; it caps the iteration budget (``spec.payload``, default 1)
+    so the iteration genuinely fails to converge and the registry's
+    retry/fallback path takes over.
+``"comm_crash"``
+    One :class:`~repro.parallel.comm.SimComm` endpoint (key: rank index).
+    A match marks the rank crashed; any send/recv touching it raises
+    :class:`~repro.parallel.comm.CommRankError`.
+``"message"``
+    One :class:`~repro.parallel.comm.SimComm` point-to-point message (key:
+    ``(source, destination)``).  A match drops the payload after the
+    traffic accounting — the receiver sees an empty mailbox.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "InjectedFault",
+    "RankCrashError",
+    "WorkerCrashError",
+]
+
+#: Iteration budget a matched ``"kernel"`` spec imposes when its payload is
+#: ``None`` — low enough that no practical sign iteration converges.
+DEFAULT_KERNEL_CAP = 1
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by a :class:`FaultInjector`.
+
+    Attributes
+    ----------
+    site / key / occurrence:
+        The fault site, the per-site key (e.g. rank index) and the 0-based
+        occurrence count at which the fault fired.
+    """
+
+    def __init__(self, site: str, key: Hashable, occurrence: int):
+        self.site = site
+        self.key = key
+        self.occurrence = occurrence
+        super().__init__(
+            f"injected fault at site {site!r}, key {key!r} "
+            f"(occurrence {occurrence})"
+        )
+
+
+class RankCrashError(InjectedFault):
+    """A simulated rank crash (site ``"rank"`` / ``"comm_crash"``)."""
+
+
+class WorkerCrashError(InjectedFault):
+    """A simulated worker failure (site ``"worker"``)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault rule.
+
+    Attributes
+    ----------
+    site:
+        Fault site this rule applies to (see the module docstring).
+    key:
+        Per-site key the rule matches (``None`` matches every key).
+    times:
+        Total number of times this rule may fire (``None`` = unlimited).
+        The default 1 models a transient fault: the first matching
+        occurrence fails, the retry succeeds.
+    probability:
+        Deterministic firing probability in [0, 1], evaluated by hashing
+        ``(seed, site, key, occurrence)`` — *not* by a shared RNG, so
+        thread scheduling cannot change the outcome.
+    after:
+        Skip the first ``after`` matching occurrences before the rule may
+        fire (e.g. crash only the third call).
+    period:
+        Fire only on every ``period``-th matching occurrence (counted from
+        ``after``).  ``period=2`` produces the fail/recover alternation
+        used to crash every first attempt while letting every retry pass.
+    payload:
+        Site-specific datum; for ``"kernel"`` the imposed iteration cap.
+    """
+
+    site: str
+    key: Optional[Hashable] = None
+    times: Optional[int] = 1
+    probability: float = 1.0
+    after: int = 0
+    period: int = 1
+    payload: Optional[object] = None
+
+    def __post_init__(self):
+        if not self.site:
+            raise ValueError("site must be a non-empty string")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be positive (or None for unlimited)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.period < 1:
+            raise ValueError("period must be positive")
+
+    def matches(self, site: str, key: Hashable) -> bool:
+        """Whether this rule applies to one (site, key) query."""
+        return site == self.site and (self.key is None or self.key == key)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of :class:`FaultSpec` rules.
+
+    The first matching, non-exhausted rule wins for every query, so order
+    the specs from specific to general when keys overlap.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError("FaultPlan.specs must contain FaultSpec entries")
+
+    @classmethod
+    def rank_crashes(
+        cls, ranks: Sequence[int], seed: int = 0, times: Optional[int] = 1,
+        period: int = 1,
+    ) -> "FaultPlan":
+        """Plan that crashes the given pipeline ranks' first attempts."""
+        return cls(
+            specs=tuple(
+                FaultSpec(site="rank", key=int(rank), times=times, period=period)
+                for rank in ranks
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def kernel_stalls(
+        cls, kernel: str, seed: int = 0, times: Optional[int] = None,
+        cap: int = DEFAULT_KERNEL_CAP,
+    ) -> "FaultPlan":
+        """Plan that forces non-convergence of an iterative sign kernel."""
+        return cls(
+            specs=(FaultSpec(site="kernel", key=kernel, times=times, payload=cap),),
+            seed=seed,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """Record of one injected fault (for assertions and post-mortems)."""
+
+    site: str
+    key: Hashable
+    occurrence: int
+    spec_index: int
+
+
+def _key_token(key: Hashable) -> str:
+    """Stable string form of a key for hashing (repr is stable for the
+    int/str/tuple keys the substrates use)."""
+    return repr(key)
+
+
+class FaultInjector:
+    """Runtime evaluator of a :class:`FaultPlan`.
+
+    Thread-safe: occurrence counters are guarded by a lock, and firing
+    decisions depend only on ``(seed, site, key, occurrence)``, never on
+    cross-key ordering.  One injector instance must not be shared between
+    *concurrent pipelines* whose queries interleave on the same keys;
+    within one pipeline (the supported use) per-key call sequences are
+    deterministic.
+    """
+
+    def __init__(self, plan: Union[FaultPlan, Sequence[FaultSpec]], seed: Optional[int] = None):
+        if not isinstance(plan, FaultPlan):
+            plan = FaultPlan(specs=tuple(plan), seed=0 if seed is None else int(seed))
+        elif seed is not None:
+            plan = dataclasses.replace(plan, seed=int(seed))
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._occurrences: Dict[Tuple[str, str], int] = {}
+        self._fired: Dict[int, int] = {}
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # core decision
+    # ------------------------------------------------------------------ #
+    def _uniform(self, site: str, key: Hashable, occurrence: int) -> float:
+        token = f"{self.plan.seed}:{site}:{_key_token(key)}:{occurrence}"
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def fire(self, site: str, key: Hashable = None) -> Optional[FaultSpec]:
+        """Evaluate one query; returns the matching spec if a fault fires.
+
+        Increments the (site, key) occurrence counter exactly once per
+        call, whether or not a fault fires.
+        """
+        with self._lock:
+            counter_key = (site, _key_token(key))
+            occurrence = self._occurrences.get(counter_key, 0)
+            self._occurrences[counter_key] = occurrence + 1
+            for spec_index, spec in enumerate(self.plan.specs):
+                if not spec.matches(site, key):
+                    continue
+                if occurrence < spec.after:
+                    continue
+                if (occurrence - spec.after) % spec.period != 0:
+                    continue
+                fired = self._fired.get(spec_index, 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                if spec.probability < 1.0 and (
+                    self._uniform(site, key, occurrence) >= spec.probability
+                ):
+                    continue
+                self._fired[spec_index] = fired + 1
+                self.events.append(
+                    FaultEvent(
+                        site=site, key=key, occurrence=occurrence,
+                        spec_index=spec_index,
+                    )
+                )
+                return spec
+            return None
+
+    # ------------------------------------------------------------------ #
+    # site-specific conveniences
+    # ------------------------------------------------------------------ #
+    def maybe_crash(self, site: str, key: Hashable = None) -> None:
+        """Raise the site's crash error if a fault fires (no-op otherwise)."""
+        spec = self.fire(site, key)
+        if spec is None:
+            return
+        occurrence = self.events[-1].occurrence
+        if site == "worker":
+            raise WorkerCrashError(site, key, occurrence)
+        raise RankCrashError(site, key, occurrence)
+
+    def kernel_cap(self, kernel_name: str) -> Optional[int]:
+        """Iteration cap to impose on one kernel stack solve, or ``None``.
+
+        Consulted once per *first attempt* of a stack solve; retries use
+        the full (escalated) budget, so a transient ``"kernel"`` spec
+        produces exactly one forced non-convergence per matched stack.
+        """
+        spec = self.fire("kernel", kernel_name)
+        if spec is None:
+            return None
+        cap = DEFAULT_KERNEL_CAP if spec.payload is None else int(spec.payload)
+        return max(1, cap)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def n_injected(self) -> int:
+        """Total number of faults fired so far."""
+        return len(self.events)
+
+    def occurrences(self, site: str, key: Hashable = None) -> int:
+        """How many times one (site, key) has been queried."""
+        with self._lock:
+            return self._occurrences.get((site, _key_token(key)), 0)
+
+    def reset(self) -> None:
+        """Clear occurrence counters, fired counts and the event log."""
+        with self._lock:
+            self._occurrences.clear()
+            self._fired.clear()
+            self.events.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(seed={self.plan.seed}, "
+            f"specs={len(self.plan.specs)}, injected={self.n_injected})"
+        )

@@ -36,6 +36,8 @@ from repro.signfn.inverse_root import inverse_pth_root, inverse_pth_root_newton
 from repro.signfn.utils import involutority_error, spectral_scale_estimate
 from repro.signfn.registry import (
     BoundKernel,
+    DEFAULT_SIGN_MAX_ITERATIONS,
+    KernelConvergenceError,
     MatrixFunction,
     SIGN_SOLVERS,
     UnknownKernelError,
@@ -43,6 +45,7 @@ from repro.signfn.registry import (
     get_kernel,
     register_callable,
     register_kernel,
+    resilient_stack_solver,
     resolve_kernel,
 )
 
@@ -67,10 +70,13 @@ __all__ = [
     "MatrixFunction",
     "BoundKernel",
     "UnknownKernelError",
+    "KernelConvergenceError",
     "SIGN_SOLVERS",
+    "DEFAULT_SIGN_MAX_ITERATIONS",
     "register_kernel",
     "register_callable",
     "get_kernel",
     "available_kernels",
+    "resilient_stack_solver",
     "resolve_kernel",
 ]

@@ -46,13 +46,20 @@ __all__ = [
     "MatrixFunction",
     "BoundKernel",
     "UnknownKernelError",
+    "KernelConvergenceError",
     "register_kernel",
     "register_callable",
     "get_kernel",
     "available_kernels",
     "resolve_kernel",
+    "resilient_stack_solver",
     "SIGN_SOLVERS",
+    "DEFAULT_SIGN_MAX_ITERATIONS",
 ]
+
+#: Iteration budget of the iterative sign kernels' first attempt; kernel
+#: retries escalate it by ``ResiliencePolicy.kernel_retry_growth`` per round.
+DEFAULT_SIGN_MAX_ITERATIONS = 100
 
 #: The built-in per-submatrix sign solvers of the paper's ablation study.
 #: The DFT solver accepts any registered matrix-function kernel; canonical
@@ -116,6 +123,14 @@ class MatrixFunction:
         inside the Newton–Schulz/Padé convergence region and mapped to
         occupation 0, so the padded rows are exact and never reach the
         scatter.  See :meth:`padding_value`.
+    make_checked_batched:
+        Optional factory returning a *convergence-checked* batched callable
+        ``checked(stack, max_iterations=...) -> (results, converged)`` with
+        ``converged`` a per-matrix boolean array.  Iterative kernels
+        provide it so the resilience layer
+        (:func:`resilient_stack_solver`) can retry non-converged
+        submatrices with an escalated iteration budget and fall back to a
+        robust kernel per matrix — recorded, not raised.
     supports_mu_bisection:
         Declares the kernel *spectrally equivalent* to the built-in
         eigendecomposition evaluation: its result equals
@@ -138,6 +153,7 @@ class MatrixFunction:
     shift_pad: float = 1.0
     supports_mu_bisection: bool = False
     description: str = ""
+    make_checked_batched: Optional[Callable[..., Callable]] = None
 
     def padding_value(self, mu: float = 0.0) -> float:
         """Safe padding diagonal for a μ-shifted evaluation of this kernel.
@@ -160,6 +176,13 @@ class MatrixFunction:
             matrix_function=self.matrix_function,
         )
 
+    def bind_checked(self, **params) -> Optional[Callable]:
+        """Build the convergence-checked batched callable (``None`` when
+        the kernel does not provide one; see :attr:`make_checked_batched`)."""
+        if self.make_checked_batched is None:
+            return None
+        return self.make_checked_batched(**params)
+
 
 class UnknownKernelError(ValueError, TypeError):
     """Raised when a kernel name is not in the registry.
@@ -179,6 +202,25 @@ class UnknownKernelError(ValueError, TypeError):
         super().__init__(
             f"unknown matrix-function kernel {name!r}{hint} "
             f"(registered kernels: {', '.join(sorted(known))})"
+        )
+
+
+class KernelConvergenceError(RuntimeError):
+    """An iterative kernel failed convergence with no fallback configured.
+
+    Only raised when :class:`~repro.api.config.ResiliencePolicy` sets
+    ``kernel_fallback=None``; with the default ``"eigen"`` fallback,
+    non-convergence is recovered and *recorded* instead.
+    """
+
+    def __init__(self, kernel: str, n_failed: int, budget: int):
+        self.kernel = kernel
+        self.n_failed = int(n_failed)
+        self.budget = int(budget)
+        super().__init__(
+            f"kernel {kernel!r}: {n_failed} submatrix solve(s) did not "
+            f"converge within {budget} iterations and no fallback kernel "
+            "is configured"
         )
 
 
@@ -331,8 +373,34 @@ def _make_newton_schulz_batched(mu: float = 0.0):
     return lambda stack: sign_newton_schulz_batched(_shift(stack, mu)).sign
 
 
+def _make_newton_schulz_checked(mu: float = 0.0):
+    def checked(stack, max_iterations: int = DEFAULT_SIGN_MAX_ITERATIONS):
+        result = sign_newton_schulz_batched(
+            _shift(stack, mu), max_iterations=max_iterations
+        )
+        return result.sign, np.asarray(result.converged, dtype=bool)
+
+    return checked
+
+
 def _make_pade(mu: float = 0.0, order: int = 3):
     return lambda a: sign_pade(_shift(a, mu), order=order).sign
+
+
+def _make_pade_checked(mu: float = 0.0, order: int = 3):
+    def checked(stack, max_iterations: int = DEFAULT_SIGN_MAX_ITERATIONS):
+        stack = np.asarray(stack, dtype=float)
+        signs = np.empty_like(stack)
+        converged = np.zeros(stack.shape[0], dtype=bool)
+        for slot in range(stack.shape[0]):
+            result = sign_pade(
+                _shift(stack[slot], mu), order=order, max_iterations=max_iterations
+            )
+            signs[slot] = result.sign
+            converged[slot] = result.converged
+        return signs, converged
+
+    return checked
 
 
 def _make_occupation(mu: float = 0.0, temperature: float = 0.0):
@@ -363,6 +431,7 @@ register_kernel(
         make_batched=_make_newton_schulz_batched,
         iterative=True,
         description="sign(A − μI) via the 2nd-order Newton–Schulz iteration (Eq. 11)",
+        make_checked_batched=_make_newton_schulz_checked,
     )
 )
 register_kernel(
@@ -371,6 +440,7 @@ register_kernel(
         make=_make_pade,
         iterative=True,
         description="sign(A − μI) via the higher-order Padé iteration (Eq. 19)",
+        make_checked_batched=_make_pade_checked,
     )
 )
 register_kernel(
@@ -382,3 +452,95 @@ register_kernel(
         description="occupation matrix Q f(Λ − μ) Qᵀ (Fermi at T > 0, Eq. 13)",
     )
 )
+
+
+# --------------------------------------------------------------------------- #
+# resilience: convergence retry and per-matrix fallback
+# --------------------------------------------------------------------------- #
+def resilient_stack_solver(kernel: MatrixFunction, policy=None, report=None, **params):
+    """Sign-stack solver with convergence retry and per-matrix fallback.
+
+    Returns a callable ``solve(shifted) -> signs`` over already μ-shifted
+    ``(k, d, d)`` stacks, or ``None`` when resilience does not apply —
+    no ``policy``, or a ``kernel`` without a convergence-checked batched
+    variant (:attr:`MatrixFunction.make_checked_batched`) — in which case
+    the caller should use the plain bound kernel.
+
+    The solver's recovery ladder, per stack:
+
+    1. **First attempt** with the default iteration budget
+       (:data:`DEFAULT_SIGN_MAX_ITERATIONS`).  When the policy carries a
+       :class:`~repro.parallel.faults.FaultInjector`, its ``"kernel"``
+       site is consulted first and may cap the budget — the deterministic
+       way to force a genuine non-convergence in tests.
+    2. **Retries** (``policy.kernel_retries`` rounds): every non-converged
+       matrix is restarted *from its original shifted values* with the
+       budget scaled by ``policy.kernel_retry_growth`` per round.  Because
+       the batched iterations prescale and freeze each matrix individually
+       and stop at convergence, a retried matrix that converges produces
+       exactly the iterates — hence bitwise the result — of a fault-free
+       first attempt.
+    3. **Fallback**: matrices still non-converged are evaluated by the
+       ``policy.kernel_fallback`` kernel (default ``"eigen"``), recorded
+       on ``report.kernel_fallbacks`` rather than raised.  With
+       ``kernel_fallback=None`` a :class:`KernelConvergenceError` is
+       raised instead.
+
+    ``report`` is any object with ``kernel_retries``/``kernel_fallbacks``
+    int attributes (e.g. :class:`~repro.core.runner.ResilienceReport`);
+    ``**params`` are forwarded to the kernel factories.
+    """
+    if policy is None:
+        return None
+    checked = kernel.bind_checked(**params)
+    if checked is None:
+        return None
+    fallback = None
+    fallback_name = getattr(policy, "kernel_fallback", None)
+    if fallback_name is not None:
+        fallback = get_kernel(fallback_name).bind()
+    injector = getattr(policy, "fault_injector", None)
+    retries = int(getattr(policy, "kernel_retries", 0))
+    growth = float(getattr(policy, "kernel_retry_growth", 4.0))
+
+    def solve(shifted: np.ndarray) -> np.ndarray:
+        shifted = np.asarray(shifted, dtype=float)
+        budget = DEFAULT_SIGN_MAX_ITERATIONS
+        cap = injector.kernel_cap(kernel.name) if injector is not None else None
+        signs, converged = checked(
+            shifted, max_iterations=budget if cap is None else cap
+        )
+        signs = np.asarray(signs, dtype=float)
+        converged = np.asarray(converged, dtype=bool).reshape(shifted.shape[0])
+        round_index = 0
+        while not converged.all() and round_index < retries:
+            round_index += 1
+            pending = np.flatnonzero(~converged)
+            budget = int(round(DEFAULT_SIGN_MAX_ITERATIONS * growth**round_index))
+            redo_signs, redo_converged = checked(
+                shifted[pending], max_iterations=budget
+            )
+            signs[pending] = np.asarray(redo_signs, dtype=float)
+            converged[pending] = np.asarray(redo_converged, dtype=bool).reshape(
+                pending.size
+            )
+            if report is not None:
+                report.kernel_retries += int(pending.size)
+        if not converged.all():
+            pending = np.flatnonzero(~converged)
+            if fallback is None:
+                raise KernelConvergenceError(kernel.name, pending.size, budget)
+            if fallback.batch_function is not None:
+                signs[pending] = np.asarray(
+                    fallback.batch_function(shifted[pending]), dtype=float
+                )
+            else:
+                for index in pending:
+                    signs[index] = np.asarray(
+                        fallback.function(shifted[index]), dtype=float
+                    )
+            if report is not None:
+                report.kernel_fallbacks += int(pending.size)
+        return signs
+
+    return solve
