@@ -225,6 +225,13 @@ class EngineConfig:
     flop_constant:
         Cost of one per-submatrix solve as a multiple of n³ (used by load
         balancing and the machine model).
+    overlap:
+        Execute distributed density calculations arrival-driven through
+        the :class:`~repro.core.overlap.OverlappedExchange` engine —
+        every rank starts evaluating a bucket the moment its segments
+        land instead of after the full initialization exchange.  Results
+        are bitwise identical; the modeled hidden-exchange accounting
+        lands on the result/trajectory statistics.
     resilience:
         The session's :class:`ResiliencePolicy` (rank retry/rebalance,
         kernel degradation, graceful fallback to the batched engine).  The
@@ -247,6 +254,7 @@ class EngineConfig:
     plan_cache_size: int = 64
     exact_transfers: bool = True
     flop_constant: float = EIGENSOLVE_FLOP_CONSTANT
+    overlap: bool = False
     resilience: ResiliencePolicy = dataclasses.field(
         default_factory=ResiliencePolicy
     )

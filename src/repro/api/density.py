@@ -43,6 +43,7 @@ to the single-process solver for any rank count.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import List, Optional, Sequence, Tuple
 
@@ -51,7 +52,7 @@ import scipy.sparse as sp
 
 from repro.api.results import DecomposedSubmatrix, SubmatrixDFTResult
 from repro.chem.density import band_structure_energy, electron_count, fermi_occupation
-from repro.core.batch import make_stack_tasks
+from repro.core.batch import MAX_BATCH_ELEMENTS, make_stack_tasks
 from repro.core.combination import ColumnGrouping, single_column_groups
 from repro.core.load_balance import resolve_bucket_pad
 from repro.core.plan import BlockSubmatrixPlan
@@ -62,12 +63,55 @@ from repro.core.submatrix import (
 )
 from repro.chem.orthogonalize import orthogonalized_ks
 from repro.core.runner import PipelineExecutionError, ResilienceReport
+from repro.parallel.machine import PAPER_MACHINE
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
 from repro.dbcsr.coo import CooBlockList
 from repro.signfn.registry import get_kernel, resilient_stack_solver
 
 __all__ = ["compute_density"]
+
+
+@dataclasses.dataclass
+class PreparedStep:
+    """Context-free preparation of one density calculation's inputs.
+
+    Everything here is a pure function of ``(K, S, block_sizes,
+    eps_filter)`` — orthogonalization, block conversion, the COO pattern
+    and its fingerprint — so it can be computed ahead of time on another
+    thread (the trajectory driver's step prefetch) without touching the
+    session's plan cache or pipelines.  :func:`compute_density` accepts it
+    via ``prepared=`` and skips the preparation work after verifying the
+    filter threshold and block sizes still match.
+    """
+
+    k_ortho: sp.csr_matrix
+    s_inv_sqrt: np.ndarray
+    block_k: BlockSparseMatrix
+    coo: CooBlockList
+    eps_filter: float
+    block_sizes: Tuple[int, ...]
+
+    def matches(self, blocks, eps_filter: float) -> bool:
+        return (
+            float(self.eps_filter) == float(eps_filter)
+            and self.block_sizes == tuple(int(b) for b in blocks.block_sizes)
+        )
+
+
+def prepare_step(K, S, blocks, eps_filter: float) -> PreparedStep:
+    """Precompute the pure preparation of one step (see :class:`PreparedStep`)."""
+    k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=eps_filter)
+    block_k = block_matrix_from_csr(k_ortho, blocks.block_sizes, threshold=0.0)
+    coo = CooBlockList.from_block_matrix(block_k)
+    return PreparedStep(
+        k_ortho=k_ortho,
+        s_inv_sqrt=s_inv_sqrt,
+        block_k=block_k,
+        coo=coo,
+        eps_filter=float(eps_filter),
+        block_sizes=tuple(int(b) for b in blocks.block_sizes),
+    )
 
 
 def compute_density(
@@ -85,6 +129,7 @@ def compute_density(
     distribution=None,
     replan: str = "full",
     mu_bracket: Optional[Tuple[float, float]] = None,
+    prepared: Optional[PreparedStep] = None,
 ) -> SubmatrixDFTResult:
     """Compute the density matrix for a given K, S and ensemble.
 
@@ -105,7 +150,11 @@ def compute_density(
     bisection's iterate sequence, so the resulting μ is not bitwise
     reproducible against a cold start — both converge the electron count
     to within ``mu_tolerance``, but at T = 0 the μ values may settle at
-    different points of a degenerate gap plateau.
+    different points of a degenerate gap plateau.  ``prepared``
+    optionally supplies a :class:`PreparedStep` computed ahead of time
+    (the trajectory driver's prefetch); it is used only when its filter
+    threshold and block sizes match the session's, so a stale prefetch
+    silently falls back to in-place preparation.
     """
     config = context.config
     start = time.perf_counter()
@@ -135,9 +184,19 @@ def compute_density(
             "(engine='plan' or 'batched')"
         )
 
-    k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=config.eps_filter)
-    block_k = block_matrix_from_csr(k_ortho, blocks.block_sizes, threshold=0.0)
-    coo = CooBlockList.from_block_matrix(block_k)
+    if prepared is not None and prepared.matches(blocks, config.eps_filter):
+        # the trajectory driver prepared this step's pure pieces on a
+        # background thread while the previous step was still computing
+        k_ortho, s_inv_sqrt = prepared.k_ortho, prepared.s_inv_sqrt
+        block_k, coo = prepared.block_k, prepared.coo
+    else:
+        k_ortho, s_inv_sqrt = orthogonalized_ks(
+            K, S, eps_filter=config.eps_filter
+        )
+        block_k = block_matrix_from_csr(
+            k_ortho, blocks.block_sizes, threshold=0.0
+        )
+        coo = CooBlockList.from_block_matrix(block_k)
     grouping = grouping or single_column_groups(block_k.n_block_cols)
     grouping.validate(block_k.n_block_cols)
 
@@ -223,11 +282,18 @@ def compute_density(
     wall = time.perf_counter() - start
     segment_fetch_bytes = None
     block_fetch_bytes = None
+    overlap_seconds = 0.0
+    exchange_hidden_fraction = None
     if pipeline is not None:
         transfer = pipeline.transfer_plan
         block_fetch_bytes = float(transfer.total_fetch_bytes)
         if transfer.has_segments:
             segment_fetch_bytes = float(transfer.total_segment_fetch_bytes)
+        if pipeline.last_overlap is not None:
+            overlap_seconds = float(pipeline.last_overlap.overlap_seconds)
+            exchange_hidden_fraction = float(
+                pipeline.last_overlap.exchange_hidden_fraction
+            )
     return SubmatrixDFTResult(
         density_ao=density_ao,
         density_ortho=density_ortho,
@@ -246,6 +312,8 @@ def compute_density(
         reassigned_stacks=report.reassigned_stacks if report is not None else 0,
         kernel_fallbacks=report.kernel_fallbacks if report is not None else 0,
         degraded=report.degraded if report is not None else False,
+        overlap_seconds=overlap_seconds,
+        exchange_hidden_fraction=exchange_hidden_fraction,
     )
 
 
@@ -346,18 +414,35 @@ def _decompose_sharded(
     cache entries); a persistent failure raises
     :class:`~repro.core.runner.PipelineExecutionError` for
     :func:`compute_density`'s degradation logic.
+
+    With ``config.overlap`` the rank closures run arrival-driven through
+    an :class:`~repro.core.overlap.OverlappedExchange` engine — each
+    bucket is eigendecomposed the moment its segment chunks land instead
+    of after the rank's full gather — and the modeled hidden-exchange
+    accounting is published on ``pipeline.last_overlap``.  The per-bucket
+    arithmetic (extract → ``eigh`` → collect) is unchanged, so the cache
+    is bitwise identical either way.
     """
     plan, sharded = pipeline.prepare()
     packed = plan.pack(block_k)
+    pipeline.last_overlap = None
+    engine = None
+    overlap_reports: List[Optional[object]] = [None] * pipeline.n_ranks
+    if context.config.overlap:
+        engine = pipeline.overlap_engine(
+            PAPER_MACHINE,
+            pad_to=None,
+            max_batch_elements=MAX_BATCH_ELEMENTS,
+            fault_injector=policy.fault_injector if policy is not None else None,
+        )
 
     def decompose_rank(rank: int) -> List[Tuple[int, DecomposedSubmatrix]]:
         shard = sharded.shards[rank]
         if shard.n_groups == 0:
             return []
-        local = shard.pack_local(packed)
         entries: List[Tuple[int, DecomposedSubmatrix]] = []
-        for bucket in shard.stack_tasks():
-            stack = shard.view.extract_stack(local, bucket.members, bucket.dimension)
+
+        def collect(bucket, stack):
             eigenvalues, eigenvectors = np.linalg.eigh(stack)
             for slot, local_index in enumerate(bucket.members):
                 group_index = int(shard.group_indices[local_index])
@@ -371,6 +456,14 @@ def _decompose_sharded(
                         ),
                     )
                 )
+
+        if engine is not None:
+            overlap_reports[rank] = engine.run_rank(rank, packed, collect)
+            return entries
+        local = shard.pack_local(packed)
+        for bucket in shard.stack_tasks():
+            stack = shard.view.extract_stack(local, bucket.members, bucket.dimension)
+            collect(bucket, stack)
         return entries
 
     backend, executor = context._rank_resources()
@@ -382,6 +475,8 @@ def _decompose_sharded(
         policy=policy,
         report=report,
     )
+    if engine is not None:
+        pipeline.last_overlap = engine.report(overlap_reports)
     entries: List[Optional[DecomposedSubmatrix]] = [None] * plan.n_groups
     for rank_entries in per_rank:
         for group_index, entry in rank_entries:
@@ -624,6 +719,7 @@ def _iterative_occupations(
             executor=executor,
             policy=policy,
             report=report,
+            overlap=config.overlap,
         )
         return plan.finalize(out), list(plan.dimensions)
 

@@ -118,6 +118,13 @@ class SubmatrixDFTResult:
         Whether the computation fell back to the single-process batched
         engine after exhausting the rank retries (the result is still
         bitwise identical to a fault-free run).
+    overlap_seconds:
+        Modeled exchange time hidden behind compute by the arrival-driven
+        engine (0.0 for synchronous or single-process runs; see
+        ``EngineConfig.overlap``).
+    exchange_hidden_fraction:
+        Fraction of the modeled initialization exchange that the overlap
+        hid (``None`` when the run did not execute arrival-driven).
     """
 
     density_ao: np.ndarray
@@ -137,6 +144,8 @@ class SubmatrixDFTResult:
     reassigned_stacks: int = 0
     kernel_fallbacks: int = 0
     degraded: bool = False
+    overlap_seconds: float = 0.0
+    exchange_hidden_fraction: Optional[float] = None
 
     @property
     def n_submatrices(self) -> int:

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -73,6 +74,7 @@ __all__ = [
     "TrajectoryResult",
     "run_trajectory",
     "WARM_START_HALF_WIDTH",
+    "adaptive_half_width",
 ]
 
 #: Default half-width (in energy units of K) of the warm-started μ-bisection
@@ -132,6 +134,14 @@ class TrajectoryStepRecord:
     resumed:
         Whether the step was loaded from the trajectory checkpoint instead
         of recomputed (``wall_time`` is then the load time).
+    overlap_seconds / exchange_hidden_fraction:
+        The step's modeled hidden-exchange accounting when the session
+        runs arrival-driven (``EngineConfig.overlap``; see
+        :class:`~repro.api.results.SubmatrixDFTResult`).
+    prefetched:
+        Whether this step's pure preparation (orthogonalization, block
+        conversion, pattern extraction) was computed on the prefetch
+        thread while the previous step was still evaluating.
     """
 
     step: int
@@ -154,6 +164,9 @@ class TrajectoryStepRecord:
     reassigned_stacks: int = 0
     kernel_fallbacks: int = 0
     resumed: bool = False
+    overlap_seconds: float = 0.0
+    exchange_hidden_fraction: Optional[float] = None
+    prefetched: bool = False
 
 
 @dataclasses.dataclass
@@ -192,6 +205,13 @@ class TrajectoryStats:
         from failures; see :class:`~repro.api.results.SubmatrixDFTResult`).
     steps_resumed:
         Steps loaded from the trajectory checkpoint instead of recomputed.
+    overlap_seconds:
+        Total modeled exchange time the arrival-driven engine hid behind
+        compute across all steps (0.0 for synchronous sessions; see
+        ``EngineConfig.overlap``).
+    steps_prefetched:
+        Steps whose pure preparation ran on the prefetch thread while the
+        previous step was still evaluating.
 
     All ratio properties are well-defined for empty trajectories (they
     return 0.0 instead of dividing by zero).
@@ -212,6 +232,19 @@ class TrajectoryStats:
     reassigned_stacks: int = 0
     kernel_fallbacks: int = 0
     steps_resumed: int = 0
+    overlap_seconds: float = 0.0
+    steps_prefetched: int = 0
+
+    @property
+    def exchange_hidden_fraction(self) -> float:
+        """Mean per-step hidden-exchange fraction of the arrival-driven
+        steps (0.0 when no step ran overlapped)."""
+        fractions = [
+            r.exchange_hidden_fraction
+            for r in self.steps
+            if r.exchange_hidden_fraction is not None
+        ]
+        return float(np.mean(fractions)) if fractions else 0.0
 
     @property
     def reuse_rate(self) -> float:
@@ -274,6 +307,31 @@ def _iterate_steps(
             yield pair
         return
     yield from steps
+
+
+def adaptive_half_width(
+    mu_history: "List[float]", mu_tolerance: float
+) -> float:
+    """Warm-start bracket half-width from the trajectory's μ-drift history.
+
+    With at least two previous μ values the expected drift of the next
+    step is estimated as the largest recent ``|Δμ|`` (up to the last four
+    steps) and the bracket is sized to twice that — wide enough that a
+    drift like the recent ones still lands inside, narrow enough that a
+    settled trajectory bisects a tiny interval instead of the fixed
+    :data:`WARM_START_HALF_WIDTH`.  The first warm step (a single previous
+    μ, no drift measured yet) falls back to the fixed width.  The floor
+    ``8 · mu_tolerance`` keeps the bracket meaningfully wider than the
+    convergence window; the bracket still self-expands if μ escapes it.
+    """
+    floor = 8.0 * float(mu_tolerance)
+    if len(mu_history) < 2:
+        return max(WARM_START_HALF_WIDTH, floor)
+    drifts = np.abs(np.diff(np.asarray(mu_history[-5:], dtype=float)))
+    drift = float(drifts.max())
+    if drift <= 0.0:
+        return floor
+    return max(2.0 * drift, floor)
 
 
 def _step_value(value, index: int) -> Optional[float]:
@@ -352,8 +410,13 @@ def run_trajectory(
         so ``replan`` trades planning time only.
     warm_start_mu:
         Seed each canonical step's μ-bisection bracket from the previous
-        step's μ (±:data:`WARM_START_HALF_WIDTH`, self-expanding when the
-        seed does not bracket the electron count).  **Bitwise contract:**
+        step's μ.  The half-width adapts to the trajectory's μ-drift
+        history (:func:`adaptive_half_width`: twice the largest recent
+        ``|Δμ|``, floored at ``8 · mu_tolerance``); the first warm step,
+        with no drift measured yet, uses the fixed
+        :data:`WARM_START_HALF_WIDTH`, and any bracket self-expands when
+        the seed does not bracket the electron count.
+        **Bitwise contract:**
         this *breaks* the bitwise identity of μ (and hence of the
         occupation matrices) with cold-started single-shot calls — both
         starts converge to an electron count within ``mu_tolerance`` of
@@ -383,7 +446,7 @@ def run_trajectory(
         :meth:`SubmatrixContext.density` calls unless ``warm_start_mu``
         is enabled) and the reuse statistics.
     """
-    from repro.api.density import compute_density
+    from repro.api.density import compute_density, prepare_step
 
     context._check_open()
     if steps is None:
@@ -419,94 +482,143 @@ def run_trajectory(
     records: List[TrajectoryStepRecord] = []
     previous_fingerprint: Optional[str] = None
     previous_mu: Optional[float] = None
+    mu_history: List[float] = []
     pattern_changes = 0
     session_before = context.stats()
     executors_at_start = session_before["executors_created"]
     cache_before = dict(context.plan_cache.stats)
-    bracket_half_width = max(WARM_START_HALF_WIDTH, 8.0 * mu_tolerance)
 
-    for index, (K, S) in enumerate(_iterate_steps(steps, n_steps)):
-        step_n_electrons = _step_value(n_electrons, index)
-        warm = (
-            warm_start_mu
-            and step_n_electrons is not None
-            and previous_mu is not None
+    step_iter = _iterate_steps(steps, n_steps)
+    prefetch_pool: Optional[ThreadPoolExecutor] = None
+    if context.config.overlap:
+        prefetch_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="trajectory-prefetch"
         )
-        resumed = ckpt is not None and ckpt.has_step(index)
-        if resumed:
-            # replay a checkpointed step: the loaded result is bit-exact,
-            # so restoring previous_mu/previous_fingerprint from it hands
-            # the next computed step exactly the state of an uninterrupted
-            # run — warm-started brackets included
-            load_start = time.perf_counter()
-            result = ckpt.load_step(index)
-            step_wall = time.perf_counter() - load_start
-            warm = False
-        else:
-            result = compute_density(
-                context,
-                K,
-                S,
-                blocks,
-                mu=_step_value(mu, index),
-                n_electrons=step_n_electrons,
-                solver=solver,
-                grouping=grouping,
-                mu_tolerance=mu_tolerance,
-                max_mu_iterations=max_mu_iterations,
-                ranks=ranks,
-                distribution=distribution,
-                replan=replan,
-                mu_bracket=(
-                    (
-                        previous_mu - bracket_half_width,
-                        previous_mu + bracket_half_width,
-                    )
-                    if warm
-                    else None
-                ),
+    end_of_steps = object()
+
+    def _fetch_next():
+        # runs on the prefetch thread: pull the next step and do its pure
+        # preparation (orthogonalize, block-convert, pattern extraction —
+        # no session state is touched).  Exceptions, including a raising
+        # step callback, are captured by the future and re-raised at the
+        # collect point in _drive, which is exactly where the synchronous
+        # drive would have raised them
+        try:
+            pair = next(step_iter)
+        except StopIteration:
+            return end_of_steps
+        K, S = pair
+        return K, S, prepare_step(K, S, blocks, context.config.eps_filter)
+
+    def _drive():
+        if prefetch_pool is None:
+            for K, S in step_iter:
+                yield K, S, None
+            return
+        pending = prefetch_pool.submit(_fetch_next)
+        while True:
+            item = pending.result()
+            if item is end_of_steps:
+                return
+            # step i+1's preparation overlaps step i's evaluation
+            pending = prefetch_pool.submit(_fetch_next)
+            yield item
+
+    try:
+        for index, (K, S, prepared) in enumerate(_drive()):
+            step_n_electrons = _step_value(n_electrons, index)
+            warm = (
+                warm_start_mu
+                and step_n_electrons is not None
+                and previous_mu is not None
             )
-            step_wall = result.wall_time
-            if ckpt is not None:
-                ckpt.save_step(index, result)
-        cache_after = dict(context.plan_cache.stats)
-        session_after = context.stats()
-        fingerprint = result.pattern_fingerprint or ""
-        changed = fingerprint != previous_fingerprint
-        if changed and previous_fingerprint is not None:
-            pattern_changes += 1
-        records.append(
-            TrajectoryStepRecord(
-                step=index,
-                wall_time=step_wall,
-                pattern_fingerprint=fingerprint,
-                pattern_changed=changed,
-                plans_built=cache_after["misses"] - cache_before["misses"],
-                plan_cache_hits=cache_after["hits"] - cache_before["hits"],
-                pipelines_built=session_after["pipelines_built"]
-                - session_before["pipelines_built"],
-                mu=result.mu,
-                n_electrons=result.n_electrons,
-                mu_iterations=result.mu_iterations,
-                segment_fetch_bytes=result.segment_fetch_bytes,
-                block_fetch_bytes=result.block_fetch_bytes,
-                plans_patched=cache_after["patches"] - cache_before["patches"],
-                groups_rebuilt=cache_after["groups_rebuilt"]
-                - cache_before["groups_rebuilt"],
-                pipelines_patched=session_after["pipelines_patched"]
-                - session_before["pipelines_patched"],
-                warm_started=bool(warm),
-                retries=result.retries,
-                reassigned_stacks=result.reassigned_stacks,
-                kernel_fallbacks=result.kernel_fallbacks,
-                resumed=resumed,
+            resumed = ckpt is not None and ckpt.has_step(index)
+            if resumed:
+                # replay a checkpointed step: the loaded result is
+                # bit-exact, so restoring previous_mu/previous_fingerprint
+                # from it hands the next computed step exactly the state of
+                # an uninterrupted run — warm-started brackets included
+                load_start = time.perf_counter()
+                result = ckpt.load_step(index)
+                step_wall = time.perf_counter() - load_start
+                warm = False
+            else:
+                bracket_half_width = adaptive_half_width(
+                    mu_history, mu_tolerance
+                )
+                result = compute_density(
+                    context,
+                    K,
+                    S,
+                    blocks,
+                    mu=_step_value(mu, index),
+                    n_electrons=step_n_electrons,
+                    solver=solver,
+                    grouping=grouping,
+                    mu_tolerance=mu_tolerance,
+                    max_mu_iterations=max_mu_iterations,
+                    ranks=ranks,
+                    distribution=distribution,
+                    replan=replan,
+                    mu_bracket=(
+                        (
+                            previous_mu - bracket_half_width,
+                            previous_mu + bracket_half_width,
+                        )
+                        if warm
+                        else None
+                    ),
+                    prepared=prepared,
+                )
+                step_wall = result.wall_time
+                if ckpt is not None:
+                    ckpt.save_step(index, result)
+            cache_after = dict(context.plan_cache.stats)
+            session_after = context.stats()
+            fingerprint = result.pattern_fingerprint or ""
+            changed = fingerprint != previous_fingerprint
+            if changed and previous_fingerprint is not None:
+                pattern_changes += 1
+            records.append(
+                TrajectoryStepRecord(
+                    step=index,
+                    wall_time=step_wall,
+                    pattern_fingerprint=fingerprint,
+                    pattern_changed=changed,
+                    plans_built=cache_after["misses"] - cache_before["misses"],
+                    plan_cache_hits=cache_after["hits"] - cache_before["hits"],
+                    pipelines_built=session_after["pipelines_built"]
+                    - session_before["pipelines_built"],
+                    mu=result.mu,
+                    n_electrons=result.n_electrons,
+                    mu_iterations=result.mu_iterations,
+                    segment_fetch_bytes=result.segment_fetch_bytes,
+                    block_fetch_bytes=result.block_fetch_bytes,
+                    plans_patched=cache_after["patches"]
+                    - cache_before["patches"],
+                    groups_rebuilt=cache_after["groups_rebuilt"]
+                    - cache_before["groups_rebuilt"],
+                    pipelines_patched=session_after["pipelines_patched"]
+                    - session_before["pipelines_patched"],
+                    warm_started=bool(warm),
+                    retries=result.retries,
+                    reassigned_stacks=result.reassigned_stacks,
+                    kernel_fallbacks=result.kernel_fallbacks,
+                    resumed=resumed,
+                    overlap_seconds=float(result.overlap_seconds),
+                    exchange_hidden_fraction=result.exchange_hidden_fraction,
+                    prefetched=prepared is not None and not resumed,
+                )
             )
-        )
-        results.append(result)
-        previous_fingerprint = fingerprint
-        previous_mu = float(result.mu)
-        cache_before = cache_after
-        session_before = session_after
+            results.append(result)
+            previous_fingerprint = fingerprint
+            previous_mu = float(result.mu)
+            mu_history.append(previous_mu)
+            cache_before = cache_after
+            session_before = session_after
+    finally:
+        if prefetch_pool is not None:
+            prefetch_pool.shutdown(wait=True, cancel_futures=True)
 
     stats = TrajectoryStats(
         n_steps=len(results),
@@ -524,5 +636,7 @@ def run_trajectory(
         reassigned_stacks=sum(r.reassigned_stacks for r in records),
         kernel_fallbacks=sum(r.kernel_fallbacks for r in records),
         steps_resumed=sum(1 for r in records if r.resumed),
+        overlap_seconds=float(sum(r.overlap_seconds for r in records)),
+        steps_prefetched=sum(1 for r in records if r.prefetched),
     )
     return TrajectoryResult(results=results, stats=stats)

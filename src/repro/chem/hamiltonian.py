@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -212,8 +213,13 @@ def _element_vector(symbol: str, basis: BasisSet, rng: np.random.Generator) -> n
     normalised so the largest coupling equals the model amplitude.
     """
     n = basis.functions_for(symbol)
-    # deterministic: derive from a child generator keyed by the element symbol
-    child = np.random.default_rng(abs(hash((symbol, basis.name))) % (2**32))
+    # deterministic: derive from a child generator keyed by the element
+    # symbol.  ``hash()`` on strings is salted per process (PYTHONHASHSEED),
+    # which silently made every Hamiltonian — and every benchmark built on
+    # one — differ between runs; crc32 is stable across processes.
+    child = np.random.default_rng(
+        zlib.crc32(f"{symbol}/{basis.name}".encode("utf-8"))
+    )
     v = 0.5 + child.random(n)
     v /= np.max(np.abs(v))
     return v

@@ -1,0 +1,438 @@
+"""Arrival-driven overlapped execution of the initialization exchange.
+
+The bulk-synchronous pipeline *models the whole initialization exchange,
+then computes*: :meth:`~repro.parallel.machine.MachineModel.simulate`
+explicitly assumes communication and compute do not overlap.  This module
+removes that barrier.  Every (owner → consumer) transfer is split into
+**per-bucket chunks**: each required segment is assigned to the earliest
+bucketed stack that references it, and the chunks are posted bucket-major
+through :meth:`~repro.parallel.comm.SimComm.isend`, so a rank can start
+evaluating its first bucket the moment that bucket's segments have landed
+— long before its full exchange has drained.
+
+Concretely, per rank:
+
+1. post one :meth:`~repro.parallel.comm.SimComm.irecv` per expected chunk
+   and fill the self-owned portion of the rank-local buffer immediately;
+2. walk the buckets in execution order, waiting
+   (:meth:`~repro.parallel.comm.SimComm.wait_all`) only for the chunks of
+   the current bucket — readiness is prefix-closed because chunks are
+   ingress-serialized in bucket order;
+3. evaluate the bucket with exactly the batched evaluator's per-task
+   arithmetic (extract → function → shape check → disjoint scatter), so
+   the result is bitwise identical to the synchronous path by
+   construction;
+4. advance a greedy virtual timeline ``start(b) = max(t, arrival(b))``,
+   ``t = start(b) + compute(b)``.
+
+The per-rank timelines make the overlap *measurable*:
+``sync = max_r(exchange_r) + max_r(compute_r)`` (the machine model's
+non-overlap assumption) versus ``async = max_r(makespan_r)`` (the greedy
+timelines); the difference is the exchange time hidden behind compute.
+
+The real packed segment values travel in the message payloads, so the
+consumer's local buffer is filled with exactly the bytes
+:meth:`~repro.core.shard.RankShard.pack_local` would have gathered — data
+identity is structural, not accidental.  Fault injection flows through
+the communicator unchanged: a dropped chunk (``"message"`` site) or a
+crashed endpoint (``"comm_crash"`` site) raises out of the rank's
+closure, which the pipeline's retry/rebalance machinery
+(:meth:`~repro.core.runner.DistributedSubmatrixPipeline.execute_ranks`)
+handles like any other rank failure; a retried rank restarts its
+exchange under a fresh attempt tag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.shard import RankShard, ShardedPlan
+from repro.parallel.comm import SimComm
+from repro.parallel.machine import MachineModel
+from repro.parallel.stats import TrafficLog
+
+__all__ = [
+    "SegmentChunk",
+    "RankOverlapReport",
+    "OverlapReport",
+    "OverlappedExchange",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentChunk:
+    """One per-bucket message chunk of an (owner → consumer) transfer.
+
+    ``local_indices`` are the positions the chunk's values occupy in the
+    consumer's rank-local packed buffer; the payload is exactly
+    ``packed[local_to_global[local_indices]]``.
+    """
+
+    bucket: int
+    source: int
+    local_indices: np.ndarray
+    nbytes: int
+
+
+@dataclasses.dataclass
+class RankOverlapReport:
+    """Modeled timeline of one rank's arrival-driven execution.
+
+    ``exchange_seconds`` is the rank's full serialized inbound exchange
+    (what the bulk-synchronous model charges before any compute),
+    ``compute_seconds`` the sum of its bucket evaluations, and
+    ``makespan_seconds`` the greedy arrival-driven finish time; the
+    difference ``exchange + compute − makespan`` is the exchange time the
+    rank's compute hid.
+    """
+
+    rank: int
+    n_buckets: int = 0
+    n_chunks: int = 0
+    inbound_bytes: float = 0.0
+    exchange_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    makespan_seconds: float = 0.0
+
+    @property
+    def hidden_seconds(self) -> float:
+        return max(
+            0.0, self.exchange_seconds + self.compute_seconds - self.makespan_seconds
+        )
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Fraction of the rank's exchange hidden behind its compute.
+
+        Trivially 1.0 when the rank has no inbound exchange (everything
+        self-owned — e.g. any rank of a single-rank run).
+        """
+        if self.exchange_seconds <= 0.0:
+            return 1.0
+        return self.hidden_seconds / self.exchange_seconds
+
+
+@dataclasses.dataclass
+class OverlapReport:
+    """Aggregated overlap accounting of one asynchronous pipeline run.
+
+    ``modeled_sync_seconds`` reproduces the machine model's
+    bulk-synchronous assumption (max-over-ranks exchange plus
+    max-over-ranks compute); ``modeled_async_seconds`` is the max over
+    the greedy per-rank timelines.  ``exchange_hidden_fraction`` relates
+    the saving to the exchange it hides.
+    """
+
+    per_rank: List[RankOverlapReport]
+    machine: MachineModel
+
+    @property
+    def max_exchange_seconds(self) -> float:
+        return max((r.exchange_seconds for r in self.per_rank), default=0.0)
+
+    @property
+    def max_compute_seconds(self) -> float:
+        return max((r.compute_seconds for r in self.per_rank), default=0.0)
+
+    @property
+    def modeled_sync_seconds(self) -> float:
+        return self.max_exchange_seconds + self.max_compute_seconds
+
+    @property
+    def modeled_async_seconds(self) -> float:
+        return max((r.makespan_seconds for r in self.per_rank), default=0.0)
+
+    @property
+    def overlap_seconds(self) -> float:
+        return max(0.0, self.modeled_sync_seconds - self.modeled_async_seconds)
+
+    @property
+    def exchange_hidden_fraction(self) -> float:
+        """Fraction of the modeled exchange hidden by overlap (1.0 when
+        there is no inbound exchange to hide)."""
+        exchange = self.max_exchange_seconds
+        if exchange <= 0.0:
+            return 1.0
+        return min(1.0, self.overlap_seconds / exchange)
+
+    @property
+    def total_inbound_bytes(self) -> float:
+        return float(sum(r.inbound_bytes for r in self.per_rank))
+
+
+@dataclasses.dataclass
+class _RankSchedule:
+    """Precomputed chunk schedule and bucket costs of one rank."""
+
+    buckets: list
+    chunks: List[SegmentChunk]
+    self_indices: np.ndarray
+    bucket_flops: List[float]
+
+
+class OverlappedExchange:
+    """The asynchronous exchange/execution engine of one sharded plan.
+
+    Owns the :class:`~repro.parallel.comm.SimComm` the chunks travel
+    through and the per-rank chunk schedules.  One engine instance serves
+    one pipeline execution; retried ranks re-run their exchange under a
+    fresh attempt tag (their scatter writes are idempotent).
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedPlan,
+        coo,
+        distribution,
+        machine: MachineModel,
+        pad_to: Optional[int],
+        max_batch_elements: int,
+        flop_constant: float,
+        bytes_per_element: int = 8,
+        fault_injector=None,
+    ):
+        self.sharded = sharded
+        self.machine = machine
+        self.pad_to = pad_to
+        self.max_batch_elements = int(max_batch_elements)
+        self.flop_constant = float(flop_constant)
+        self.bytes_per_element = int(bytes_per_element)
+        self.n_ranks = sharded.n_ranks
+        self.comm = SimComm(
+            self.n_ranks,
+            log=TrafficLog(self.n_ranks),
+            fault_injector=fault_injector,
+            machine=machine,
+        )
+        self._owners_by_id = distribution.owners_of_blocks(coo.rows, coo.cols)
+        self._lock = threading.Lock()
+        self._attempts: Dict[int, int] = {}
+        self._fault_injector = fault_injector
+        self._schedules: List[_RankSchedule] = [
+            self._build_schedule(rank) for rank in range(self.n_ranks)
+        ]
+
+    def reset(self, fault_injector=None) -> None:
+        """Prepare the engine for a fresh pipeline execution.
+
+        The chunk schedules are a pure function of the sharded plan and
+        the bucket layout, so a pipeline can cache one engine per layout
+        and reuse it across executions (μ-bisection iterations, trajectory
+        steps); only the communicator state — mailboxes, the modeled
+        ingress clocks and crash/attempt bookkeeping — belongs to a single
+        execution and is renewed here, under the current run's fault
+        injector.
+        """
+        self.comm = SimComm(
+            self.n_ranks,
+            log=TrafficLog(self.n_ranks),
+            fault_injector=fault_injector,
+            machine=self.machine,
+        )
+        self._fault_injector = fault_injector
+        self._attempts = {}
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    def _build_schedule(self, rank: int) -> _RankSchedule:
+        shard = self.sharded.shards[rank]
+        buckets = shard.stack_tasks(
+            pad_to=self.pad_to, max_batch_elements=self.max_batch_elements
+        )
+        n_segments = int(shard.required_segments.size)
+        owners = (
+            self._owners_by_id[shard.required_segments]
+            if n_segments
+            else np.empty(0, dtype=np.int64)
+        )
+        lengths = shard.segment_lengths
+        local_offsets = shard.local_offsets
+        self_mask = owners == rank
+        self_indices = _segment_positions(
+            np.flatnonzero(self_mask), local_offsets, lengths
+        )
+        bucket_flops = [
+            self.flop_constant
+            * len(bucket.members)
+            * float(bucket.dimension) ** 3
+            for bucket in buckets
+        ]
+        if bool(self_mask.all()):
+            # everything self-owned (e.g. any rank of a single-rank run):
+            # no chunks to schedule, so skip the first-reference scan —
+            # the overlap machinery must cost ~nothing when there is no
+            # exchange to overlap
+            return _RankSchedule(
+                buckets=buckets,
+                chunks=[],
+                self_indices=self_indices,
+                bucket_flops=bucket_flops,
+            )
+        # assign every remote segment to the earliest bucket whose gather
+        # arrays reference it (prefix-closed readiness: bucket b can start
+        # once every source has delivered its chunks for buckets <= b)
+        first_bucket = np.full(n_segments, -1, dtype=np.int64)
+        for bucket_index, bucket in enumerate(buckets):
+            for member in bucket.members:
+                gather = shard.view.groups[int(member)].gather_src
+                if len(gather) == 0:
+                    continue
+                segments = np.unique(
+                    np.searchsorted(
+                        local_offsets,
+                        np.asarray(gather, dtype=np.int64),
+                        side="right",
+                    )
+                    - 1
+                )
+                unseen = segments[first_bucket[segments] < 0]
+                first_bucket[unseen] = bucket_index
+        chunks: List[SegmentChunk] = []
+        # bucket-major per source: the ingress serialization then delivers
+        # early buckets' data first, which is what creates the overlap
+        for bucket_index in range(len(buckets)):
+            in_bucket = np.flatnonzero(
+                (first_bucket == bucket_index) & ~self_mask
+            )
+            if not in_bucket.size:
+                continue
+            for source in np.unique(owners[in_bucket]):
+                of_source = in_bucket[owners[in_bucket] == source]
+                local_indices = _segment_positions(
+                    of_source, local_offsets, lengths
+                )
+                chunks.append(
+                    SegmentChunk(
+                        bucket=bucket_index,
+                        source=int(source),
+                        local_indices=local_indices,
+                        nbytes=int(local_indices.size * self.bytes_per_element),
+                    )
+                )
+        return _RankSchedule(
+            buckets=buckets,
+            chunks=chunks,
+            self_indices=self_indices,
+            bucket_flops=bucket_flops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_rank(
+        self,
+        rank: int,
+        packed: np.ndarray,
+        consume_stack: Callable,
+        pad_value: float = 1.0,
+    ) -> RankOverlapReport:
+        """Arrival-driven evaluation of one rank's shard.
+
+        Posts the rank's chunk exchange, then hands bucket ``b``'s
+        extracted ``(k, d, d)`` stack to ``consume_stack(bucket, stack)``
+        as soon as its chunks have landed.  The consumer applies the same
+        per-task arithmetic the synchronous bucket loop would (evaluate +
+        scatter, or eigendecompose + collect), so the produced values are
+        bitwise identical — the extraction input is exactly the
+        :meth:`~repro.core.shard.RankShard.pack_local` buffer, filled
+        incrementally from the real message payloads.
+
+        Raises :class:`~repro.parallel.comm.CommError` subclasses on
+        injected message loss or endpoint crashes; the caller's
+        retry/rebalance machinery re-invokes this method, which restarts
+        the rank's exchange under a fresh attempt tag (an earlier partial
+        scatter is harmlessly overwritten with identical values).
+        """
+        shard = self.sharded.shards[rank]
+        schedule = self._schedules[rank]
+        report = RankOverlapReport(rank=rank, n_buckets=len(schedule.buckets))
+        if shard.n_groups == 0:
+            return report
+        with self._lock:
+            attempt = self._attempts.get(rank, 0)
+            self._attempts[rank] = attempt + 1
+            if rank in self.comm.crashed_ranks and attempt > 0:
+                # a retried rank is a restarted process: bring it back so
+                # the fresh attempt can post and drain its exchange
+                self.comm.restore_rank(rank)
+            requests = []
+            for chunk in schedule.chunks:
+                tag = ("segchunk", rank, attempt, chunk.bucket, chunk.source)
+                self.comm.isend(
+                    chunk.source,
+                    rank,
+                    packed[shard.local_to_global[chunk.local_indices]],
+                    tag,
+                )
+                requests.append(
+                    (chunk, self.comm.irecv(rank, tag, source=chunk.source))
+                )
+        local = np.empty(shard.n_local_values, dtype=packed.dtype)
+        if schedule.self_indices.size:
+            local[schedule.self_indices] = packed[
+                shard.local_to_global[schedule.self_indices]
+            ]
+        by_bucket: Dict[int, List] = {}
+        for chunk, request in requests:
+            by_bucket.setdefault(chunk.bucket, []).append((chunk, request))
+        report.n_chunks = len(requests)
+        report.inbound_bytes = float(sum(c.nbytes for c, _ in requests))
+        report.exchange_seconds = float(
+            sum(self.machine.message_time(c.nbytes, 1) for c, _ in requests)
+        )
+        timeline = 0.0
+        arrived = 0.0
+        for bucket_index, bucket in enumerate(schedule.buckets):
+            waiting = by_bucket.pop(bucket_index, ())
+            if waiting:
+                with self._lock:
+                    self.comm.wait_all([request for _, request in waiting])
+                for chunk, request in waiting:
+                    local[chunk.local_indices] = request.payload
+                    arrived = max(arrived, request.ready_time)
+            start = max(timeline, arrived)
+            stack = shard.view.extract_stack(
+                local, bucket.members, bucket.dimension, pad_value=pad_value
+            )
+            consume_stack(bucket, stack)
+            cost = self.machine.compute_time(
+                schedule.bucket_flops[bucket_index], cores=1, sparse=False
+            )
+            timeline = start + cost
+            report.compute_seconds += cost
+        report.makespan_seconds = max(timeline, arrived)
+        return report
+
+    def report(
+        self, per_rank: Sequence[Optional[RankOverlapReport]]
+    ) -> OverlapReport:
+        """Aggregate per-rank reports (missing ranks count as idle)."""
+        reports = [
+            r if r is not None else RankOverlapReport(rank=rank)
+            for rank, r in enumerate(per_rank)
+        ]
+        return OverlapReport(per_rank=reports, machine=self.machine)
+
+
+def _segment_positions(
+    segment_indices: np.ndarray, local_offsets: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Flat local-buffer positions of the given shard-local segments."""
+    segment_indices = np.asarray(segment_indices, dtype=np.int64)
+    if not segment_indices.size:
+        return np.empty(0, dtype=np.int64)
+    seg_lengths = lengths[segment_indices]
+    starts = local_offsets[segment_indices]
+    total = int(seg_lengths.sum())
+    # arange per segment, vectorized: global position = start + offset-in-run
+    run_starts = np.concatenate(([0], np.cumsum(seg_lengths)[:-1]))
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(run_starts, seg_lengths)
+        + np.repeat(starts, seg_lengths)
+    )

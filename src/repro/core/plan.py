@@ -892,6 +892,24 @@ class BlockSubmatrixPlan(SubmatrixPlan):
         _, remap = make_segment_remap(
             self.value_offsets, patched.value_offsets, delta.new_id_of_old
         )
+        # clean groups reference surviving segments only (a removed interior
+        # block would have marked them dirty), so the dense side is untouched
+        # and the packed side just shifts.  All clean gather/scatter arrays
+        # are translated in ONE concatenated remap (a single searchsorted
+        # over the whole batch instead of two per group — the segment lookup
+        # is the dominant patch cost once few groups are dirty).
+        clean_indices = np.flatnonzero(~dirty)
+        clean_arrays: List[np.ndarray] = []
+        for group_index in clean_indices:
+            group = self.groups[group_index]
+            clean_arrays.append(group.gather_src)
+            clean_arrays.append(group.scatter_dst)
+        if clean_arrays:
+            lengths = np.array([a.size for a in clean_arrays], dtype=np.int64)
+            remapped = remap(np.concatenate(clean_arrays))
+            pieces = iter(np.split(remapped, np.cumsum(lengths)[:-1]))
+        else:
+            pieces = iter(())
         groups: List[GroupPlan] = []
         for group_index, group in enumerate(self.groups):
             if dirty[group_index]:
@@ -899,14 +917,11 @@ class BlockSubmatrixPlan(SubmatrixPlan):
                     patched._plan_group(new_coo, patched.column_groups[group_index])
                 )
             else:
-                # clean groups reference surviving segments only (a removed
-                # interior block would have marked them dirty), so the dense
-                # side is untouched and the packed side just shifts
                 groups.append(
                     dataclasses.replace(
                         group,
-                        gather_src=remap(group.gather_src),
-                        scatter_dst=remap(group.scatter_dst),
+                        gather_src=next(pieces),
+                        scatter_dst=next(pieces),
                     )
                 )
         patched.groups = groups

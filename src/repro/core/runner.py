@@ -62,14 +62,20 @@ from repro.core.load_balance import (
     resolve_bucket_pad,
     submatrix_flop_costs,
 )
+from repro.core.overlap import OverlappedExchange, OverlapReport, RankOverlapReport
 from repro.core.plan import BlockSubmatrixPlan, PlanCache, block_plan
 from repro.core.shard import ShardedPlan
-from repro.core.transfers import TransferPlan, plan_transfers
+from repro.core.transfers import (
+    TransferDelta,
+    TransferPlan,
+    patch_transfer_plan,
+    plan_transfers,
+)
 from repro.dbcsr.block_matrix import BlockSparseMatrix
 from repro.dbcsr.coo import CooBlockList
 from repro.dbcsr.distribution import BlockDistribution, ProcessGrid2D
 from repro.parallel.executor import executor_backend, map_parallel
-from repro.parallel.machine import MachineModel, SimulatedTime
+from repro.parallel.machine import MachineModel, PAPER_MACHINE, SimulatedTime
 from repro.parallel.stats import TrafficLog
 from repro.parallel.topology import balanced_dims
 from repro.signfn.registry import resolve_kernel
@@ -212,6 +218,7 @@ class PipelineResult:
     submatrix_dimensions: List[int]
     wall_time: float
     resilience: Optional[ResilienceReport] = None
+    overlap: Optional[OverlapReport] = None
 
     @property
     def n_ranks(self) -> int:
@@ -334,6 +341,13 @@ class DistributedSubmatrixPipeline:
         self.plan: Optional[BlockSubmatrixPlan] = None
         self.sharded: Optional[ShardedPlan] = None
         self._exact_transfers = bool(exact_transfers)
+        # filled by patch() (incremental exchange diff) and by overlapped
+        # run()/run_stacks() (modeled overlap accounting) respectively
+        self.transfer_delta: Optional[TransferDelta] = None
+        self.last_overlap: Optional[OverlapReport] = None
+        # chunk schedules are pure functions of (shards, bucket layout),
+        # so engines are cached per layout and reset per execution
+        self._overlap_engines: Dict[tuple, OverlappedExchange] = {}
         # Cost-model side planning needs no extraction plan: with exact
         # per-group planning, the required-block sets *are* the shard's
         # segment index (a shard references exactly the blocks of its
@@ -488,8 +502,36 @@ class DistributedSubmatrixPipeline:
         )
         patched.plan = new_plan
         report = new_plan.patch_report
+        patched._exact_transfers = self._exact_transfers
+        patched.transfer_delta = None
+        patched.last_overlap = None
+        # engines are bound to this pipeline's shards; the patched shards
+        # need their own schedules
+        patched._overlap_engines = {}
         if report is not None and report.source is self.plan:
             patched.sharded = self.sharded.patch(new_plan)
+            # incremental exchange replan: only the ranks owning a dirty
+            # group re-run the per-group planning walk; every clean rank's
+            # summary is carried over with remapped block IDs, and the
+            # delta records the newly required segments each rank would
+            # actually have to fetch on top of its buffered blocks
+            dirty_ranks = {
+                int(patched.rank_of_group[group])
+                for group in report.dirty_groups
+            }
+            patched.transfer_plan, patched.transfer_delta = patch_transfer_plan(
+                self.transfer_plan,
+                new_coo,
+                patched.block_sizes,
+                patched.distribution,
+                patched.grouping,
+                patched.rank_of_group,
+                dirty_ranks,
+                report.new_id_of_old,
+                bytes_per_element=patched.bytes_per_element,
+                per_group_dedup=patched._exact_transfers,
+                segment_index=patched.sharded.required_segments_per_rank(),
+            )
         else:
             # a delta-keyed cache hit may return a plan patched from an
             # equal-content but distinct plan object; the shard layouts
@@ -497,18 +539,55 @@ class DistributedSubmatrixPipeline:
             patched.sharded = ShardedPlan(
                 new_plan, patched.rank_of_group, patched.n_ranks
             )
-        patched._exact_transfers = self._exact_transfers
-        patched.transfer_plan = plan_transfers(
-            new_coo,
-            patched.block_sizes,
-            patched.distribution,
-            patched.grouping,
-            patched.rank_of_group,
-            bytes_per_element=patched.bytes_per_element,
-            per_group_dedup=patched._exact_transfers,
-            segment_index=patched.sharded.required_segments_per_rank(),
-        )
+            patched.transfer_plan = plan_transfers(
+                new_coo,
+                patched.block_sizes,
+                patched.distribution,
+                patched.grouping,
+                patched.rank_of_group,
+                bytes_per_element=patched.bytes_per_element,
+                per_group_dedup=patched._exact_transfers,
+                segment_index=patched.sharded.required_segments_per_rank(),
+            )
         return patched
+
+    def overlap_engine(
+        self,
+        machine: Optional[MachineModel] = None,
+        pad_to: Optional[int] = None,
+        max_batch_elements: int = MAX_BATCH_ELEMENTS,
+        fault_injector=None,
+    ) -> OverlappedExchange:
+        """Cached arrival-driven engine for the given bucket layout.
+
+        Building an engine walks every bucket's gather arrays to assign
+        segments to their first referencing bucket, which is far too
+        expensive to repeat per execution (a canonical density bisects μ
+        over many ``run_stacks`` calls, a trajectory runs one pipeline per
+        step).  Schedules depend only on the shards and the bucket layout,
+        so one engine per ``(machine, pad_to, max_batch_elements)`` is
+        cached and merely :meth:`~repro.core.overlap.OverlappedExchange.
+        reset` per execution.
+        """
+        self._ensure_execution()
+        resolved = machine if machine is not None else PAPER_MACHINE
+        key = (resolved, pad_to, int(max_batch_elements))
+        engine = self._overlap_engines.get(key)
+        if engine is None:
+            engine = OverlappedExchange(
+                self.sharded,
+                self.coo,
+                self.distribution,
+                resolved,
+                pad_to=pad_to,
+                max_batch_elements=max_batch_elements,
+                flop_constant=self.flop_constant,
+                bytes_per_element=self.bytes_per_element,
+                fault_injector=fault_injector,
+            )
+            self._overlap_engines[key] = engine
+        engine.reset(fault_injector)
+        return engine
 
     def prepare(self):
         """Build (or fetch) the extraction plan and sharded plan eagerly.
@@ -743,6 +822,8 @@ class DistributedSubmatrixPipeline:
         executor=None,
         max_batch_elements: int = MAX_BATCH_ELEMENTS,
         policy: Optional[ResiliencePolicy] = None,
+        overlap: bool = False,
+        machine: Optional[MachineModel] = None,
         **kernel_params,
     ) -> PipelineResult:
         """Evaluate f on every submatrix through the sharded pipeline.
@@ -771,6 +852,15 @@ class DistributedSubmatrixPipeline:
         batched engine over the full plan — bitwise identical to the
         sharded execution — instead of raising; the
         :attr:`PipelineResult.resilience` report records what happened.
+
+        With ``overlap=True`` every rank executes arrival-driven through
+        the :class:`~repro.core.overlap.OverlappedExchange` engine: the
+        initialization exchange is split into per-bucket segment chunks
+        and each bucketed stack is evaluated as soon as its chunks land
+        rather than after the full exchange.  Results stay bitwise
+        identical; :attr:`PipelineResult.overlap` (and
+        :attr:`last_overlap`) report the modeled hidden-exchange time
+        against ``machine`` (default :data:`PAPER_MACHINE`).
         """
         if backend == "process" or executor_backend(executor) == "process":
             raise ValueError(
@@ -785,25 +875,61 @@ class DistributedSubmatrixPipeline:
         start = time.perf_counter()
         self._ensure_execution()
         assert self.plan is not None and self.sharded is not None
+        self.last_overlap = None
         packed = self.plan.pack(matrix)
         out = self.plan.new_output()
+        engine: Optional[OverlappedExchange] = None
+        overlap_reports: List[Optional[RankOverlapReport]] = [None] * self.n_ranks
+        if overlap:
+            engine = self.overlap_engine(
+                machine,
+                pad_to=self.bucket_pad,
+                max_batch_elements=max_batch_elements,
+                fault_injector=policy.fault_injector if policy is not None else None,
+            )
 
         def run_rank(rank: int) -> int:
             shard = self.sharded.shards[rank]
             if shard.n_groups == 0:
                 return 0
-            local = shard.pack_local(packed)
-            evaluate_batched(
-                shard.view,
-                local,
-                function=function,
-                batch_function=batch_function,
-                pad_to=self.bucket_pad,
-                pad_value=pad_value,
-                max_batch_elements=max_batch_elements,
-                backend="serial",
-                out=out,
-            )
+            if engine is not None:
+
+                def consume(bucket, stack):
+                    # exactly the batched evaluator's per-task arithmetic
+                    if batch_function is not None:
+                        evaluated = np.asarray(batch_function(stack), dtype=float)
+                    else:
+                        evaluated = np.stack(
+                            [
+                                np.asarray(function(stack[slot]), dtype=float)
+                                for slot in range(len(bucket.members))
+                            ]
+                        )
+                    if evaluated.shape != stack.shape:
+                        raise ValueError(
+                            f"batched matrix function returned shape "
+                            f"{evaluated.shape}, expected {stack.shape}"
+                        )
+                    shard.view.scatter_stack(
+                        out, bucket.members, evaluated, bucket.dimension
+                    )
+
+                overlap_reports[rank] = engine.run_rank(
+                    rank, packed, consume, pad_value=pad_value
+                )
+            else:
+                local = shard.pack_local(packed)
+                evaluate_batched(
+                    shard.view,
+                    local,
+                    function=function,
+                    batch_function=batch_function,
+                    pad_to=self.bucket_pad,
+                    pad_value=pad_value,
+                    max_batch_elements=max_batch_elements,
+                    backend="serial",
+                    out=out,
+                )
             return count_stack_tasks(
                 shard.dimensions,
                 pad_to=self.bucket_pad,
@@ -831,6 +957,8 @@ class DistributedSubmatrixPipeline:
             # have written (bitwise identical for any rank count)
             assert report is not None
             report.degraded = True
+            engine = None
+            overlap_reports = [None] * self.n_ranks
             evaluate_batched(
                 self.plan,
                 packed,
@@ -844,6 +972,8 @@ class DistributedSubmatrixPipeline:
             )
             stacks_per_rank = [0] * self.n_ranks
         result = self.plan.finalize(out)
+        overlap_report = engine.report(overlap_reports) if engine is not None else None
+        self.last_overlap = overlap_report
         transfer_plan = self.transfer_plan
         per_rank = [
             PipelineRankReport(
@@ -866,6 +996,7 @@ class DistributedSubmatrixPipeline:
             submatrix_dimensions=list(self.dimensions),
             wall_time=time.perf_counter() - start,
             resilience=report,
+            overlap=overlap_report,
         )
 
     def run_stacks(
@@ -880,6 +1011,8 @@ class DistributedSubmatrixPipeline:
         max_batch_elements: int = MAX_BATCH_ELEMENTS,
         policy: Optional[ResiliencePolicy] = None,
         report: Optional[ResilienceReport] = None,
+        overlap: bool = False,
+        machine: Optional[MachineModel] = None,
     ) -> Optional[ResilienceReport]:
         """Map a custom stack solver over every rank's bucketed stacks.
 
@@ -901,6 +1034,11 @@ class DistributedSubmatrixPipeline:
         independent of stack composition).  Returns the resilience report
         (``None`` without an active policy); pass ``report`` to accumulate
         into a caller-owned one.
+
+        ``overlap=True`` routes every rank through the arrival-driven
+        :class:`~repro.core.overlap.OverlappedExchange` engine (bitwise
+        identical, see :meth:`run`); the modeled accounting lands on
+        :attr:`last_overlap`.
         """
         if backend == "process" or executor_backend(executor) == "process":
             raise ValueError(
@@ -909,10 +1047,37 @@ class DistributedSubmatrixPipeline:
             )
         self._ensure_execution()
         assert self.sharded is not None
+        self.last_overlap = None
+        engine: Optional[OverlappedExchange] = None
+        overlap_reports: List[Optional[RankOverlapReport]] = [None] * self.n_ranks
+        if overlap:
+            engine = self.overlap_engine(
+                machine,
+                pad_to=self.bucket_pad,
+                max_batch_elements=max_batch_elements,
+                fault_injector=policy.fault_injector if policy is not None else None,
+            )
 
         def run_rank(rank: int) -> None:
             shard = self.sharded.shards[rank]
             if shard.n_groups == 0:
+                return
+            if engine is not None:
+
+                def consume(bucket, stack):
+                    evaluated = np.asarray(solve_stack(stack), dtype=float)
+                    if evaluated.shape != stack.shape:
+                        raise ValueError(
+                            f"stack solver returned shape {evaluated.shape}, "
+                            f"expected {stack.shape}"
+                        )
+                    shard.view.scatter_stack(
+                        out, bucket.members, evaluated, bucket.dimension
+                    )
+
+                overlap_reports[rank] = engine.run_rank(
+                    rank, packed, consume, pad_value=pad_value
+                )
                 return
             local = shard.pack_local(packed)
             for bucket in shard.stack_tasks(
@@ -948,6 +1113,7 @@ class DistributedSubmatrixPipeline:
                 raise
             assert report is not None and self.plan is not None
             report.degraded = True
+            engine = None
             for bucket in make_stack_tasks(
                 self.plan.dimensions,
                 pad_to=self.bucket_pad,
@@ -965,6 +1131,8 @@ class DistributedSubmatrixPipeline:
                 self.plan.scatter_stack(
                     out, bucket.members, evaluated, bucket.dimension
                 )
+        if engine is not None:
+            self.last_overlap = engine.report(overlap_reports)
         return report
 
 

@@ -45,7 +45,13 @@ from repro.dbcsr.coo import CooBlockList
 from repro.dbcsr.distribution import BlockDistribution
 from repro.parallel.stats import TrafficLog
 
-__all__ = ["RankTransferSummary", "TransferPlan", "plan_transfers"]
+__all__ = [
+    "RankTransferSummary",
+    "TransferPlan",
+    "TransferDelta",
+    "plan_transfers",
+    "patch_transfer_plan",
+]
 
 
 @dataclasses.dataclass
@@ -184,6 +190,210 @@ class TransferPlan:
         return log
 
 
+@dataclasses.dataclass
+class TransferDelta:
+    """Per-rank diff between a previous and a patched transfer plan.
+
+    Records what an *incremental* initialization exchange would actually
+    ship when a pattern drifts: only the segments a rank newly requires
+    (plus the bookkeeping of what it no longer needs), instead of the full
+    replanned exchange.
+
+    Attributes
+    ----------
+    dirty_ranks:
+        Ranks whose required-segment sets were replanned (they own at
+        least one dirty group); every other rank's requirements carried
+        over by ID remap.
+    added_segments_per_rank:
+        Per rank, sorted new-COO block IDs required now but not before.
+    removed_per_rank:
+        Per rank, the number of previously required segments that no
+        longer exist or are no longer referenced.
+    added_fetch_bytes_per_rank:
+        Per rank, the remote bytes of the newly required segments — the
+        volume an incremental exchange ships to that rank.
+    full_fetch_bytes:
+        Deduplicated whole-block fetch volume of the full (patched)
+        exchange, for comparison.
+    """
+
+    dirty_ranks: frozenset
+    added_segments_per_rank: List[np.ndarray]
+    removed_per_rank: np.ndarray
+    added_fetch_bytes_per_rank: np.ndarray
+    full_fetch_bytes: float
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.added_segments_per_rank)
+
+    @property
+    def total_added_fetch_bytes(self) -> float:
+        """Total volume of the incremental exchange."""
+        return float(self.added_fetch_bytes_per_rank.sum())
+
+    @property
+    def total_added_segments(self) -> int:
+        return int(sum(ids.size for ids in self.added_segments_per_rank))
+
+    @property
+    def incremental_savings(self) -> float:
+        """Fraction of the full exchange volume the delta avoids (0..1)."""
+        if self.full_fetch_bytes <= 0:
+            return 0.0
+        return 1.0 - self.total_added_fetch_bytes / self.full_fetch_bytes
+
+
+@dataclasses.dataclass
+class _PlanningTables:
+    """Precomputed per-pattern lookup tables of one planning pass."""
+
+    coo: CooBlockList
+    id_matrix: sp.csr_matrix
+    owners_by_id: np.ndarray
+    bytes_by_id: np.ndarray
+    column_start: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        coo: CooBlockList,
+        block_sizes: np.ndarray,
+        distribution: BlockDistribution,
+        bytes_per_element: int,
+    ) -> "_PlanningTables":
+        # CSR matrix whose stored values are (block ID + 1); indexing a
+        # sub-pattern of it recovers the global block IDs of the retained
+        # blocks without any search.
+        id_matrix = sp.coo_matrix(
+            (
+                np.arange(1, len(coo) + 1, dtype=np.int64),
+                (coo.rows, coo.cols),
+            ),
+            shape=(coo.n_block_rows, coo.n_block_cols),
+        ).tocsr()
+        owners_by_id = distribution.owners_of_blocks(coo.rows, coo.cols)
+        bytes_by_id = (
+            block_sizes[coo.rows]
+            * block_sizes[coo.cols]
+            * float(bytes_per_element)
+        )
+        # blocks of one block column occupy a contiguous ID range (the COO
+        # list is sorted by column): column_start[c] .. column_start[c+1]
+        column_start = np.searchsorted(coo.cols, np.arange(coo.n_block_cols + 1))
+        return cls(
+            coo=coo,
+            id_matrix=id_matrix,
+            owners_by_id=owners_by_id,
+            bytes_by_id=bytes_by_id,
+            column_start=column_start,
+        )
+
+
+def _plan_rank(
+    rank: int,
+    group_indices: List[int],
+    tables: _PlanningTables,
+    grouping: ColumnGrouping,
+    per_group_dedup: bool,
+    segment_ids: Optional[np.ndarray],
+    segments_from_required: bool,
+    n_ranks: int,
+):
+    """Plan one rank's transfers; the per-rank body of :func:`plan_transfers`.
+
+    Returns ``(summary, fetch_column, writeback_row, segment_column)`` —
+    the rank's :class:`RankTransferSummary` plus its column/row of the
+    owner→consumer byte matrices (``segment_column`` is ``None`` when no
+    segment volumes were requested).
+    """
+    coo = tables.coo
+    owners_by_id = tables.owners_by_id
+    bytes_by_id = tables.bytes_by_id
+    column_start = tables.column_start
+    duplicate_bytes = 0.0
+    writeback = 0.0
+    required_flags = np.zeros(len(coo), dtype=bool)
+    fetch_column = np.zeros(n_ranks)
+    writeback_row = np.zeros(n_ranks)
+    if per_group_dedup:
+        column_batches = [
+            np.asarray(grouping.groups[g], dtype=int) for g in group_indices
+        ]
+    else:
+        merged = [
+            column for g in group_indices for column in grouping.groups[g]
+        ]
+        column_batches = [np.asarray(merged, dtype=int)] if merged else []
+    for columns in column_batches:
+        retained = submatrix_block_rows(coo, columns)
+        # non-zero blocks inside the submatrix: their IDs come straight
+        # out of the sub-pattern of the ID matrix
+        block_ids = tables.id_matrix[retained][:, retained].data - 1
+        owners = owners_by_id[block_ids]
+        nbytes = bytes_by_id[block_ids]
+        remote_mask = owners != rank
+        duplicate_bytes += float(nbytes[remote_mask].sum())
+        required_flags[block_ids] = True
+        # result blocks written back: blocks of the generating columns
+        wb_ids = np.concatenate(
+            [np.arange(column_start[c], column_start[c + 1]) for c in columns]
+        )
+        wb_owners = owners_by_id[wb_ids]
+        wb_bytes = bytes_by_id[wb_ids]
+        wb_remote = wb_owners != rank
+        writeback += float(wb_bytes[wb_remote].sum())
+        np.add.at(writeback_row, wb_owners[wb_remote], wb_bytes[wb_remote])
+    required_ids = np.flatnonzero(required_flags)
+    unique_owners = owners_by_id[required_ids]
+    unique_bytes = bytes_by_id[required_ids]
+    remote_mask = unique_owners != rank
+    remote_ids = required_ids[remote_mask]
+    fetch = float(unique_bytes[remote_mask].sum())
+    np.add.at(fetch_column, unique_owners[remote_mask], unique_bytes[remote_mask])
+    segment_column: Optional[np.ndarray] = None
+    segment_fetch: Optional[float] = None
+    if segment_ids is not None or segments_from_required:
+        resolved_ids = (
+            required_ids
+            if segments_from_required
+            else np.asarray(segment_ids, dtype=np.int64)
+        )
+        segment_fetch, segment_column = _segment_volumes(
+            rank, resolved_ids, tables, n_ranks
+        )
+    summary = RankTransferSummary(
+        required_blocks=required_ids,
+        remote_blocks=remote_ids,
+        fetch_bytes=fetch,
+        fetch_bytes_without_dedup=duplicate_bytes,
+        writeback_bytes=writeback,
+        n_submatrices=len(group_indices),
+        segment_fetch_bytes=segment_fetch,
+    )
+    return summary, fetch_column, writeback_row, segment_column
+
+
+def _segment_volumes(
+    rank: int, segment_ids: np.ndarray, tables: _PlanningTables, n_ranks: int
+):
+    """Packed-segment fetch bytes and owner column of one rank's index."""
+    if segment_ids.size and (
+        segment_ids.min() < 0 or segment_ids.max() >= len(tables.coo)
+    ):
+        raise IndexError("segment ID out of range of the COO list")
+    segment_column = np.zeros(n_ranks)
+    segment_owners = tables.owners_by_id[segment_ids]
+    segment_bytes = tables.bytes_by_id[segment_ids]
+    segment_remote = segment_owners != rank
+    segment_fetch = float(segment_bytes[segment_remote].sum())
+    np.add.at(
+        segment_column, segment_owners[segment_remote], segment_bytes[segment_remote]
+    )
+    return segment_fetch, segment_column
+
+
 def plan_transfers(
     coo: CooBlockList,
     block_sizes: Sequence[int],
@@ -253,123 +463,176 @@ def plan_transfers(
     if segment_index is not None and len(segment_index) != n_ranks:
         raise ValueError("segment_index must provide one ID array per rank")
 
-    # CSR matrix whose stored values are (block ID + 1); indexing a
-    # sub-pattern of it recovers the global block IDs of the retained blocks
-    # without any search.
-    n_block_rows = coo.n_block_rows
-    id_matrix = sp.coo_matrix(
-        (
-            np.arange(1, len(coo) + 1, dtype=np.int64),
-            (coo.rows, coo.cols),
-        ),
-        shape=(n_block_rows, coo.n_block_cols),
-    ).tocsr()
-
-    # per-block-ID lookup tables
-    owners_by_id = distribution.owners_of_blocks(coo.rows, coo.cols)
-    bytes_by_id = (
-        block_sizes[coo.rows] * block_sizes[coo.cols] * float(bytes_per_element)
-    )
-    # blocks of one block column occupy a contiguous ID range (the COO list is
-    # sorted by column): column_start[c] .. column_start[c+1]
-    column_start = np.searchsorted(coo.cols, np.arange(coo.n_block_cols + 1))
+    tables = _PlanningTables.build(coo, block_sizes, distribution, bytes_per_element)
+    want_segments = segment_index is not None or segments_from_required
 
     per_rank: List[RankTransferSummary] = []
     fetch_matrix = np.zeros((n_ranks, n_ranks))
     writeback_matrix = np.zeros((n_ranks, n_ranks))
-    segment_matrix = (
-        np.zeros((n_ranks, n_ranks))
-        if (segment_index is not None or segments_from_required)
-        else None
-    )
+    segment_matrix = np.zeros((n_ranks, n_ranks)) if want_segments else None
 
-    # group submatrices per rank
-    groups_of_rank: Dict[int, List[int]] = {rank: [] for rank in range(n_ranks)}
-    for group_index, rank in enumerate(rank_of_group):
-        if not 0 <= rank < n_ranks:
-            raise IndexError(f"rank {rank} out of range")
-        groups_of_rank[rank].append(group_index)
-
+    groups_of_rank = _groups_of_rank(rank_of_group, n_ranks)
     for rank in range(n_ranks):
-        duplicate_bytes = 0.0
-        writeback = 0.0
-        required_flags = np.zeros(len(coo), dtype=bool)
-        if per_group_dedup:
-            column_batches = [
-                np.asarray(grouping.groups[g], dtype=int) for g in groups_of_rank[rank]
-            ]
-        else:
-            merged = [
-                column
-                for g in groups_of_rank[rank]
-                for column in grouping.groups[g]
-            ]
-            column_batches = [np.asarray(merged, dtype=int)] if merged else []
-        for columns in column_batches:
-            retained = submatrix_block_rows(coo, columns)
-            # non-zero blocks inside the submatrix: their IDs come straight
-            # out of the sub-pattern of the ID matrix
-            block_ids = id_matrix[retained][:, retained].data - 1
-            owners = owners_by_id[block_ids]
-            nbytes = bytes_by_id[block_ids]
-            remote_mask = owners != rank
-            duplicate_bytes += float(nbytes[remote_mask].sum())
-            required_flags[block_ids] = True
-            # result blocks written back: blocks of the generating columns
-            wb_ids = np.concatenate(
-                [
-                    np.arange(column_start[c], column_start[c + 1])
-                    for c in columns
-                ]
-            )
-            wb_owners = owners_by_id[wb_ids]
-            wb_bytes = bytes_by_id[wb_ids]
-            wb_remote = wb_owners != rank
-            writeback += float(wb_bytes[wb_remote].sum())
-            np.add.at(writeback_matrix[rank], wb_owners[wb_remote], wb_bytes[wb_remote])
-        required_ids = np.flatnonzero(required_flags)
-        unique_owners = owners_by_id[required_ids]
-        unique_bytes = bytes_by_id[required_ids]
-        remote_mask = unique_owners != rank
-        remote_ids = required_ids[remote_mask]
-        fetch = float(unique_bytes[remote_mask].sum())
-        np.add.at(
-            fetch_matrix[:, rank], unique_owners[remote_mask], unique_bytes[remote_mask]
+        summary, fetch_column, writeback_row, segment_column = _plan_rank(
+            rank,
+            groups_of_rank[rank],
+            tables,
+            grouping,
+            per_group_dedup,
+            segment_index[rank] if segment_index is not None else None,
+            segments_from_required,
+            n_ranks,
         )
-        segment_fetch: Optional[float] = None
-        if segment_index is not None or segments_from_required:
-            segment_ids = (
-                required_ids
-                if segments_from_required
-                else np.asarray(segment_index[rank], dtype=np.int64)
-            )
-            if segment_ids.size and (
-                segment_ids.min() < 0 or segment_ids.max() >= len(coo)
-            ):
-                raise IndexError("segment ID out of range of the COO list")
-            segment_owners = owners_by_id[segment_ids]
-            segment_bytes = bytes_by_id[segment_ids]
-            segment_remote = segment_owners != rank
-            segment_fetch = float(segment_bytes[segment_remote].sum())
-            np.add.at(
-                segment_matrix[:, rank],
-                segment_owners[segment_remote],
-                segment_bytes[segment_remote],
-            )
-        per_rank.append(
-            RankTransferSummary(
-                required_blocks=required_ids,
-                remote_blocks=remote_ids,
-                fetch_bytes=fetch,
-                fetch_bytes_without_dedup=duplicate_bytes,
-                writeback_bytes=writeback,
-                n_submatrices=len(groups_of_rank[rank]),
-                segment_fetch_bytes=segment_fetch,
-            )
-        )
+        per_rank.append(summary)
+        fetch_matrix[:, rank] = fetch_column
+        writeback_matrix[rank] = writeback_row
+        if segment_matrix is not None and segment_column is not None:
+            segment_matrix[:, rank] = segment_column
     return TransferPlan(
         per_rank=per_rank,
         fetch_matrix=fetch_matrix,
         writeback_matrix=writeback_matrix,
         segment_fetch_matrix=segment_matrix,
     )
+
+
+def _groups_of_rank(
+    rank_of_group: Sequence[int], n_ranks: int
+) -> Dict[int, List[int]]:
+    """Group submatrices per rank, validating the assignment range."""
+    groups_of_rank: Dict[int, List[int]] = {rank: [] for rank in range(n_ranks)}
+    for group_index, rank in enumerate(rank_of_group):
+        if not 0 <= rank < n_ranks:
+            raise IndexError(f"rank {rank} out of range")
+        groups_of_rank[rank].append(group_index)
+    return groups_of_rank
+
+
+def patch_transfer_plan(
+    previous: TransferPlan,
+    coo: CooBlockList,
+    block_sizes: Sequence[int],
+    distribution: BlockDistribution,
+    grouping: ColumnGrouping,
+    rank_of_group: Sequence[int],
+    dirty_ranks: Sequence[int],
+    new_id_of_old: np.ndarray,
+    bytes_per_element: int = 8,
+    per_group_dedup: bool = True,
+    segment_index: Optional[Sequence[np.ndarray]] = None,
+):
+    """Incrementally replan the initialization exchange after a pattern patch.
+
+    Instead of re-walking every rank's submatrices
+    (:func:`plan_transfers`), only the ``dirty_ranks`` — those owning a
+    group whose sub-pattern changed — re-run the per-group planning body.
+    Every clean rank's requirements are *carried over*: its retained
+    block sets are unchanged as (row, column) sets, so its byte volumes
+    are verbatim those of ``previous`` and only the block IDs move, via
+    the patch report's ``new_id_of_old`` remap.  Segment volumes are
+    recomputed from ``segment_index`` when given (a cheap vectorized
+    lookup — the expensive part is the per-group walk, not the volumes).
+
+    Returns ``(plan, delta)``: a :class:`TransferPlan` equal to a full
+    replan (property-tested), plus the :class:`TransferDelta` describing
+    what an incremental exchange would actually ship — the newly required
+    segments per rank rather than the whole initialization exchange.
+
+    Parameters mirror :func:`plan_transfers`; ``dirty_ranks`` and
+    ``new_id_of_old`` come from the plan patch
+    (:class:`~repro.core.plan.PlanPatchReport` /
+    :meth:`~repro.core.shard.ShardedPlan.patch`'s dirty-rank derivation).
+    """
+    block_sizes = np.asarray(list(block_sizes), dtype=int)
+    rank_of_group = list(rank_of_group)
+    if len(rank_of_group) != grouping.n_submatrices:
+        raise ValueError("rank_of_group must assign a rank to every group")
+    n_ranks = distribution.n_ranks
+    if len(previous.per_rank) != n_ranks:
+        raise ValueError("previous plan rank count does not match distribution")
+    if segment_index is not None and len(segment_index) != n_ranks:
+        raise ValueError("segment_index must provide one ID array per rank")
+    new_id_of_old = np.asarray(new_id_of_old, dtype=np.int64)
+    dirty = set(int(rank) for rank in dirty_ranks)
+
+    tables = _PlanningTables.build(coo, block_sizes, distribution, bytes_per_element)
+    want_segments = segment_index is not None
+    groups_of_rank = _groups_of_rank(rank_of_group, n_ranks)
+
+    per_rank: List[RankTransferSummary] = []
+    fetch_matrix = np.zeros((n_ranks, n_ranks))
+    writeback_matrix = np.zeros((n_ranks, n_ranks))
+    segment_matrix = np.zeros((n_ranks, n_ranks)) if want_segments else None
+    added_segments: List[np.ndarray] = []
+    removed_counts = np.zeros(n_ranks, dtype=np.int64)
+    added_bytes = np.zeros(n_ranks)
+
+    for rank in range(n_ranks):
+        old_summary = previous.per_rank[rank]
+        old_in_new = new_id_of_old[old_summary.required_blocks]
+        surviving = old_in_new[old_in_new >= 0]
+        if rank in dirty:
+            summary, fetch_column, writeback_row, segment_column = _plan_rank(
+                rank,
+                groups_of_rank[rank],
+                tables,
+                grouping,
+                per_group_dedup,
+                segment_index[rank] if segment_index is not None else None,
+                False,
+                n_ranks,
+            )
+            fetch_matrix[:, rank] = fetch_column
+            writeback_matrix[rank] = writeback_row
+            if segment_matrix is not None and segment_column is not None:
+                segment_matrix[:, rank] = segment_column
+        else:
+            # a clean rank's groups kept their sub-patterns: the required
+            # blocks survive with unchanged sizes and owners, so every
+            # byte volume carries over verbatim and only the IDs move
+            summary = dataclasses.replace(
+                old_summary,
+                required_blocks=np.sort(surviving),
+                remote_blocks=np.sort(
+                    new_id_of_old[old_summary.remote_blocks]
+                ),
+            )
+            fetch_matrix[:, rank] = previous.fetch_matrix[:, rank]
+            writeback_matrix[rank] = previous.writeback_matrix[rank]
+            if segment_matrix is not None:
+                segment_fetch, segment_column = _segment_volumes(
+                    rank,
+                    np.asarray(segment_index[rank], dtype=np.int64),
+                    tables,
+                    n_ranks,
+                )
+                segment_matrix[:, rank] = segment_column
+                summary = dataclasses.replace(
+                    summary, segment_fetch_bytes=segment_fetch
+                )
+        per_rank.append(summary)
+        added = np.setdiff1d(summary.required_blocks, surviving)
+        added_segments.append(added)
+        # old requirements gone from the new plan: blocks deleted by the
+        # patch plus surviving blocks this rank no longer needs
+        removed_counts[rank] = old_summary.required_blocks.size - np.intersect1d(
+            surviving, summary.required_blocks
+        ).size
+        if added.size:
+            owners = tables.owners_by_id[added]
+            remote = owners != rank
+            added_bytes[rank] = float(tables.bytes_by_id[added][remote].sum())
+    plan = TransferPlan(
+        per_rank=per_rank,
+        fetch_matrix=fetch_matrix,
+        writeback_matrix=writeback_matrix,
+        segment_fetch_matrix=segment_matrix,
+    )
+    delta = TransferDelta(
+        dirty_ranks=frozenset(dirty),
+        added_segments_per_rank=added_segments,
+        removed_per_rank=removed_counts,
+        added_fetch_bytes_per_rank=added_bytes,
+        full_fetch_bytes=plan.total_fetch_bytes,
+    )
+    return plan, delta

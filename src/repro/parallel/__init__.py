@@ -27,6 +27,7 @@ from repro.parallel.comm import (
     CommError,
     CommRankError,
     CommRecvError,
+    CommRequest,
     SimComm,
 )
 from repro.parallel.topology import CartesianGrid2D, balanced_dims
@@ -50,6 +51,7 @@ __all__ = [
     "RankCounters",
     "TrafficLog",
     "SimComm",
+    "CommRequest",
     "CommError",
     "CommRankError",
     "CommRecvError",

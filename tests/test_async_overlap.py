@@ -1,0 +1,557 @@
+"""Tests for the asynchronous overlapped pipeline (PR 7).
+
+Covers the acceptance criteria of the async-overlap tentpole:
+
+* property test: ``pipeline.run(..., overlap=True)`` — the arrival-driven
+  :class:`~repro.core.overlap.OverlappedExchange` engine — is **bitwise
+  identical** to the bulk-synchronous path for ranks {1, 2, 4, 8} over
+  random patterns and seeds, on both the serial and thread backends and
+  through ``run_stacks``;
+* faults mid-overlap: injected rank crashes and message loss recover
+  bitwise through the resilience layer, and a persistent failure degrades
+  to the single-process engine (``result.overlap is None``) bitwise;
+* incremental transfer planning: ``pipeline.patch`` diffs required-segment
+  sets against the previous :class:`TransferPlan` and the patched plan is
+  bitwise identical to a full replan, with a sane :class:`TransferDelta`;
+* the ``SimComm`` mailbox stays exact under out-of-order consumption
+  (non-blocking receives completed by modeled arrival, not posting order);
+* trajectory-level overlap: step prefetch is bitwise identical to the
+  synchronous driver, checkpoint/resume works mid-overlap, and exceptions
+  from the steps callback surface at the same observable point;
+* the satellite fixes: adaptive warm-start half-widths from μ-drift
+  history and ``PreparedStep`` reuse/fallback in ``compute_density``.
+
+This file is part of the strict CI pass (``-W error::DeprecationWarning``).
+"""
+
+import numpy as np
+import pytest
+
+from test_incremental_replan import (
+    drift_pattern,
+    matrix_for_pattern,
+    poly,
+    random_pattern,
+)
+
+from repro.api import (
+    EngineConfig,
+    ResiliencePolicy,
+    SubmatrixContext,
+    TrajectoryCheckpoint,
+)
+from repro.api.density import compute_density, prepare_step
+from repro.api.trajectory import WARM_START_HALF_WIDTH, adaptive_half_width
+from repro.core.runner import DistributedSubmatrixPipeline
+from repro.core.transfers import plan_transfers
+from repro.dbcsr.convert import block_matrix_to_csr
+from repro.parallel import MachineModel
+from repro.parallel.comm import CommRecvError, SimComm
+from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec
+
+EPS = 1e-5
+N_ELECTRONS = 8.0 * 32
+
+#: Small enough to split every synthetic pattern's buckets, so the overlap
+#: engine actually interleaves arrivals with compute (uniform dimensions
+#: otherwise collapse a shard into a single bucket).
+SMALL_BATCH = 256
+
+
+def _random_case(seed, n_min=8, n_max=18):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(n_min, n_max))
+    sizes = rng.integers(2, 6, n)
+    coo = random_pattern(n, 0.25, rng)
+    matrix = matrix_for_pattern(coo, sizes, rng)
+    return coo, sizes, matrix
+
+
+def _dense(result):
+    return block_matrix_to_csr(result.result).toarray()
+
+
+# --------------------------------------------------------------------------- #
+# tentpole: arrival-driven execution is bitwise identical to the sync path
+# --------------------------------------------------------------------------- #
+class TestOverlapBitwise:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 8])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_overlap_run_bitwise_identical(self, ranks, seed):
+        """Property: overlapped run ≡ synchronous run, ranks {1,2,4,8}."""
+        coo, sizes, matrix = _random_case(10 * ranks + seed)
+        sync = DistributedSubmatrixPipeline(coo, sizes, ranks).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH
+        )
+        overlapped = DistributedSubmatrixPipeline(coo, sizes, ranks).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH, overlap=True
+        )
+        assert np.array_equal(_dense(overlapped), _dense(sync))
+        report = overlapped.overlap
+        assert report is not None
+        assert sync.overlap is None
+        assert 0.0 <= report.exchange_hidden_fraction <= 1.0
+        assert report.modeled_async_seconds <= report.modeled_sync_seconds
+        assert report.overlap_seconds >= 0.0
+        assert len(report.per_rank) == ranks
+
+    def test_single_rank_has_no_exchange_to_hide(self):
+        coo, sizes, matrix = _random_case(7)
+        result = DistributedSubmatrixPipeline(coo, sizes, 1).run(
+            matrix, function=poly, overlap=True
+        )
+        report = result.overlap
+        # self-sends are free: nothing inbound, the fraction is 1.0 by
+        # convention and no overlap is claimed
+        assert report.max_exchange_seconds == 0.0
+        assert report.exchange_hidden_fraction == 1.0
+        assert report.overlap_seconds == 0.0
+
+    def test_multi_bucket_shards_hide_exchange(self):
+        """With split buckets some exchange must actually hide."""
+        rng = np.random.default_rng(42)
+        n = 24
+        sizes = rng.integers(3, 6, n)
+        coo = random_pattern(n, 0.3, rng)
+        matrix = matrix_for_pattern(coo, sizes, rng)
+        result = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH, overlap=True
+        )
+        assert result.overlap.exchange_hidden_fraction > 0.0
+        assert result.overlap.overlap_seconds > 0.0
+
+    def test_thread_backend_bitwise(self):
+        coo, sizes, matrix = _random_case(11)
+        sync = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH
+        )
+        overlapped = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix,
+            function=poly,
+            max_batch_elements=SMALL_BATCH,
+            overlap=True,
+            backend="thread",
+        )
+        assert np.array_equal(_dense(overlapped), _dense(sync))
+        assert overlapped.overlap is not None
+
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_run_stacks_overlap_bitwise(self, ranks):
+        coo, sizes, matrix = _random_case(20 + ranks)
+        pipeline_sync = DistributedSubmatrixPipeline(coo, sizes, ranks)
+        pipeline_async = DistributedSubmatrixPipeline(coo, sizes, ranks)
+
+        def solve(stack):
+            return np.stack([poly(s) for s in stack])
+
+        # extraction plans and shards are built lazily on the first run()
+        pipeline_sync.run(matrix, function=poly)
+        pipeline_async.run(matrix, function=poly)
+        packed = pipeline_sync.plan.pack(matrix)
+        out_sync = pipeline_sync.plan.new_output()
+        out_async = pipeline_async.plan.new_output()
+        pipeline_sync.run_stacks(
+            packed, solve, out_sync, max_batch_elements=SMALL_BATCH
+        )
+        pipeline_async.run_stacks(
+            packed, solve, out_async, max_batch_elements=SMALL_BATCH, overlap=True
+        )
+        assert np.array_equal(out_async, out_sync)
+        assert pipeline_sync.last_overlap is None
+        assert pipeline_async.last_overlap is not None
+
+    def test_custom_machine_model_changes_accounting_not_results(self):
+        coo, sizes, matrix = _random_case(31)
+        slow_network = MachineModel(
+            name="slow-net", network_bandwidth=1.0e6, network_latency=1.0e-3
+        )
+        default = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH, overlap=True
+        )
+        slow = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix,
+            function=poly,
+            max_batch_elements=SMALL_BATCH,
+            overlap=True,
+            machine=slow_network,
+        )
+        assert np.array_equal(_dense(slow), _dense(default))
+        assert slow.overlap.max_exchange_seconds > default.overlap.max_exchange_seconds
+
+
+# --------------------------------------------------------------------------- #
+# faults mid-overlap: retry, message loss, graceful degradation
+# --------------------------------------------------------------------------- #
+class TestOverlapFaults:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rank_crash_mid_overlap_recovers_bitwise(self, seed):
+        coo, sizes, matrix = _random_case(40 + seed)
+        sync = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH
+        )
+        injector = FaultInjector(FaultPlan.rank_crashes([seed % 4], seed=seed))
+        policy = ResiliencePolicy(fault_injector=injector)
+        result = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix,
+            function=poly,
+            max_batch_elements=SMALL_BATCH,
+            overlap=True,
+            policy=policy,
+        )
+        assert np.array_equal(_dense(result), _dense(sync))
+        assert result.resilience.rank_retries >= 1
+        assert not result.resilience.degraded
+        assert result.overlap is not None
+
+    def test_message_loss_mid_overlap_recovers_bitwise(self):
+        coo, sizes, matrix = _random_case(50)
+        sync = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH
+        )
+        injector = FaultInjector([FaultSpec(site="message", times=2)])
+        policy = ResiliencePolicy(fault_injector=injector)
+        result = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix,
+            function=poly,
+            max_batch_elements=SMALL_BATCH,
+            overlap=True,
+            policy=policy,
+        )
+        assert np.array_equal(_dense(result), _dense(sync))
+        assert result.resilience.rank_retries >= 1
+
+    def test_persistent_crash_degrades_bitwise_without_overlap(self):
+        coo, sizes, matrix = _random_case(60)
+        sync = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH
+        )
+        injector = FaultInjector(
+            FaultPlan.rank_crashes([0, 1, 2, 3], seed=5, times=None)
+        )
+        policy = ResiliencePolicy(fault_injector=injector)
+        result = DistributedSubmatrixPipeline(coo, sizes, 4).run(
+            matrix,
+            function=poly,
+            max_batch_elements=SMALL_BATCH,
+            overlap=True,
+            policy=policy,
+        )
+        assert result.resilience.degraded
+        # degraded single-process execution has no arrival-driven report
+        assert result.overlap is None
+        assert np.array_equal(_dense(result), _dense(sync))
+
+
+# --------------------------------------------------------------------------- #
+# incremental transfer planning on pipeline.patch
+# --------------------------------------------------------------------------- #
+class TestIncrementalTransferPlanning:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_patched_transfer_plan_equals_full_replan(self, ranks, seed):
+        """Property: ``patch_transfer_plan`` ≡ ``plan_transfers`` bitwise."""
+        rng = np.random.default_rng(70 + 10 * ranks + seed)
+        n = 16
+        sizes = rng.integers(2, 5, n)
+        old_coo = random_pattern(n, 0.2, rng)
+        new_coo = drift_pattern(old_coo, rng, 3)
+        pipeline = DistributedSubmatrixPipeline(old_coo, sizes, ranks)
+        pipeline.run(matrix_for_pattern(old_coo, sizes, rng), function=poly)
+
+        patched = pipeline.patch(new_coo)
+        # the patched pipeline keeps the old run's load-balanced rank
+        # assignment, so the reference full replan must plan against the
+        # same grouping and ranks (a fresh pipeline would re-balance)
+        want = plan_transfers(
+            patched.coo,
+            patched.block_sizes,
+            patched.distribution,
+            patched.grouping,
+            patched.rank_of_group,
+            bytes_per_element=patched.bytes_per_element,
+            per_group_dedup=True,
+            segment_index="required",
+        )
+        got = patched.transfer_plan
+        for got_rank, want_rank in zip(got.per_rank, want.per_rank):
+            assert np.array_equal(got_rank.required_blocks, want_rank.required_blocks)
+            assert np.array_equal(got_rank.remote_blocks, want_rank.remote_blocks)
+            assert got_rank.fetch_bytes == want_rank.fetch_bytes
+            assert got_rank.writeback_bytes == want_rank.writeback_bytes
+            assert got_rank.segment_fetch_bytes == want_rank.segment_fetch_bytes
+            assert got_rank.n_submatrices == want_rank.n_submatrices
+        assert np.array_equal(got.fetch_matrix, want.fetch_matrix)
+        assert np.array_equal(got.writeback_matrix, want.writeback_matrix)
+
+    def test_transfer_delta_records_incremental_exchange(self):
+        rng = np.random.default_rng(81)
+        n = 16
+        ranks = 4
+        sizes = rng.integers(2, 5, n)
+        old_coo = random_pattern(n, 0.2, rng)
+        new_coo = drift_pattern(old_coo, rng, 4)
+        pipeline = DistributedSubmatrixPipeline(old_coo, sizes, ranks)
+        pipeline.run(matrix_for_pattern(old_coo, sizes, rng), function=poly)
+        patched = pipeline.patch(new_coo)
+
+        delta = patched.transfer_delta
+        assert delta is not None
+        assert delta.dirty_ranks <= set(range(ranks))
+        assert len(delta.added_segments_per_rank) == ranks
+        for rank, summary in enumerate(patched.transfer_plan.per_rank):
+            added = delta.added_segments_per_rank[rank]
+            # newly required segments are a subset of the new requirements
+            assert np.all(np.isin(added, summary.required_blocks))
+            assert delta.removed_per_rank[rank] >= 0
+            assert 0.0 <= delta.added_fetch_bytes_per_rank[rank] <= summary.fetch_bytes
+        # the incremental exchange never ships more than a full one
+        assert delta.added_fetch_bytes_per_rank.sum() <= delta.full_fetch_bytes
+        # the full replan sees no delta
+        assert pipeline.transfer_delta is None
+
+    def test_patched_pipeline_overlap_still_bitwise(self):
+        rng = np.random.default_rng(91)
+        n = 14
+        sizes = rng.integers(2, 5, n)
+        old_coo = random_pattern(n, 0.2, rng)
+        new_coo = drift_pattern(old_coo, rng, 2)
+        pipeline = DistributedSubmatrixPipeline(old_coo, sizes, 4)
+        pipeline.run(matrix_for_pattern(old_coo, sizes, rng), function=poly)
+        patched = pipeline.patch(new_coo)
+
+        matrix = matrix_for_pattern(new_coo, sizes, rng)
+        sync = DistributedSubmatrixPipeline(new_coo, sizes, 4).run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH
+        )
+        overlapped = patched.run(
+            matrix, function=poly, max_batch_elements=SMALL_BATCH, overlap=True
+        )
+        assert np.array_equal(_dense(overlapped), _dense(sync))
+
+
+# --------------------------------------------------------------------------- #
+# SimComm mailbox accounting under out-of-order consumption
+# --------------------------------------------------------------------------- #
+class TestMailboxAccounting:
+    def test_out_of_order_tag_consumption_keeps_counts_exact(self):
+        comm = SimComm(2)
+        for tag, payload in (("x", 1), ("y", 2), ("z", 3)):
+            comm.isend(0, 1, payload, tag=tag)
+        assert comm.mailbox_state() == {(1, "x"): 1, (1, "y"): 1, (1, "z"): 1}
+
+        middle = comm.wait_any([comm.irecv(1, tag="y")])
+        assert middle.payload == 2
+        assert comm.pending_messages(1, "y") == 0
+        assert comm.mailbox_state() == {(1, "x"): 1, (1, "z"): 1}
+
+        last = comm.wait_any([comm.irecv(1, tag="z")])
+        first = comm.wait_any([comm.irecv(1, tag="x")])
+        assert (first.payload, last.payload) == (1, 3)
+        assert comm.mailbox_state() == {}
+        assert comm.pending_messages(1, "x") == 0
+
+    def test_source_filtered_out_of_order_consumption(self):
+        comm = SimComm(3)
+        comm.isend(0, 1, "from-zero", tag="t")
+        comm.isend(2, 1, "from-two", tag="t")
+        assert comm.pending_messages(1, "t") == 2
+
+        filtered = comm.wait_any([comm.irecv(1, tag="t", source=2)])
+        assert (filtered.source, filtered.payload) == (2, "from-two")
+        assert comm.pending_messages(1, "t") == 1
+
+        source, remaining = comm.recv(1, tag="t")
+        assert (source, remaining) == (0, "from-zero")
+        assert comm.pending_messages(1, "t") == 0
+        assert comm.mailbox_state() == {}
+
+    def test_wait_any_completes_by_modeled_arrival_order(self):
+        """A later-posted small message to an idle ingress arrives first."""
+        machine = MachineModel(
+            name="test-net", network_bandwidth=1.0e6, network_latency=1.0e-9
+        )
+        comm = SimComm(3, machine=machine)
+        comm.isend(2, 1, np.zeros(100_000), tag="big")
+        comm.isend(2, 0, np.zeros(8), tag="small")
+        requests = [comm.irecv(1, tag="big"), comm.irecv(0, tag="small")]
+
+        first = comm.wait_any(requests)
+        assert (first.destination, first.tag) == (0, "small")
+        second = comm.wait_any(requests)
+        assert (second.destination, second.tag) == (1, "big")
+        assert second.ready_time > first.ready_time
+        assert comm.clock == second.ready_time
+
+    def test_deadlock_reports_exact_mailbox_state(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, "unrelated", tag="other")
+        with pytest.raises(CommRecvError) as info:
+            comm.wait_any([comm.irecv(1, tag="wanted")])
+        assert info.value.mailbox_state == {(1, "other"): 1}
+
+
+# --------------------------------------------------------------------------- #
+# satellite: adaptive warm-start half-widths from μ-drift history
+# --------------------------------------------------------------------------- #
+class TestAdaptiveHalfWidth:
+    def test_no_history_uses_fixed_width(self):
+        assert adaptive_half_width([], 1e-9) == WARM_START_HALF_WIDTH
+        assert adaptive_half_width([-0.2], 1e-9) == WARM_START_HALF_WIDTH
+
+    def test_fixed_width_respects_floor(self):
+        tolerance = 0.5
+        assert adaptive_half_width([-0.2], tolerance) == 8.0 * tolerance
+
+    def test_settled_history_shrinks_to_floor(self):
+        assert adaptive_half_width([-0.2, -0.2, -0.2], 1e-6) == 8.0e-6
+
+    def test_drifting_history_doubles_largest_recent_step(self):
+        width = adaptive_half_width([-0.30, -0.29, -0.285], 1e-9)
+        assert width == pytest.approx(2.0 * 0.01)
+
+    def test_only_recent_drift_counts(self):
+        # the big early jump falls outside the 5-value window
+        history = [5.0, 0.0, 0.01, 0.011, 0.0112, 0.0113]
+        width = adaptive_half_width(history, 1e-9)
+        assert width == pytest.approx(2.0 * 0.01)
+
+    def test_floor_dominates_tiny_drift(self):
+        assert adaptive_half_width([-0.2, -0.2 + 1e-12], 1e-6) == 8.0e-6
+
+
+# --------------------------------------------------------------------------- #
+# satellite: PreparedStep reuse and fallback in compute_density
+# --------------------------------------------------------------------------- #
+class TestPreparedStep:
+    def test_prepared_step_is_bitwise_identical(self, water32_matrices, gap_mu):
+        pair = water32_matrices
+        config = EngineConfig(engine="batched", eps_filter=EPS)
+        with SubmatrixContext(config) as ctx:
+            baseline = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        prepared = prepare_step(pair.K, pair.S, pair.blocks, EPS)
+        assert prepared.matches(pair.blocks, EPS)
+        with SubmatrixContext(config) as ctx:
+            reused = compute_density(
+                ctx, pair.K, pair.S, pair.blocks, mu=gap_mu, prepared=prepared
+            )
+        assert np.array_equal(reused.density_ao, baseline.density_ao)
+        assert reused.mu == baseline.mu
+
+    def test_mismatched_prepared_step_falls_back(self, water32_matrices, gap_mu):
+        """A stale preparation (different filter) is silently ignored."""
+        pair = water32_matrices
+        stale = prepare_step(pair.K, pair.S, pair.blocks, 1e-3)
+        assert not stale.matches(pair.blocks, EPS)
+        config = EngineConfig(engine="batched", eps_filter=EPS)
+        with SubmatrixContext(config) as ctx:
+            baseline = ctx.density(pair.K, pair.S, pair.blocks, mu=gap_mu)
+        with SubmatrixContext(config) as ctx:
+            fallback = compute_density(
+                ctx, pair.K, pair.S, pair.blocks, mu=gap_mu, prepared=stale
+            )
+        assert np.array_equal(fallback.density_ao, baseline.density_ao)
+
+
+# --------------------------------------------------------------------------- #
+# trajectory-level overlap: prefetch, checkpoint/resume, exception timing
+# --------------------------------------------------------------------------- #
+def _value_steps(pair, n_steps, scale=1e-4):
+    return [(pair.K * (1.0 + scale * step), pair.S) for step in range(n_steps)]
+
+
+class _Killed(Exception):
+    pass
+
+
+class TestTrajectoryOverlap:
+    def test_prefetched_trajectory_is_bitwise_identical(self, water32_matrices):
+        pair = water32_matrices
+        steps = _value_steps(pair, 4)
+        with SubmatrixContext(EngineConfig(engine="batched", eps_filter=EPS)) as ctx:
+            sync = ctx.trajectory(
+                steps, pair.blocks, n_electrons=N_ELECTRONS, ranks=2
+            )
+        overlap_config = EngineConfig(
+            engine="batched", eps_filter=EPS, overlap=True
+        )
+        with SubmatrixContext(overlap_config) as ctx:
+            overlapped = ctx.trajectory(
+                steps, pair.blocks, n_electrons=N_ELECTRONS, ranks=2
+            )
+        for before, after in zip(sync.results, overlapped.results):
+            assert np.array_equal(before.density_ao, after.density_ao)
+            assert before.mu == after.mu
+        assert overlapped.stats.steps_prefetched >= len(steps) - 1
+        assert sync.stats.steps_prefetched == 0
+        # arrival-driven ranks report their overlap through the records
+        assert all(
+            record.exchange_hidden_fraction is not None
+            for record in overlapped.stats.steps
+        )
+        assert 0.0 <= overlapped.stats.exchange_hidden_fraction <= 1.0
+        assert overlapped.stats.overlap_seconds >= 0.0
+
+    def test_checkpoint_resume_mid_overlap_is_bitwise(
+        self, water32_matrices, tmp_path
+    ):
+        pair = water32_matrices
+        steps = _value_steps(pair, 4)
+        config = EngineConfig(engine="batched", eps_filter=EPS, overlap=True)
+        with SubmatrixContext(config) as ctx:
+            uninterrupted = ctx.trajectory(
+                steps, pair.blocks, n_electrons=N_ELECTRONS, ranks=2
+            )
+
+        checkpoint = tmp_path / "overlap-ckpt"
+
+        def dying_steps(index):
+            if index == 2:
+                raise _Killed()
+            return steps[index] if index < len(steps) else None
+
+        with SubmatrixContext(config) as ctx:
+            with pytest.raises(_Killed):
+                ctx.trajectory(
+                    dying_steps,
+                    pair.blocks,
+                    n_electrons=N_ELECTRONS,
+                    ranks=2,
+                    checkpoint=checkpoint,
+                )
+        assert TrajectoryCheckpoint(checkpoint).n_saved_steps == 2
+
+        with SubmatrixContext(config) as ctx:
+            resumed = ctx.trajectory(
+                steps,
+                pair.blocks,
+                n_electrons=N_ELECTRONS,
+                ranks=2,
+                checkpoint=checkpoint,
+            )
+        assert resumed.stats.steps_resumed == 2
+        assert not any(
+            record.prefetched for record in resumed.stats.steps if record.resumed
+        )
+        for before, after in zip(uninterrupted.results, resumed.results):
+            assert np.array_equal(before.density_ao, after.density_ao)
+            assert before.mu == after.mu
+
+    def test_steps_exception_surfaces_after_prior_results(self, water32_matrices):
+        """The prefetch lookahead must not reorder the failure point."""
+        pair = water32_matrices
+        steps = _value_steps(pair, 4)
+        calls = []
+
+        def dying_steps(index):
+            calls.append(index)
+            if index == 2:
+                raise _Killed()
+            return steps[index] if index < len(steps) else None
+
+        config = EngineConfig(engine="batched", eps_filter=EPS, overlap=True)
+        with SubmatrixContext(config) as ctx:
+            with pytest.raises(_Killed):
+                ctx.trajectory(
+                    dying_steps, pair.blocks, n_electrons=N_ELECTRONS, ranks=2
+                )
+        assert calls == [0, 1, 2]
