@@ -1,0 +1,307 @@
+"""Benchmark — multi-tenant density service under a synthetic client load.
+
+A load generator drives :class:`repro.serve.DensityService` with N client
+threads (one tenant each) submitting density requests over a shared library
+of M molecular patterns, and measures:
+
+* **cross-tenant plan-cache reuse** — every pattern's extraction plan is
+  built once for the whole service; tenants sharing patterns must see a
+  cache hit rate above 50 % (asserted: with ``R`` total requests over
+  ``M`` patterns the expected rate is ``1 − M/R``);
+* **micro-batching throughput** — the same request set served one at a
+  time (batching disabled, single client) vs concurrently with the
+  cross-request micro-batcher coalescing compatible requests into merged
+  eigh stacks and deduplicating the μ-independent work of requests that
+  carry bytewise-identical inputs (the shared molecule library makes such
+  overlap the common case, as it is for real multi-tenant loads);
+* **tail latency** — p50/p99 submit-to-completion latency per tenant from
+  the service's own metrics;
+* **bitwise identity** — every served result is compared against a direct
+  ``SubmatrixContext.density`` reference for its (pattern, ensemble) pair
+  (asserted).
+
+Writes ``BENCH_service_throughput.json`` at the repository root so future
+PRs can track the trajectory, plus the usual table under
+``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, SubmatrixContext
+from repro.chem import HamiltonianModel, build_matrices, water_box
+from repro.serve import AdmissionPolicy, DensityService
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from common import bench_scale, report  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ROOT_JSON = REPO_ROOT / "BENCH_service_throughput.json"
+
+N_ELECTRONS_PER_MOLECULE = 8.0
+CONFIG = EngineConfig(engine="batched", backend="thread")
+HIT_RATE_ACCEPTANCE = 0.5
+
+
+def _workload(scale: float):
+    """Client/pattern/request counts scaled by ``REPRO_BENCH_SCALE``."""
+    n_clients = max(2, int(round(4 * scale)))
+    n_patterns = max(2, int(round(3 * scale)))
+    requests_per_client = max(2, int(round(6 * scale)))
+    return n_clients, n_patterns, requests_per_client
+
+
+def _pattern_library(n_patterns: int):
+    """M distinct 32-molecule water systems (distinct jittered geometries)."""
+    model = HamiltonianModel()
+    mu = model.homo_lumo_gap_center()
+    pairs = [
+        build_matrices(water_box(1, seed=2020 + index), model=model)
+        for index in range(n_patterns)
+    ]
+    return pairs, mu
+
+
+def _request_args(pairs, mu, client: int, index: int):
+    """Deterministic request mix: patterns round-robin, ensembles alternate."""
+    pattern = (client + index) % len(pairs)
+    pair = pairs[pattern]
+    if index % 2 == 0:
+        ensemble = {"mu": mu}
+    else:
+        ensemble = {"n_electrons": N_ELECTRONS_PER_MOLECULE * 32}
+    return pattern, pair, ensemble
+
+
+def _references(pairs, mu):
+    """Direct single-context reference result per (pattern, ensemble)."""
+    references = {}
+    with SubmatrixContext(CONFIG) as context:
+        for pattern, pair in enumerate(pairs):
+            references[(pattern, "mu")] = context.density(
+                pair.K, pair.S, pair.blocks, mu=mu
+            )
+            references[(pattern, "n_electrons")] = context.density(
+                pair.K, pair.S, pair.blocks,
+                n_electrons=N_ELECTRONS_PER_MOLECULE * 32,
+            )
+    return references
+
+
+def _identical(result, reference) -> bool:
+    return bool(
+        np.array_equal(result.density_ao, reference.density_ao)
+        and np.array_equal(
+            result.density_ortho.toarray(), reference.density_ortho.toarray()
+        )
+        and result.mu == reference.mu
+        and result.band_energy == reference.band_energy
+    )
+
+
+def _policy():
+    return AdmissionPolicy(max_in_flight=1024, max_in_flight_per_tenant=256)
+
+
+def _serve_sequential(pairs, mu, n_clients, requests_per_client, references):
+    """Serve-one-at-a-time baseline: batching off, one blocking client."""
+    bitwise = True
+    with DensityService(config=CONFIG, policy=_policy(), batching=False) as service:
+        start = time.perf_counter()
+        for client in range(n_clients):
+            for index in range(requests_per_client):
+                pattern, pair, ensemble = _request_args(pairs, mu, client, index)
+                result = service.density(
+                    pair.K, pair.S, pair.blocks,
+                    tenant=f"client-{client}", **ensemble,
+                )
+                key = (pattern, next(iter(ensemble)))
+                bitwise = bitwise and _identical(result, references[key])
+        wall = time.perf_counter() - start
+        snapshot = service.stats()
+    n_requests = n_clients * requests_per_client
+    return {
+        "wall_s": wall,
+        "requests": n_requests,
+        "throughput_rps": n_requests / wall if wall > 0 else 0.0,
+        "bitwise_identical": bitwise,
+        "cache_hit_rate": snapshot["plan_cache_hit_rate"],
+    }
+
+
+def _serve_concurrent(pairs, mu, n_clients, requests_per_client, references):
+    """Concurrent clients against the micro-batching service."""
+    mismatches = []
+    errors = []
+    with DensityService(
+        config=CONFIG, policy=_policy(), batching=True,
+        max_batch=8, batch_wait=0.01,
+    ) as service:
+        barrier = threading.Barrier(n_clients)
+
+        def client_thread(client: int):
+            try:
+                barrier.wait()
+                futures = []
+                for index in range(requests_per_client):
+                    pattern, pair, ensemble = _request_args(pairs, mu, client, index)
+                    future = service.submit(
+                        pair.K, pair.S, pair.blocks,
+                        tenant=f"client-{client}", **ensemble,
+                    )
+                    futures.append((pattern, next(iter(ensemble)), future))
+                for pattern, kind, future in futures:
+                    result = future.result(600)
+                    if not _identical(result, references[(pattern, kind)]):
+                        mismatches.append((client, pattern, kind))
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=client_thread, args=(client,))
+            for client in range(n_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        snapshot = service.stats()
+    total = snapshot["metrics"]["total"]
+    percentiles = {
+        tenant: {
+            "p50_ms": 1000.0 * stats["p50_latency"],
+            "p99_ms": 1000.0 * stats["p99_latency"],
+        }
+        for tenant, stats in snapshot["metrics"]["tenants"].items()
+    }
+    pooled = [s for s in snapshot["metrics"]["tenants"].values()]
+    n_requests = n_clients * requests_per_client
+    return {
+        "wall_s": wall,
+        "requests": n_requests,
+        "throughput_rps": n_requests / wall if wall > 0 else 0.0,
+        "bitwise_identical": not mismatches and not errors,
+        "errors": errors,
+        "batched_requests": int(total["batched"]),
+        "coalesced_requests": int(total["coalesced"]),
+        "shared_requests": int(total["shared"]),
+        "mean_batch_size": (
+            total["coalesced"] / total["batched"] if total["batched"] else 1.0
+        ),
+        "p50_ms": 1000.0 * float(np.median([s["p50_latency"] for s in pooled])),
+        "p99_ms": 1000.0 * float(max(s["p99_latency"] for s in pooled)),
+        "per_tenant_latency": percentiles,
+        "cache_hit_rate": snapshot["plan_cache_hit_rate"],
+        "plan_builds": snapshot["plan_cache"]["builds"],
+        "plan_cache_bytes": snapshot["plan_cache_bytes"],
+    }
+
+
+def run_service_benchmark():
+    scale = bench_scale()
+    n_clients, n_patterns, requests_per_client = _workload(scale)
+    pairs, mu = _pattern_library(n_patterns)
+    references = _references(pairs, mu)
+    n_basis = pairs[0].blocks.n_basis
+
+    sequential = _serve_sequential(
+        pairs, mu, n_clients, requests_per_client, references
+    )
+    concurrent = _serve_concurrent(
+        pairs, mu, n_clients, requests_per_client, references
+    )
+    speedup = (
+        concurrent["throughput_rps"] / sequential["throughput_rps"]
+        if sequential["throughput_rps"] > 0
+        else 0.0
+    )
+    payload = {
+        "scale": scale,
+        "workload": {
+            "clients": n_clients,
+            "patterns": n_patterns,
+            "requests_per_client": requests_per_client,
+            "total_requests": n_clients * requests_per_client,
+            "n_basis": n_basis,
+        },
+        "sequential": sequential,
+        "concurrent_batched": concurrent,
+        "throughput_gain": speedup,
+        "hit_rate_acceptance": HIT_RATE_ACCEPTANCE,
+    }
+    rows = [
+        [
+            "serve-one-at-a-time",
+            sequential["requests"],
+            sequential["wall_s"],
+            sequential["throughput_rps"],
+            "-",
+            "-",
+            sequential["bitwise_identical"],
+        ],
+        [
+            "concurrent + micro-batch",
+            concurrent["requests"],
+            concurrent["wall_s"],
+            concurrent["throughput_rps"],
+            concurrent["p50_ms"],
+            concurrent["p99_ms"],
+            concurrent["bitwise_identical"],
+        ],
+    ]
+    return rows, payload
+
+
+def _report(rows, payload):
+    with open(ROOT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    workload = payload["workload"]
+    report(
+        "service_throughput",
+        ["mode", "requests", "wall s", "req/s", "p50 ms", "p99 ms", "bitwise"],
+        rows,
+        f"Density service throughput ({workload['clients']} clients x "
+        f"{workload['requests_per_client']} requests over "
+        f"{workload['patterns']} shared patterns, {workload['n_basis']} "
+        "basis functions)",
+    )
+
+
+def _assert_deterministic_bars(payload):
+    """Bars that hold at any scale (wall-clock gain is reported, not gated)."""
+    assert payload["sequential"]["bitwise_identical"]
+    assert payload["concurrent_batched"]["bitwise_identical"], payload[
+        "concurrent_batched"
+    ]["errors"]
+    assert payload["concurrent_batched"]["batched_requests"] > 0
+    assert (
+        payload["concurrent_batched"]["cache_hit_rate"] > HIT_RATE_ACCEPTANCE
+    ), payload["concurrent_batched"]["cache_hit_rate"]
+
+
+@pytest.mark.benchmark(group="serve")
+def test_service_throughput(benchmark):
+    rows, payload = benchmark.pedantic(
+        run_service_benchmark, rounds=1, iterations=1
+    )
+    _report(rows, payload)
+    _assert_deterministic_bars(payload)
+
+
+if __name__ == "__main__":
+    table_rows, result_payload = run_service_benchmark()
+    _report(table_rows, result_payload)
+    _assert_deterministic_bars(result_payload)
+    gain = result_payload["throughput_gain"]
+    print(f"micro-batched throughput gain vs serve-one-at-a-time: {gain:.2f}x")
+    print(f"wrote {ROOT_JSON}")

@@ -37,6 +37,10 @@ unified session API on top:
 ``repro.accel``
     Emulated low/mixed-precision sign iterations and a GPU/FPGA performance
     model.
+``repro.serve``
+    Density-as-a-service: a multi-tenant in-process server pooling session
+    contexts over one shared plan cache, with cross-request micro-batching,
+    admission control and per-tenant metrics.
 ``repro.analysis``
     Sparsity statistics and evaluation metrics.
 
@@ -67,8 +71,16 @@ from repro.api import (
     register_kernel,
     resolve_kernel,
 )
+from repro.serve import (
+    AdmissionPolicy,
+    DensityService,
+    ServiceOverloadError,
+)
 
 __all__ = [
+    "AdmissionPolicy",
+    "DensityService",
+    "ServiceOverloadError",
     "__version__",
     "EngineConfig",
     "ResiliencePolicy",

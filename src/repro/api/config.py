@@ -28,6 +28,7 @@ __all__ = [
     "ENGINES",
     "BACKENDS",
     "BALANCE_STRATEGIES",
+    "PREFETCH_BACKENDS",
     "EIGENSOLVE_FLOP_CONSTANT",
 ]
 
@@ -39,6 +40,15 @@ BACKENDS = ("serial", "thread", "process")
 
 #: Submatrix→rank assignment strategies of the distributed pipeline.
 BALANCE_STRATEGIES = ("chunks", "stacks", "round_robin")
+
+#: Where ``overlap=True`` trajectory drivers run the next step's
+#: ``prepare_step`` work: ``"process"`` ships it to a single-worker process
+#: pool (the numpy-heavy preparation then overlaps the current step's
+#: evaluation without contending for the GIL), ``"thread"`` keeps it on the
+#: prefetch thread (the PR-7 behaviour, useful when step matrices are not
+#: picklable — the process path also falls back to inline execution in that
+#: case, see :func:`repro.parallel.executor.submit_with_inline_fallback`).
+PREFETCH_BACKENDS = ("process", "thread")
 
 #: FLOPs of a dense symmetric eigendecomposition plus the two back
 #: transformations Q·diag·Qᵀ, expressed as a multiple of n³.  dsyevd costs
@@ -232,6 +242,12 @@ class EngineConfig:
         land instead of after the full initialization exchange.  Results
         are bitwise identical; the modeled hidden-exchange accounting
         lands on the result/trajectory statistics.
+    prefetch_backend:
+        Executor of the ``overlap=True`` trajectory step prefetch:
+        ``"process"`` (default) prepares step *i+1* in a worker process so
+        the preparation genuinely overlaps step *i*'s evaluation;
+        ``"thread"`` prepares it on the prefetch thread (GIL-contended, the
+        PR-7 behaviour).  Both are bitwise identical to the sync driver.
     resilience:
         The session's :class:`ResiliencePolicy` (rank retry/rebalance,
         kernel degradation, graceful fallback to the batched engine).  The
@@ -255,6 +271,7 @@ class EngineConfig:
     exact_transfers: bool = True
     flop_constant: float = EIGENSOLVE_FLOP_CONSTANT
     overlap: bool = False
+    prefetch_backend: str = "process"
     resilience: ResiliencePolicy = dataclasses.field(
         default_factory=ResiliencePolicy
     )
@@ -296,6 +313,11 @@ class EngineConfig:
             raise ValueError("plan_cache_size must be at least 1")
         if self.flop_constant <= 0:
             raise ValueError("flop_constant must be positive")
+        if self.prefetch_backend not in PREFETCH_BACKENDS:
+            raise ValueError(
+                f"prefetch_backend must be one of {PREFETCH_BACKENDS}, "
+                f"got {self.prefetch_backend!r}"
+            )
         if not isinstance(self.resilience, ResiliencePolicy):
             raise ValueError("resilience must be a ResiliencePolicy")
         self.resilience.validate()

@@ -32,6 +32,9 @@ private context, so their results are bitwise identical to the session API.
 
 from __future__ import annotations
 
+import contextlib
+import functools
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -140,6 +143,21 @@ def _distribution_key(distribution) -> Optional[tuple]:
     )
 
 
+def _tracked(method):
+    """Run a context method as one tracked in-flight request.
+
+    Applied to the leaf evaluation entry points only (``apply`` dispatches
+    to a decorated method, so a request is counted exactly once).
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._request():
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 def _assemble_csr(accumulator: dict, n: int) -> sp.csr_matrix:
     rows: List[int] = []
     cols: List[int] = []
@@ -165,6 +183,13 @@ class SubmatrixContext:
     **overrides:
         Convenience field overrides applied to ``config``
         (``SubmatrixContext(engine="batched", backend="thread")``).
+
+    The session is safe for concurrent use from multiple threads: the plan
+    cache, pipeline cache, replan anchors and executor creation are guarded
+    by one re-entrant lock, evaluation runs unlocked, and :meth:`close`
+    refuses (with a :class:`RuntimeError`) to tear the session down while
+    requests are in flight.  The serving layer (:mod:`repro.serve`) builds
+    on exactly these guarantees.
 
     The context is a context manager; leaving the ``with`` block shuts down
     the persistent executor (plans stay cached):
@@ -206,6 +231,12 @@ class SubmatrixContext:
             OrderedDict()
         )
         self._closed = False
+        # session bookkeeping lock: guards executor creation, the plan /
+        # pipeline / anchor maps, the in-flight counter and close().  The
+        # evaluation work itself runs unlocked, so concurrent density/apply
+        # calls from multiple threads genuinely overlap.
+        self._lock = threading.RLock()
+        self._in_flight = 0
 
     # ------------------------------------------------------------------ #
     # shared resources
@@ -236,31 +267,69 @@ class SubmatrixContext:
         Created lazily on first use and reused by every subsequent parallel
         map through this context — one pool per session, not per call.
         """
-        self._check_open()
-        if self._executor is None:
-            self._executor = make_executor(
-                self.config.backend, self.config.max_workers
-            )
-            if self._executor is not None:
-                self._executors_created += 1
-                # deterministic cleanup is close(); the finalizer only keeps
-                # abandoned sessions from pinning pool workers until exit
-                self._finalizer = weakref.finalize(
-                    self, self._executor.shutdown, False
+        with self._lock:
+            self._check_open()
+            if self._executor is None:
+                self._executor = make_executor(
+                    self.config.backend, self.config.max_workers
                 )
-        return self._executor
+                if self._executor is not None:
+                    self._executors_created += 1
+                    # deterministic cleanup is close(); the finalizer only
+                    # keeps abandoned sessions from pinning pool workers
+                    # until exit
+                    self._finalizer = weakref.finalize(
+                        self, self._executor.shutdown, False
+                    )
+            return self._executor
+
+    @property
+    def in_flight(self) -> int:
+        """Number of requests currently executing through this session."""
+        with self._lock:
+            return self._in_flight
+
+    @contextlib.contextmanager
+    def _request(self):
+        """Track one in-flight request (rejecting work on a closed session).
+
+        Every public evaluation entry point (``apply*``, ``density``,
+        ``trajectory``, distributed ``run``) wraps its body in this guard so
+        :meth:`close` can refuse to tear down a session that other threads
+        are still using.
+        """
+        with self._lock:
+            self._check_open()
+            self._in_flight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._in_flight -= 1
 
     def close(self) -> None:
-        """Shut down the persistent executor (idempotent).
+        """Shut down the persistent executor (idempotent when idle).
 
         Cached plans and pipelines are kept; any call through the session
         after a ``close()`` raises a :class:`RuntimeError`, so reuse
         requires a new context.  Safe to call any number of times and after
         the ``weakref.finalize`` shutdown path has already run (pool
         shutdown is idempotent and a fired finalizer detaches as a no-op).
+
+        Closing a session while requests are in flight on other threads
+        raises a :class:`RuntimeError` and leaves the session open — the
+        running requests keep their executor and finish normally; call
+        ``close()`` again once they have drained.
         """
-        executor, self._executor = self._executor, None
-        self._closed = True
+        with self._lock:
+            if self._in_flight:
+                raise RuntimeError(
+                    "cannot close this SubmatrixContext: "
+                    f"{self._in_flight} request(s) still in flight; wait for "
+                    "them to finish and call close() again"
+                )
+            executor, self._executor = self._executor, None
+            self._closed = True
         if executor is not None:
             finalizer = getattr(self, "_finalizer", None)
             if finalizer is not None:
@@ -296,13 +365,14 @@ class SubmatrixContext:
         counter, unaffected by cache eviction); ``pipelines_cached`` is the
         current cache size.
         """
-        return {
-            "plan_cache": dict(self.plan_cache.stats),
-            "executors_created": self._executors_created,
-            "pipelines_built": self._pipelines_built,
-            "pipelines_patched": self._pipelines_patched,
-            "pipelines_cached": len(self._pipelines),
-        }
+        with self._lock:
+            return {
+                "plan_cache": dict(self.plan_cache.stats),
+                "executors_created": self._executors_created,
+                "pipelines_built": self._pipelines_built,
+                "pipelines_patched": self._pipelines_patched,
+                "pipelines_cached": len(self._pipelines),
+            }
 
     def _map(self, function, items):
         """Map through the session's persistent executor."""
@@ -368,23 +438,24 @@ class SubmatrixContext:
             tuple(map(tuple, column_groups)),
         )
         fingerprint = coo.fingerprint()
-        if replan != "full":
-            anchor = self._plan_anchors.get(anchor_key)
-            if anchor is not None:
-                anchor_fingerprint, anchor_plan = anchor
-                if anchor_fingerprint == fingerprint:
-                    self._plan_anchors.move_to_end(anchor_key)
-                    return self.plan_cache.reuse(anchor_plan)
-                plan = self._try_patch_plan(anchor_plan, coo, replan)
-                if plan is not None:
-                    self._plan_anchors[anchor_key] = (fingerprint, plan)
-                    self._plan_anchors.move_to_end(anchor_key)
-                    return plan
-        plan = block_plan(coo, sizes, column_groups, cache=self.plan_cache)
-        self._plan_anchors[anchor_key] = (fingerprint, plan)
-        self._plan_anchors.move_to_end(anchor_key)
-        self._trim_anchors(self._plan_anchors)
-        return plan
+        with self._lock:
+            if replan != "full":
+                anchor = self._plan_anchors.get(anchor_key)
+                if anchor is not None:
+                    anchor_fingerprint, anchor_plan = anchor
+                    if anchor_fingerprint == fingerprint:
+                        self._plan_anchors.move_to_end(anchor_key)
+                        return self.plan_cache.reuse(anchor_plan)
+                    plan = self._try_patch_plan(anchor_plan, coo, replan)
+                    if plan is not None:
+                        self._plan_anchors[anchor_key] = (fingerprint, plan)
+                        self._plan_anchors.move_to_end(anchor_key)
+                        return plan
+            plan = block_plan(coo, sizes, column_groups, cache=self.plan_cache)
+            self._plan_anchors[anchor_key] = (fingerprint, plan)
+            self._plan_anchors.move_to_end(anchor_key)
+            self._trim_anchors(self._plan_anchors)
+            return plan
 
     def _try_patch_plan(
         self, anchor_plan: BlockSubmatrixPlan, coo: CooBlockList, replan: str
@@ -460,6 +531,7 @@ class SubmatrixContext:
             f"BlockSparseMatrix (block level), got {type(matrix).__name__}"
         )
 
+    @_tracked
     def apply_elementwise(
         self,
         matrix: sp.spmatrix,
@@ -520,6 +592,7 @@ class SubmatrixContext:
             scatter_submatrix_result(accumulator, evaluated, submatrix, csc)
         return _assemble_csr(accumulator, csc.shape[1]), dimensions
 
+    @_tracked
     def apply_blockwise(
         self,
         matrix: BlockSparseMatrix,
@@ -622,6 +695,7 @@ class SubmatrixContext:
     # ------------------------------------------------------------------ #
     # DFT density matrices
     # ------------------------------------------------------------------ #
+    @_tracked
     def density(
         self,
         K,
@@ -670,6 +744,7 @@ class SubmatrixContext:
             mu_bracket=mu_bracket,
         )
 
+    @_tracked
     def trajectory(
         self,
         steps,
@@ -796,39 +871,40 @@ class SubmatrixContext:
             _distribution_key(distribution),
         )
         key = (coo.fingerprint(),) + configuration_key
-        cached = self._pipelines.get(key)
-        if cached is not None:
-            self._pipelines.move_to_end(key)
-            self._pipeline_anchors[configuration_key] = cached
+        with self._lock:
+            cached = self._pipelines.get(key)
+            if cached is not None:
+                self._pipelines.move_to_end(key)
+                self._pipeline_anchors[configuration_key] = cached
+                self._pipeline_anchors.move_to_end(configuration_key)
+                self._trim_anchors(self._pipeline_anchors)
+                return cached
+            pipeline = None
+            if replan != "full":
+                anchor = self._pipeline_anchors.get(configuration_key)
+                if anchor is not None:
+                    pipeline = self._try_patch_pipeline(anchor, coo, replan)
+            if pipeline is None:
+                pipeline = DistributedSubmatrixPipeline(
+                    coo,
+                    sizes,
+                    n_ranks,
+                    grouping=grouping,
+                    distribution=distribution,
+                    balance=self.config.balance,
+                    bucket_pad=pad,
+                    flop_constant=self.config.flop_constant,
+                    plan_cache=self.plan_cache,
+                    exact_transfers=self.config.exact_transfers,
+                )
+                self._pipelines_built += 1
+            self._pipelines[key] = pipeline
+            while len(self._pipelines) > MAX_CACHED_PIPELINES:
+                self._pipelines.popitem(last=False)
+            self._pipeline_anchors[configuration_key] = pipeline
             self._pipeline_anchors.move_to_end(configuration_key)
             self._trim_anchors(self._pipeline_anchors)
-            return cached
-        pipeline = None
-        if replan != "full":
-            anchor = self._pipeline_anchors.get(configuration_key)
-            if anchor is not None:
-                pipeline = self._try_patch_pipeline(anchor, coo, replan)
-        if pipeline is None:
-            pipeline = DistributedSubmatrixPipeline(
-                coo,
-                sizes,
-                n_ranks,
-                grouping=grouping,
-                distribution=distribution,
-                balance=self.config.balance,
-                bucket_pad=pad,
-                flop_constant=self.config.flop_constant,
-                plan_cache=self.plan_cache,
-                exact_transfers=self.config.exact_transfers,
-            )
-            self._pipelines_built += 1
-        self._pipelines[key] = pipeline
-        while len(self._pipelines) > MAX_CACHED_PIPELINES:
-            self._pipelines.popitem(last=False)
-        self._pipeline_anchors[configuration_key] = pipeline
-        self._pipeline_anchors.move_to_end(configuration_key)
-        self._trim_anchors(self._pipeline_anchors)
-        return pipeline
+            return pipeline
 
     def _try_patch_pipeline(
         self,
@@ -904,23 +980,25 @@ class DistributedSession:
         """
         if not isinstance(matrix, BlockSparseMatrix):
             raise TypeError("distributed runs operate on a BlockSparseMatrix")
-        self.context._check_open()
-        bound = resolve_kernel(function, batch_function=batch_function, **kernel_params)
-        if coo is None:
-            coo = CooBlockList.from_block_matrix(matrix)
-        pipeline = self.pipeline(coo, matrix.col_block_sizes)
-        config = self.context.config
-        backend, executor = self.context._rank_resources()
-        # the pipeline's own resolve_kernel passes a BoundKernel through
-        # unchanged, so the spec is resolved exactly once
-        return pipeline.run(
-            matrix,
-            function=bound,
-            pad_value=pad_value,
-            max_workers=config.max_workers,
-            backend=backend,
-            executor=executor,
-        )
+        with self.context._request():
+            bound = resolve_kernel(
+                function, batch_function=batch_function, **kernel_params
+            )
+            if coo is None:
+                coo = CooBlockList.from_block_matrix(matrix)
+            pipeline = self.pipeline(coo, matrix.col_block_sizes)
+            config = self.context.config
+            backend, executor = self.context._rank_resources()
+            # the pipeline's own resolve_kernel passes a BoundKernel through
+            # unchanged, so the spec is resolved exactly once
+            return pipeline.run(
+                matrix,
+                function=bound,
+                pad_value=pad_value,
+                max_workers=config.max_workers,
+                backend=backend,
+                executor=executor,
+            )
 
     def cost(
         self,

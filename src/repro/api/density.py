@@ -69,7 +69,7 @@ from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
 from repro.dbcsr.coo import CooBlockList
 from repro.signfn.registry import get_kernel, resilient_stack_solver
 
-__all__ = ["compute_density"]
+__all__ = ["compute_density", "assemble_result", "prepare_step", "PreparedStep"]
 
 
 @dataclasses.dataclass
@@ -274,12 +274,50 @@ def compute_density(
         )
         mu_iterations = 0
 
+    return assemble_result(
+        config,
+        K,
+        s_inv_sqrt,
+        occupation_block,
+        coo,
+        float(mu),
+        mu_iterations,
+        dimensions,
+        wall_time=time.perf_counter() - start,
+        ranks=ranks,
+        pipeline=pipeline,
+        report=report,
+    )
+
+
+def assemble_result(
+    config,
+    K,
+    s_inv_sqrt: np.ndarray,
+    occupation_block: BlockSparseMatrix,
+    coo: CooBlockList,
+    mu: float,
+    mu_iterations: int,
+    dimensions: List[int],
+    wall_time: float,
+    ranks: int = 1,
+    pipeline=None,
+    report=None,
+) -> SubmatrixDFTResult:
+    """Finalize a density calculation from its scattered occupation matrix.
+
+    The tail shared by :func:`compute_density` and the serving layer's
+    cross-request batcher (:mod:`repro.serve.batcher`): convert the packed
+    occupation blocks to CSR, back-transform to the AO basis, evaluate the
+    band-structure energy and electron count, and collect the transfer /
+    overlap accounting of an optional sharded ``pipeline``.  Using one tail
+    for both callers is part of the served-equals-direct bitwise contract.
+    """
     density_ortho = block_matrix_to_csr(occupation_block)
     density_ao = s_inv_sqrt @ density_ortho.toarray() @ s_inv_sqrt
     k_dense = K.toarray() if sp.issparse(K) else np.asarray(K, dtype=float)
     energy = band_structure_energy(density_ao, k_dense, config.spin_degeneracy)
     n_elec = electron_count(density_ortho, config.spin_degeneracy)
-    wall = time.perf_counter() - start
     segment_fetch_bytes = None
     block_fetch_bytes = None
     overlap_seconds = 0.0
@@ -303,7 +341,7 @@ def compute_density(
         submatrix_dimensions=dimensions,
         mu_iterations=mu_iterations,
         eps_filter=config.eps_filter,
-        wall_time=wall,
+        wall_time=wall_time,
         n_ranks=ranks,
         pattern_fingerprint=coo.fingerprint(),
         segment_fetch_bytes=segment_fetch_bytes,

@@ -59,7 +59,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
@@ -67,6 +67,7 @@ import numpy as np
 from repro.api.checkpoint import TrajectoryCheckpoint
 from repro.api.results import SubmatrixDFTResult
 from repro.core.combination import ColumnGrouping
+from repro.parallel.executor import submit_with_inline_fallback
 
 __all__ = [
     "TrajectoryStepRecord",
@@ -490,10 +491,17 @@ def run_trajectory(
 
     step_iter = _iterate_steps(steps, n_steps)
     prefetch_pool: Optional[ThreadPoolExecutor] = None
+    prepare_pool: Optional[ProcessPoolExecutor] = None
     if context.config.overlap:
         prefetch_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="trajectory-prefetch"
         )
+        if context.config.prefetch_backend == "process":
+            # prepare_step is numpy-heavy, pure and picklable end to end,
+            # so shipping it to a worker process lets it genuinely overlap
+            # the current step's evaluation instead of contending for the
+            # GIL on the prefetch thread (the PR-7 ~0.97× problem)
+            prepare_pool = ProcessPoolExecutor(max_workers=1)
     end_of_steps = object()
 
     def _fetch_next():
@@ -508,6 +516,13 @@ def run_trajectory(
         except StopIteration:
             return end_of_steps
         K, S = pair
+        if prepare_pool is not None:
+            # block GIL-free on the worker process; unpicklable steps (or
+            # a broken pool) fall back to preparing inline on this thread
+            resolve = submit_with_inline_fallback(
+                prepare_pool, prepare_step, K, S, blocks, context.config.eps_filter
+            )
+            return K, S, resolve()
         return K, S, prepare_step(K, S, blocks, context.config.eps_filter)
 
     def _drive():
@@ -619,6 +634,8 @@ def run_trajectory(
     finally:
         if prefetch_pool is not None:
             prefetch_pool.shutdown(wait=True, cancel_futures=True)
+        if prepare_pool is not None:
+            prepare_pool.shutdown(wait=True, cancel_futures=True)
 
     stats = TrajectoryStats(
         n_steps=len(results),

@@ -41,6 +41,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 import hashlib
+import threading
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -65,6 +66,7 @@ __all__ = [
     "block_plan",
     "block_pattern_delta",
     "make_segment_remap",
+    "plan_nbytes",
 ]
 
 #: Largest fraction of changed blocks (added + removed, relative to the new
@@ -940,6 +942,40 @@ class BlockSubmatrixPlan(SubmatrixPlan):
 # --------------------------------------------------------------------------- #
 # plan cache
 # --------------------------------------------------------------------------- #
+def plan_nbytes(plan: "SubmatrixPlan") -> int:
+    """Approximate resident size of a plan's index arrays, in bytes.
+
+    Counts the numpy bookkeeping that dominates a plan's footprint — the
+    per-group gather/scatter/index arrays plus the pattern-level arrays —
+    and a flat per-entry constant for the Python-level pack map.  Used by
+    :class:`PlanCache` for memory-budget accounting; it deliberately ignores
+    the lazily memoized stack/membership caches, which are bounded by the
+    same arrays it already counts.
+    """
+    total = 0
+    for group in plan.groups:
+        for array in (
+            group.generating_columns,
+            group.indices,
+            group.local_columns,
+            group.gather_src,
+            group.gather_dst,
+            group.scatter_src,
+            group.scatter_dst,
+            group.block_sizes,
+            group.offsets,
+        ):
+            if array is not None:
+                total += int(np.asarray(array).nbytes)
+    for name in ("value_offsets", "coo_rows", "coo_cols", "indptr", "indices"):
+        array = getattr(plan, name, None)
+        if array is not None:
+            total += int(np.asarray(array).nbytes)
+    # per-block Python tuples of the pack map (block level only)
+    total += 96 * len(getattr(plan, "_pack_entries", ()))
+    return total
+
+
 class PlanCache:
     """LRU cache of extraction plans keyed by pattern + grouping content.
 
@@ -947,15 +983,25 @@ class PlanCache:
     grouping share one plan, so the μ-bisection, repeated SCF/MD evaluations
     and the per-group loop within one evaluation all reuse the precomputed
     index arrays.
+
+    The cache is **thread-safe**: one re-entrant lock guards lookup, insert,
+    eviction and the statistics counters, and the lock is held *across* plan
+    construction, so N threads racing on the same pattern build exactly one
+    plan (the others block and then hit).  This is what lets a single cache
+    back every tenant of the serving layer (:mod:`repro.serve`).
     """
 
-    def __init__(self, max_plans: int = 64):
+    def __init__(self, max_plans: int = 64, max_bytes: Optional[int] = None):
         if max_plans < 1:
             raise ValueError("max_plans must be at least 1")
         self.max_plans = int(max_plans)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._plans: "collections.OrderedDict[tuple, SubmatrixPlan]" = (
             collections.OrderedDict()
         )
+        self._nbytes: Dict[tuple, int] = {}
+        self._total_bytes = 0
+        self._lock = threading.RLock()
         self._reset_counters()
 
     def _reset_counters(self) -> None:
@@ -964,19 +1010,30 @@ class PlanCache:
         self.builds = 0
         self.patches = 0
         self.groups_rebuilt = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def clear(self) -> None:
         """Drop all cached plans and reset every statistics counter.
 
         After ``clear()`` the cache is indistinguishable from a fresh one:
         no plans, no LRU history, and all ``stats`` counters (hits, misses,
-        builds, patches, groups_rebuilt) back at zero.
+        builds, patches, groups_rebuilt, evictions) back at zero.
         """
-        self._plans.clear()
-        self._reset_counters()
+        with self._lock:
+            self._plans.clear()
+            self._nbytes.clear()
+            self._total_bytes = 0
+            self._reset_counters()
+
+    @property
+    def total_bytes(self) -> int:
+        """Accounted bytes of all resident plans (see :func:`plan_nbytes`)."""
+        with self._lock:
+            return self._total_bytes
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -984,30 +1041,63 @@ class PlanCache:
 
         ``misses`` counts lookups that had to build (``builds`` is the same
         number of constructions, of which ``patches`` were incremental);
-        ``groups_rebuilt`` accumulates the group plans rebuilt by patching.
+        ``groups_rebuilt`` accumulates the group plans rebuilt by patching;
+        ``evictions`` counts plans dropped by LRU overflow, the byte budget,
+        or :meth:`evict_to`.  Resident bytes are exposed separately via
+        :attr:`total_bytes`.
         """
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "builds": self.builds,
-            "patches": self.patches,
-            "groups_rebuilt": self.groups_rebuilt,
-            "plans": len(self._plans),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "patches": self.patches,
+                "groups_rebuilt": self.groups_rebuilt,
+                "evictions": self.evictions,
+                "plans": len(self._plans),
+            }
+
+    def _evict_lru(self) -> None:
+        key, _ = self._plans.popitem(last=False)
+        self._total_bytes -= self._nbytes.pop(key, 0)
+        self.evictions += 1
 
     def _lookup(self, key: tuple, builder) -> SubmatrixPlan:
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
+            plan = builder()
+            self.builds += 1
+            self._plans[key] = plan
+            size = plan_nbytes(plan)
+            self._nbytes[key] = size
+            self._total_bytes += size
+            while len(self._plans) > self.max_plans:
+                self._evict_lru()
+            if self.max_bytes is not None:
+                # keep at least the plan just built, even when it alone
+                # exceeds the budget — evicting it would defeat the lookup
+                while len(self._plans) > 1 and self._total_bytes > self.max_bytes:
+                    self._evict_lru()
             return plan
-        self.misses += 1
-        plan = builder()
-        self.builds += 1
-        self._plans[key] = plan
-        while len(self._plans) > self.max_plans:
-            self._plans.popitem(last=False)
-        return plan
+
+    def evict_to(self, max_bytes: int) -> int:
+        """Evict least-recently-used plans until ``total_bytes <= max_bytes``.
+
+        Returns the number of plans evicted.  The serving layer's admission
+        controller calls this under memory pressure; unlike the constructor
+        budget it may empty the cache entirely.
+        """
+        evicted = 0
+        with self._lock:
+            while self._plans and self._total_bytes > max_bytes:
+                self._evict_lru()
+                evicted += 1
+        return evicted
 
     def reuse(self, plan: SubmatrixPlan) -> SubmatrixPlan:
         """Count a reuse of an externally tracked plan as a cache hit.
@@ -1017,7 +1107,8 @@ class PlanCache:
         content-keyed entry; those reuses are cache hits in every sense that
         matters for the trajectory statistics.
         """
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return plan
 
     def element_plan(

@@ -1,0 +1,486 @@
+"""Cross-request micro-batching of density calculations.
+
+The submatrix engine's batched evaluator already amortizes LAPACK dispatch
+by eigendecomposing whole ``(k, d, d)`` stacks of equal-dimension
+submatrices at once — but only *within* one request.  A service receiving
+many small, similar requests (same engine configuration, overlapping
+submatrix dimension histograms) leaves that batching on the table: each
+request's buckets are evaluated in their own pass, and small systems
+produce stacks far below the memory cap.
+
+:class:`MicroBatcher` closes that gap.  Requests wait in a queue for at
+most ``max_wait`` seconds while compatible peers arrive (same session
+context, same eigen-family solver: the :attr:`DensityRequest.batch_key`);
+a group is then evaluated by :func:`evaluate_merged_group`:
+
+1. requests carrying bytewise-identical inputs (same ``K``, ``S`` and
+   block sizes — the common shape when tenants draw from a shared molecule
+   library) are deduplicated: each distinct content is prepared, packed and
+   eigendecomposed exactly once per group, and duplicates reattach at the
+   μ-dependent stages;
+2. every distinct content's pure preparation (orthogonalization, block
+   conversion, COO pattern) runs in parallel through the session executor;
+3. plan lookups run serially on the batcher thread against the shared
+   :class:`~repro.core.plan.PlanCache` — this is where cross-tenant plan
+   reuse lands, and serial per-request lookups keep the per-request
+   hit/miss attribution exact;
+4. the per-content stack tasks are merged *across requests* by dimension
+   (respecting :data:`~repro.core.batch.MAX_BATCH_ELEMENTS`) and each
+   merged stack is eigendecomposed once;
+5. the μ-handling (per-request ensemble: fixed μ or canonical bisection),
+   occupation scatter and result assembly stay strictly per-request.
+
+Bitwise identity with direct :meth:`SubmatrixContext.density
+<repro.api.context.SubmatrixContext.density>` calls holds because the
+batched ``eigh`` is slice-deterministic — each slice's decomposition is
+independent of the stack composition, the same property the rank-sharded
+pipeline's identity guarantee already rests on — every μ-dependent step
+runs per-request on exactly the per-request entries, and content
+deduplication only ever reuses deterministic intermediates computed from
+bytewise-equal inputs.  A failing merged
+group falls back to independent per-request evaluation, so one poisoned
+request cannot take its neighbours down with it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextlib
+import dataclasses
+import hashlib
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.api.density import (
+    _bisect_mu,
+    _make_entry,
+    _scatter_occupations,
+    assemble_result,
+    prepare_step,
+)
+from repro.core.batch import MAX_BATCH_ELEMENTS, Bucket, make_stack_tasks
+from repro.core.combination import single_column_groups
+
+__all__ = ["DensityRequest", "MicroBatcher", "evaluate_merged_group"]
+
+_SHUTDOWN = object()
+
+
+@dataclasses.dataclass
+class DensityRequest:
+    """One queued density request bound to a pooled session context.
+
+    Created by :class:`~repro.serve.server.DensityService`; ``future``
+    resolves to the request's
+    :class:`~repro.api.results.SubmatrixDFTResult`.  ``on_done`` (the
+    service's completion hook: metrics, admission release, memory
+    enforcement) runs *before* the future is resolved, so a caller that
+    blocks on the future observes the request already accounted for.
+    """
+
+    tenant: str
+    context: object
+    K: object
+    S: object
+    blocks: object
+    mu: Optional[float] = None
+    n_electrons: Optional[float] = None
+    solver: str = "eigen"
+    mu_tolerance: float = 1e-9
+    max_mu_iterations: int = 200
+    replan: str = "full"
+    mu_bracket: Optional[Tuple[float, float]] = None
+    grouping: object = None
+    ranks: Optional[int] = None
+    distribution: object = None
+    submitted_at: float = 0.0
+    future: concurrent.futures.Future = dataclasses.field(
+        default_factory=concurrent.futures.Future
+    )
+    on_done: Optional[Callable] = None
+    # filled in during execution
+    batched: bool = False
+    n_coalesced: int = 1
+    shared: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def batch_key(self) -> tuple:
+        """Requests merge only within one (context, solver) equivalence class."""
+        return (id(self.context), self.solver)
+
+    @property
+    def content_key(self) -> tuple:
+        """Bytewise input identity: requests with equal keys share all
+        μ-independent work (prepare, pack, eigendecomposition) in a group."""
+        return (
+            _matrix_fingerprint(self.K),
+            _matrix_fingerprint(self.S),
+            tuple(int(b) for b in self.blocks.block_sizes),
+            self.replan,
+        )
+
+    def finish(self, result) -> None:
+        if self.on_done is not None:
+            try:
+                self.on_done(self, result, None)
+            except Exception:
+                pass
+        self.future.set_result(result)
+
+    def fail(self, error: BaseException) -> None:
+        if self.on_done is not None:
+            try:
+                self.on_done(self, None, error)
+            except Exception:
+                pass
+        self.future.set_exception(error)
+
+
+def _matrix_fingerprint(matrix) -> bytes:
+    """Content hash of a dense or sparse matrix (shape, pattern and values).
+
+    Used only to *deduplicate* work across requests within one micro-batch:
+    a missed match (e.g. the same logical matrix in two storage formats)
+    costs a redundant evaluation, never correctness.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        digest.update(repr(csr.shape).encode())
+        digest.update(np.asarray(csr.indptr).tobytes())
+        digest.update(np.asarray(csr.indices).tobytes())
+        digest.update(np.ascontiguousarray(csr.data).tobytes())
+    else:
+        array = np.ascontiguousarray(matrix)
+        digest.update(repr(array.shape).encode())
+        digest.update(array.dtype.str.encode())
+        digest.update(array.tobytes())
+    return digest.digest()
+
+
+class _BlockSizes:
+    """Picklable stand-in for a blocks object (only ``block_sizes`` is used)."""
+
+    __slots__ = ("block_sizes",)
+
+    def __init__(self, block_sizes: Sequence[int]):
+        self.block_sizes = tuple(int(b) for b in block_sizes)
+
+
+def _prepare_task(task):
+    """Module-level prepare worker (picklable for process-backend sessions)."""
+    K, S, block_sizes, eps_filter = task
+    return prepare_step(K, S, _BlockSizes(block_sizes), eps_filter)
+
+
+def _eigh_stack(stack: np.ndarray):
+    """Module-level batched eigendecomposition worker."""
+    return np.linalg.eigh(stack)
+
+
+def _merge_stack_tasks(
+    per_request_buckets: Sequence[List[Bucket]],
+    max_batch_elements: int = MAX_BATCH_ELEMENTS,
+) -> List[List[Tuple[int, Bucket]]]:
+    """Merge per-request stack tasks across requests by dimension.
+
+    Returns groups of ``(request_index, bucket)`` contributions; each group
+    shares one dimension and its total member count obeys the element cap,
+    so the concatenated stack is no larger than a single request's largest
+    allowed stack.  Dimensions are processed in sorted order and requests in
+    submission order within a dimension, making the merge deterministic.
+    """
+    by_dimension: Dict[int, List[Tuple[int, Bucket]]] = {}
+    for request_index, buckets in enumerate(per_request_buckets):
+        for bucket in buckets:
+            by_dimension.setdefault(bucket.dimension, []).append(
+                (request_index, bucket)
+            )
+    merged: List[List[Tuple[int, Bucket]]] = []
+    for dimension in sorted(by_dimension):
+        capacity = max(1, max_batch_elements // max(1, dimension * dimension))
+        current: List[Tuple[int, Bucket]] = []
+        count = 0
+        for contribution in by_dimension[dimension]:
+            members = len(contribution[1].members)
+            if count and count + members > capacity:
+                merged.append(current)
+                current, count = [], 0
+            current.append(contribution)
+            count += members
+        if current:
+            merged.append(current)
+    return merged
+
+
+def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
+    """Evaluate a group of compatible requests with merged eigh stacks.
+
+    All requests must share :attr:`DensityRequest.batch_key` (one context,
+    one eigen-family solver).  Returns the per-request results in order;
+    each is bitwise identical to a direct ``context.density`` call with the
+    same arguments.
+    """
+    config = context.config
+    start = time.perf_counter()
+
+    # 0. deduplicate bytewise-identical inputs: each distinct content is
+    #    prepared, packed and decomposed once; duplicates reattach at the
+    #    μ-dependent stages.  The reused intermediates are deterministic
+    #    functions of bytewise-equal inputs, so identity is preserved.
+    owner: List[int] = []
+    first_by_key: Dict[tuple, int] = {}
+    for index, request in enumerate(requests):
+        owner.append(first_by_key.setdefault(request.content_key, index))
+        request.shared = owner[index] != index
+    representatives = [i for i, o in enumerate(owner) if o == i]
+
+    # 1. pure preparation per distinct content, in parallel through the pool
+    rep_prepared = context._map(
+        _prepare_task,
+        [
+            (
+                requests[i].K,
+                requests[i].S,
+                tuple(int(b) for b in requests[i].blocks.block_sizes),
+                config.eps_filter,
+            )
+            for i in representatives
+        ],
+    )
+    prepared = dict(zip(representatives, rep_prepared))
+
+    # 2. serial per-request plan lookups on the shared cache (exact hit
+    #    attribution); packing happens once per distinct content
+    planned: Dict[int, tuple] = {}
+    for index, request in enumerate(requests):
+        prep = prepared[owner[index]]
+        grouping = single_column_groups(prep.block_k.n_block_cols)
+        before = context.plan_cache.stats
+        plan = context.block_plan_for(
+            prep.coo,
+            prep.block_k.row_block_sizes,
+            list(grouping.groups),
+            replan=request.replan,
+        )
+        after = context.plan_cache.stats
+        request.cache_hits += after["hits"] - before["hits"]
+        request.cache_misses += after["misses"] - before["misses"]
+        if owner[index] == index:
+            packed = plan.pack(prep.block_k)
+            buckets = make_stack_tasks(plan.dimensions)
+            planned[index] = (plan, packed, buckets)
+
+    # 3. merge stack tasks across distinct contents and eigendecompose each
+    #    merged stack once; eigh is slice-deterministic, so the per-slice
+    #    results do not depend on which content's submatrices share the stack
+    merged = _merge_stack_tasks([planned[i][2] for i in representatives])
+    stacks = []
+    for group in merged:
+        parts = [
+            planned[representatives[position]][0].extract_stack(
+                planned[representatives[position]][1],
+                bucket.members,
+                bucket.dimension,
+            )
+            for position, bucket in group
+        ]
+        stacks.append(parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0))
+    eigendecompositions = context._map(_eigh_stack, stacks)
+
+    # 4. route each slice back to its content's entry table
+    decomposed: Dict[int, List] = {
+        i: [None] * planned[i][0].n_groups for i in representatives
+    }
+    for group, (eigenvalues, eigenvectors) in zip(merged, eigendecompositions):
+        offset = 0
+        for position, bucket in group:
+            representative = representatives[position]
+            plan = planned[representative][0]
+            for slot, group_index in enumerate(bucket.members):
+                decomposed[representative][group_index] = _make_entry(
+                    plan.groups[group_index].make_submatrix(),
+                    eigenvalues[offset + slot],
+                    eigenvectors[offset + slot],
+                )
+            offset += len(bucket.members)
+
+    # 5. strictly per-request: ensemble handling, scatter, assembly (shared
+    #    decomposed entries are only ever read here)
+    results = []
+    for index, request in enumerate(requests):
+        prep = prepared[owner[index]]
+        plan = planned[owner[index]][0]
+        entries = decomposed[owner[index]]
+        mu = request.mu
+        mu_iterations = 0
+        if request.n_electrons is not None:
+            mu, mu_iterations = _bisect_mu(
+                config,
+                entries,
+                float(request.n_electrons),
+                request.mu_tolerance,
+                request.max_mu_iterations,
+                bracket=request.mu_bracket,
+            )
+        occupation_block = _scatter_occupations(
+            config, prep.block_k, entries, prep.coo, float(mu), plan
+        )
+        results.append(
+            assemble_result(
+                config,
+                request.K,
+                prep.s_inv_sqrt,
+                occupation_block,
+                prep.coo,
+                float(mu),
+                mu_iterations,
+                [entry.submatrix.dimension for entry in entries],
+                wall_time=time.perf_counter() - start,
+                ranks=1,
+            )
+        )
+    return results
+
+
+class MicroBatcher:
+    """Single consumer thread coalescing compatible requests into groups.
+
+    The first queued request opens a group and waits at most ``max_wait``
+    seconds for up to ``max_batch - 1`` compatible peers; incompatible
+    requests observed while collecting are deferred (order-preserving) to
+    the next group.  ``max_wait`` bounds the latency cost of batching: an
+    isolated request is delayed by at most the wait window.
+    """
+
+    def __init__(self, max_batch: int = 8, max_wait: float = 0.002):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._queue: "queue.Queue" = queue.Queue()
+        self._deferred: List[DensityRequest] = []
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="density-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, request: DensityRequest) -> None:
+        if self._closed:
+            raise RuntimeError("the micro-batcher has been closed")
+        self._queue.put(request)
+
+    def close(self) -> None:
+        """Drain queued requests, then stop the batcher thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._thread.join()
+
+    # ------------------------------------------------------------------ #
+    def _next_request(self, block: bool) -> object:
+        if self._deferred:
+            return self._deferred.pop(0)
+        try:
+            return self._queue.get(block=block)
+        except queue.Empty:
+            return None
+
+    def _run(self) -> None:
+        while True:
+            first = self._next_request(block=True)
+            if first is None:
+                continue
+            if first is _SHUTDOWN:
+                self._fail_remaining()
+                return
+            group = [first]
+            deadline = time.monotonic() + self.max_wait
+            stop = False
+            while len(group) < self.max_batch:
+                if self._deferred:
+                    # deferred requests are by construction incompatible
+                    # with the current group's key
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    stop = True
+                    break
+                if item.batch_key == first.batch_key:
+                    group.append(item)
+                else:
+                    self._deferred.append(item)
+            self._execute_group(group)
+            if stop:
+                self._fail_remaining()
+                return
+
+    def _fail_remaining(self) -> None:
+        """Fail anything still queued after shutdown (submit/close races)."""
+        leftovers = list(self._deferred)
+        self._deferred.clear()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+        for request in leftovers:
+            request.fail(RuntimeError("the density service has been closed"))
+
+    def _execute_group(self, group: List[DensityRequest]) -> None:
+        context = group[0].context
+        try:
+            with contextlib.ExitStack() as stack:
+                for request in group:
+                    stack.enter_context(context._request())
+                try:
+                    self._execute_merged(context, group)
+                except Exception as error:
+                    if len(group) == 1:
+                        group[0].fail(error)
+                        return
+                    # fall back to independent evaluation so one poisoned
+                    # request cannot fail its neighbours; a single-request
+                    # evaluation is the merged path with a group of one,
+                    # so the survivors stay bitwise identical
+                    for request in group:
+                        request.batched = False
+                        request.n_coalesced = 1
+                        try:
+                            (result,) = evaluate_merged_group(context, [request])
+                        except Exception as single_error:
+                            request.fail(single_error)
+                        else:
+                            request.finish(result)
+        except RuntimeError as error:
+            # the context was closed before the group started (_request)
+            for request in group:
+                if not request.future.done():
+                    request.fail(error)
+
+    def _execute_merged(self, context, group: List[DensityRequest]) -> None:
+        for request in group:
+            request.batched = len(group) > 1
+            request.n_coalesced = len(group)
+        results = evaluate_merged_group(context, group)
+        for request, result in zip(group, results):
+            request.finish(result)

@@ -667,6 +667,7 @@ class TestPlanCacheHousekeeping:
             "builds": 0,
             "patches": 0,
             "groups_rebuilt": 0,
+            "evictions": 0,
             "plans": 0,
         }
 

@@ -1,0 +1,732 @@
+"""Tests for the serving layer: shared plan cache, batching, admission.
+
+Covers the PR's contracts:
+
+* :class:`~repro.core.plan.PlanCache` is thread-safe — N threads racing on
+  one cache build each pattern exactly once — and byte-accounted, with LRU
+  eviction under a byte budget;
+* :class:`~repro.api.context.SubmatrixContext` supports concurrent use and
+  refuses to close while requests are in flight;
+* :class:`~repro.serve.DensityService` serves results **bitwise identical**
+  to direct ``context.density`` calls on both the micro-batched and the
+  direct path, across tenants sharing one plan cache;
+* admission control enforces global and per-tenant in-flight ceilings and
+  the plan-cache byte budget;
+* a poisoned request in a merged batch fails alone — its neighbours still
+  get their exact results.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    AdmissionPolicy,
+    DensityService,
+    EngineConfig,
+    ServiceOverloadError,
+    SubmatrixContext,
+)
+from repro.api import UnknownKernelError
+from repro.core.plan import PlanCache, block_plan, plan_nbytes
+from repro.dbcsr import CooBlockList
+from repro.dbcsr.convert import block_matrix_from_dense
+from repro.serve import AdmissionController, ServiceMetrics
+
+N_ELECTRONS = 8.0 * 32
+
+CONFIG = EngineConfig(engine="batched", backend="thread", max_workers=2)
+
+
+def assert_identical(result, reference):
+    """Bitwise comparison of two SubmatrixDFTResult payloads."""
+    assert np.array_equal(result.density_ao, reference.density_ao)
+    assert np.array_equal(
+        result.density_ortho.toarray(), reference.density_ortho.toarray()
+    )
+    assert result.mu == reference.mu
+    assert result.band_energy == reference.band_energy
+    assert result.n_electrons == reference.n_electrons
+    assert result.pattern_fingerprint == reference.pattern_fingerprint
+    assert sorted(result.submatrix_dimensions) == sorted(
+        reference.submatrix_dimensions
+    )
+
+
+def banded_block_pattern(n_blocks, block_size, bandwidth, seed):
+    """Small random banded block matrix and its COO pattern.
+
+    Off-diagonal blocks are dropped at random (seed-dependent), so distinct
+    seeds produce distinct sparsity *patterns* — which is what the plan
+    cache keys on — not merely distinct values.
+    """
+    generator = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    dense = np.zeros((n, n))
+    for i in range(n_blocks):
+        for j in range(i, n_blocks):
+            if abs(i - j) <= bandwidth and (i == j or generator.random() < 0.6):
+                dense[
+                    i * block_size : (i + 1) * block_size,
+                    j * block_size : (j + 1) * block_size,
+                ] = generator.normal(size=(block_size, block_size))
+    dense = (dense + dense.T) / 2.0
+    matrix = block_matrix_from_dense(dense, [block_size] * n_blocks)
+    return matrix, CooBlockList.from_block_matrix(matrix)
+
+
+@pytest.fixture(scope="module")
+def reference_results(water32_matrices, gap_mu):
+    """Direct single-context results both ensembles are checked against."""
+    with SubmatrixContext(CONFIG) as context:
+        grand_canonical = context.density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            mu=gap_mu,
+        )
+        canonical = context.density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            n_electrons=N_ELECTRONS,
+        )
+    return grand_canonical, canonical
+
+
+# --------------------------------------------------------------------------- #
+# satellite: PlanCache thread safety and byte accounting
+# --------------------------------------------------------------------------- #
+class TestPlanCacheConcurrency:
+    def test_exactly_one_build_per_pattern_under_contention(self):
+        cache = PlanCache(max_plans=64)
+        patterns = [
+            banded_block_pattern(6, 3, 2, seed)[1] for seed in range(4)
+        ]
+        sizes = [3] * 6
+        groups = [[c] for c in range(6)]
+        n_threads = 8
+        rounds = 5
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    for coo in patterns:
+                        block_plan(coo, sizes, groups, cache=cache)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats
+        assert stats["builds"] == len(patterns)
+        assert stats["misses"] == len(patterns)
+        assert stats["plans"] == len(patterns)
+        assert stats["hits"] == n_threads * rounds * len(patterns) - len(patterns)
+
+    def test_identical_plan_object_across_threads(self):
+        cache = PlanCache()
+        _, coo = banded_block_pattern(5, 2, 1, 11)
+        sizes, groups = [2] * 5, [[c] for c in range(5)]
+        results = [None] * 4
+        barrier = threading.Barrier(4)
+
+        def fetch(slot):
+            barrier.wait()
+            results[slot] = block_plan(coo, sizes, groups, cache=cache)
+
+        threads = [
+            threading.Thread(target=fetch, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(plan is results[0] for plan in results)
+
+
+class TestPlanCacheMemory:
+    def test_total_bytes_tracks_resident_plans(self):
+        cache = PlanCache()
+        assert cache.total_bytes == 0
+        _, coo = banded_block_pattern(6, 3, 2, 0)
+        plan = block_plan(coo, [3] * 6, [[c] for c in range(6)], cache=cache)
+        assert cache.total_bytes == plan_nbytes(plan) > 0
+        _, coo2 = banded_block_pattern(6, 3, 2, 1)
+        plan2 = block_plan(coo2, [3] * 6, [[c] for c in range(6)], cache=cache)
+        assert cache.total_bytes == plan_nbytes(plan) + plan_nbytes(plan2)
+
+    def test_byte_budget_evicts_lru_but_keeps_newest(self):
+        cache = PlanCache(max_plans=64, max_bytes=1)
+        for seed in range(3):
+            _, coo = banded_block_pattern(6, 3, 2, seed)
+            block_plan(coo, [3] * 6, [[c] for c in range(6)], cache=cache)
+        # every insertion exceeds the 1-byte budget, so only the plan just
+        # built survives each time
+        assert len(cache) == 1
+        assert cache.stats["evictions"] == 2
+
+    def test_evict_to_empties_cache(self):
+        cache = PlanCache()
+        for seed in range(3):
+            _, coo = banded_block_pattern(6, 3, 2, seed)
+            block_plan(coo, [3] * 6, [[c] for c in range(6)], cache=cache)
+        assert len(cache) == 3
+        evicted = cache.evict_to(0)
+        assert evicted == 3
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+        assert cache.stats["evictions"] == 3
+
+
+# --------------------------------------------------------------------------- #
+# satellite: concurrent SubmatrixContext use
+# --------------------------------------------------------------------------- #
+class TestConcurrentContext:
+    def test_parallel_density_calls_are_bitwise_identical(
+        self, water32_matrices, gap_mu, reference_results
+    ):
+        reference, _ = reference_results
+        n_threads = 6
+        results = [None] * n_threads
+        errors = []
+        barrier = threading.Barrier(n_threads)
+        with SubmatrixContext(CONFIG) as context:
+
+            def work(slot):
+                try:
+                    barrier.wait()
+                    results[slot] = context.density(
+                        water32_matrices.K,
+                        water32_matrices.S,
+                        water32_matrices.blocks,
+                        mu=gap_mu,
+                    )
+                except Exception as error:  # pragma: no cover - diagnostic
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=work, args=(slot,))
+                for slot in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            for result in results:
+                assert_identical(result, reference)
+            # one shared plan served every thread
+            assert context.plan_cache.stats["builds"] == 1
+
+    def test_close_while_request_in_flight_raises(self):
+        context = SubmatrixContext(EngineConfig(engine="plan", backend="serial"))
+        matrix = sp.csr_matrix(np.diag([2.0, 3.0, 4.0]))
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocking_function(submatrix):
+            entered.set()
+            release.wait(10)
+            return np.asarray(submatrix, dtype=float)
+
+        worker = threading.Thread(
+            target=lambda: context.apply(matrix, blocking_function)
+        )
+        worker.start()
+        assert entered.wait(10)
+        assert context.in_flight == 1
+        with pytest.raises(RuntimeError, match="in flight"):
+            context.close()
+        assert not context.closed  # the session stays open and usable
+        release.set()
+        worker.join()
+        assert context.in_flight == 0
+        context.close()  # drained: close now succeeds
+        assert context.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            context.apply(matrix, blocking_function)
+
+
+# --------------------------------------------------------------------------- #
+# tentpole: the density service
+# --------------------------------------------------------------------------- #
+class TestServiceIdentity:
+    def test_served_equals_direct_both_ensembles(
+        self, water32_matrices, gap_mu, reference_results
+    ):
+        ref_gc, ref_canonical = reference_results
+        with DensityService(config=CONFIG) as service:
+            served_gc = service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                tenant="alice",
+                mu=gap_mu,
+            )
+            served_canonical = service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                tenant="bob",
+                n_electrons=N_ELECTRONS,
+            )
+        assert_identical(served_gc, ref_gc)
+        assert_identical(served_canonical, ref_canonical)
+
+    def test_direct_path_iterative_solver_equals_context(self, water32_matrices, gap_mu):
+        with SubmatrixContext(CONFIG) as context:
+            reference = context.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+                solver="newton_schulz",
+            )
+        with DensityService(config=CONFIG) as service:
+            served = service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+                solver="newton_schulz",
+            )
+            snapshot = service.stats()
+        assert_identical(served, reference)
+        # iterative kernels are not batchable: no batched request recorded
+        assert snapshot["metrics"]["total"]["batched"] == 0
+
+    def test_batched_path_identical_with_coalescing(
+        self, water32_matrices, gap_mu, reference_results
+    ):
+        ref_gc, ref_canonical = reference_results
+        with DensityService(
+            config=CONFIG, batch_wait=0.25, max_batch=8
+        ) as service:
+            futures = []
+            for index in range(4):
+                futures.append(
+                    service.submit(
+                        water32_matrices.K,
+                        water32_matrices.S,
+                        water32_matrices.blocks,
+                        tenant=f"tenant-{index % 2}",
+                        mu=gap_mu if index % 2 == 0 else None,
+                        n_electrons=None if index % 2 == 0 else N_ELECTRONS,
+                    )
+                )
+            results = [future.result(120) for future in futures]
+            snapshot = service.stats()
+        for index, result in enumerate(results):
+            assert_identical(result, ref_gc if index % 2 == 0 else ref_canonical)
+        total = snapshot["metrics"]["total"]
+        assert total["completed"] == 4
+        # the coalescing window is long enough that at least one merged
+        # group of size > 1 formed
+        assert total["batched"] > 0
+        assert total["coalesced"] > total["batched"]
+        # tenants share one plan: one build, hits for every later request
+        assert snapshot["plan_cache"]["builds"] == 1
+        assert snapshot["plan_cache_hit_rate"] > 0.5
+
+    def test_merged_group_dedups_identical_content(
+        self, water32_matrices, gap_mu, reference_results
+    ):
+        """Bytewise-identical inputs in one group share the μ-independent
+        work; a value-perturbed peer is not deduplicated against them."""
+        from repro.serve import DensityRequest, evaluate_merged_group
+
+        ref_gc, ref_canonical = reference_results
+        perturbed_K = water32_matrices.K.copy()
+        perturbed_K.data = perturbed_K.data * (1.0 + 1e-3)
+        with SubmatrixContext(CONFIG) as context:
+            perturbed_ref = context.density(
+                perturbed_K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+            )
+            requests = [
+                DensityRequest(
+                    tenant="alice",
+                    context=context,
+                    K=water32_matrices.K,
+                    S=water32_matrices.S,
+                    blocks=water32_matrices.blocks,
+                    mu=gap_mu,
+                ),
+                DensityRequest(
+                    tenant="bob",
+                    context=context,
+                    K=water32_matrices.K,
+                    S=water32_matrices.S,
+                    blocks=water32_matrices.blocks,
+                    n_electrons=N_ELECTRONS,
+                ),
+                DensityRequest(
+                    tenant="carol",
+                    context=context,
+                    K=perturbed_K,
+                    S=water32_matrices.S,
+                    blocks=water32_matrices.blocks,
+                    mu=gap_mu,
+                ),
+            ]
+            results = evaluate_merged_group(context, requests)
+        assert_identical(results[0], ref_gc)
+        assert_identical(results[1], ref_canonical)
+        assert_identical(results[2], perturbed_ref)
+        # first occurrence owns the work; the same-content canonical request
+        # reattaches at the μ-dependent stages; different values stay apart
+        assert [request.shared for request in requests] == [False, True, False]
+
+    def test_poisoned_request_fails_alone_in_merged_group(
+        self, water32_matrices, gap_mu, reference_results
+    ):
+        ref_gc, _ = reference_results
+        bad_K = sp.csr_matrix(np.eye(5))  # wrong size for the block structure
+        with DensityService(
+            config=CONFIG, batch_wait=0.25, max_batch=8
+        ) as service:
+            good = service.submit(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+            )
+            bad = service.submit(
+                bad_K, water32_matrices.S, water32_matrices.blocks, mu=gap_mu
+            )
+            result = good.result(120)
+            with pytest.raises(Exception):
+                bad.result(120)
+            snapshot = service.stats()
+        assert_identical(result, ref_gc)
+        assert snapshot["metrics"]["total"]["completed"] == 1
+        assert snapshot["metrics"]["total"]["failed"] == 1
+        assert snapshot["admission"]["in_flight"] == 0
+
+
+class TestServiceTrajectory:
+    def test_trajectory_through_service_equals_direct(
+        self, water32_matrices, gap_mu
+    ):
+        steps = [(water32_matrices.K, water32_matrices.S)] * 2
+        with SubmatrixContext(CONFIG) as context:
+            reference = context.trajectory(
+                steps, water32_matrices.blocks, mu=gap_mu
+            )
+        with DensityService(config=CONFIG) as service:
+            served = service.trajectory(
+                steps, water32_matrices.blocks, tenant="md", mu=gap_mu
+            )
+            snapshot = service.stats()
+        assert len(served.results) == len(reference.results)
+        for step, ref_step in zip(served.results, reference.results):
+            assert_identical(step, ref_step)
+        tenant = snapshot["metrics"]["tenants"]["md"]
+        assert tenant["completed"] == 1
+        assert tenant["bytes_out"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# admission control
+# --------------------------------------------------------------------------- #
+class TestAdmissionController:
+    def test_counting_and_release(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_in_flight=3, max_in_flight_per_tenant=2)
+        )
+        controller.admit("a")
+        controller.admit("a")
+        with pytest.raises(ServiceOverloadError, match="tenant at capacity"):
+            controller.admit("a")
+        controller.admit("b")
+        with pytest.raises(ServiceOverloadError, match="service at capacity"):
+            controller.admit("c")
+        controller.release("a")
+        controller.admit("c")  # global slot freed
+        snapshot = controller.snapshot()
+        assert snapshot["in_flight"] == 3
+        assert snapshot["per_tenant"] == {"a": 1, "b": 1, "c": 1}
+        assert snapshot["rejections"] == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_in_flight_per_tenant=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_plan_cache_bytes=-1)
+
+
+class TestServiceAdmission:
+    def test_per_tenant_cap_rejects_and_recovers(self, water32_matrices, gap_mu):
+        policy = AdmissionPolicy(max_in_flight=8, max_in_flight_per_tenant=2)
+        with DensityService(
+            config=CONFIG, policy=policy, batch_wait=0.5, max_batch=16
+        ) as service:
+            first = service.submit(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                tenant="greedy",
+                mu=gap_mu,
+            )
+            second = service.submit(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                tenant="greedy",
+                mu=gap_mu,
+            )
+            # both slots of the tenant are occupied while the batcher's
+            # coalescing window is open
+            with pytest.raises(ServiceOverloadError, match="tenant at capacity"):
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                    tenant="greedy",
+                    mu=gap_mu,
+                )
+            # a different tenant is unaffected
+            other = service.submit(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                tenant="patient",
+                mu=gap_mu,
+            )
+            for future in (first, second, other):
+                future.result(120)
+            snapshot = service.stats()
+            # slots free again after completion
+            assert snapshot["admission"]["in_flight"] == 0
+            assert snapshot["metrics"]["tenants"]["greedy"]["rejected"] == 1
+            retry = service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                tenant="greedy",
+                mu=gap_mu,
+            )
+            assert retry is not None
+
+    def test_global_cap(self, water32_matrices, gap_mu):
+        policy = AdmissionPolicy(max_in_flight=2, max_in_flight_per_tenant=2)
+        with DensityService(
+            config=CONFIG, policy=policy, batch_wait=0.5, max_batch=16
+        ) as service:
+            futures = [
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                    tenant=tenant,
+                    mu=gap_mu,
+                )
+                for tenant in ("a", "b")
+            ]
+            with pytest.raises(ServiceOverloadError, match="service at capacity"):
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                    tenant="c",
+                    mu=gap_mu,
+                )
+            for future in futures:
+                future.result(120)
+
+    def test_plan_cache_byte_budget_enforced_after_requests(
+        self, water32_matrices, gap_mu
+    ):
+        policy = AdmissionPolicy(max_plan_cache_bytes=1)
+        with DensityService(config=CONFIG, policy=policy) as service:
+            result = service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+            )
+            snapshot = service.stats()
+        assert result is not None  # the request itself is unaffected
+        assert snapshot["plan_cache_bytes"] <= 1
+        assert snapshot["admission"]["memory_evictions"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# validation, metrics, lifecycle
+# --------------------------------------------------------------------------- #
+class TestServiceValidation:
+    def test_unknown_solver_rejected_at_submit(self, water32_matrices, gap_mu):
+        with DensityService(config=CONFIG) as service:
+            with pytest.raises(UnknownKernelError):
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                    mu=gap_mu,
+                    solver="definitely-not-a-kernel",
+                )
+            # failed validation must not leak admission slots
+            assert service.stats()["admission"]["in_flight"] == 0
+
+    def test_ensemble_validation(self, water32_matrices, gap_mu):
+        with DensityService(config=CONFIG) as service:
+            with pytest.raises(ValueError, match="exactly one"):
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                )
+            with pytest.raises(ValueError, match="exactly one"):
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                    mu=gap_mu,
+                    n_electrons=N_ELECTRONS,
+                )
+            with pytest.raises(ValueError, match="eigendecomposition"):
+                service.submit(
+                    water32_matrices.K,
+                    water32_matrices.S,
+                    water32_matrices.blocks,
+                    n_electrons=N_ELECTRONS,
+                    solver="newton_schulz",
+                )
+            assert service.stats()["admission"]["in_flight"] == 0
+
+
+class TestServiceMetrics:
+    def test_counters_and_percentiles(self):
+        metrics = ServiceMetrics(latency_window=8)
+        for latency in (0.1, 0.2, 0.3, 0.4):
+            metrics.record_admitted("t")
+            metrics.record_completed(
+                "t", latency, batched=True, n_coalesced=2, bytes_out=100,
+                cache_hits=1,
+            )
+        metrics.record_admitted("t")
+        metrics.record_failed("t", 0.5)
+        metrics.record_rejected("t")
+        snapshot = metrics.snapshot()
+        tenant = snapshot["tenants"]["t"]
+        assert tenant["admitted"] == 5
+        assert tenant["completed"] == 4
+        assert tenant["failed"] == 1
+        assert tenant["rejected"] == 1
+        assert tenant["batched"] == 4
+        assert tenant["coalesced"] == 8
+        assert tenant["bytes_out"] == 400
+        assert tenant["cache_hit_rate"] == 1.0
+        assert tenant["p50_latency"] == pytest.approx(0.3)
+        assert tenant["p99_latency"] <= 0.5
+        assert snapshot["total"]["completed"] == 4
+        percentiles = metrics.percentiles("t")
+        assert percentiles[50.0] == pytest.approx(0.3)
+
+    def test_latency_window_is_bounded(self):
+        metrics = ServiceMetrics(latency_window=4)
+        for index in range(100):
+            metrics.record_completed("t", float(index))
+        # only the last 4 latencies survive in the window
+        assert metrics.percentiles("t")[50.0] >= 96.0
+
+    def test_empty_snapshot(self):
+        metrics = ServiceMetrics()
+        snapshot = metrics.snapshot()
+        assert snapshot["tenants"] == {}
+        assert snapshot["total"]["cache_hit_rate"] == 0.0
+        assert metrics.percentiles()[99.0] == 0.0
+
+
+class TestServiceLifecycle:
+    def test_close_is_idempotent_and_rejects_new_work(
+        self, water32_matrices, gap_mu
+    ):
+        service = DensityService(config=CONFIG)
+        result = service.density(
+            water32_matrices.K,
+            water32_matrices.S,
+            water32_matrices.blocks,
+            mu=gap_mu,
+        )
+        assert result is not None
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+            )
+
+    def test_context_pool_reuses_and_bounds_contexts(
+        self, water32_matrices, gap_mu
+    ):
+        with DensityService(config=CONFIG, max_contexts=1) as service:
+            service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+            )
+            assert service.stats()["contexts"] == 1
+            # a different configuration gets its own context; the pool
+            # stays within its bound by closing the idle LRU entry
+            service.density(
+                water32_matrices.K,
+                water32_matrices.S,
+                water32_matrices.blocks,
+                mu=gap_mu,
+                config=EngineConfig(engine="plan", backend="serial"),
+            )
+            snapshot = service.stats()
+            assert snapshot["contexts"] == 1
+            # both configurations hit the same shared plan cache
+            assert snapshot["plan_cache"]["builds"] == 1
+            assert snapshot["plan_cache"]["hits"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# satellite: prefetch backend configuration (PR-7 follow-on)
+# --------------------------------------------------------------------------- #
+class TestPrefetchBackend:
+    def test_invalid_prefetch_backend_rejected(self):
+        with pytest.raises(ValueError, match="prefetch_backend"):
+            EngineConfig(prefetch_backend="carrier-pigeon")
+
+    @pytest.mark.parametrize("prefetch_backend", ["thread", "process"])
+    def test_overlap_trajectory_bitwise_identical_per_backend(
+        self, water32_matrices, gap_mu, prefetch_backend
+    ):
+        steps = [(water32_matrices.K, water32_matrices.S)] * 2
+        with SubmatrixContext(CONFIG) as context:
+            reference = context.trajectory(
+                steps, water32_matrices.blocks, mu=gap_mu
+            )
+        overlapped = CONFIG.replace(
+            overlap=True, prefetch_backend=prefetch_backend
+        )
+        with SubmatrixContext(overlapped) as context:
+            result = context.trajectory(
+                steps, water32_matrices.blocks, mu=gap_mu
+            )
+        for step, ref_step in zip(result.results, reference.results):
+            assert_identical(step, ref_step)

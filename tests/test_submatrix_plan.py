@@ -202,14 +202,15 @@ class TestBlockPlanEquivalence:
 
 
 
-def expected_stats(hits, misses, plans, patches=0, groups_rebuilt=0):
-    """Full PlanCache.stats dict (builds tracks misses for full builds)."""
+def expected_stats(hits, misses, plans, patches=0, groups_rebuilt=0, evictions=0):
+    """Full PlanCache.stats dict sans bytes (builds tracks misses)."""
     return {
         "hits": hits,
         "misses": misses,
         "builds": misses,
         "patches": patches,
         "groups_rebuilt": groups_rebuilt,
+        "evictions": evictions,
         "plans": plans,
     }
 
