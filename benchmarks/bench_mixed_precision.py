@@ -1,0 +1,254 @@
+"""Benchmark — mixed-precision execution policy (kernel + end-to-end).
+
+Quantifies the three claims of the array-backend / precision-policy layer:
+
+* **Kernel throughput.**  The batched Newton–Schulz sign kernel runs on the
+  water-box submatrix stack through each array backend (NumPy FP64 baseline,
+  emulated FP32 and FP16').  Each reduced mode uses its own attainable
+  convergence threshold (``8·ε_mode``, the same rule the policy applies).
+  The acceptance bar is that the best reduced mode beats FP64 throughput —
+  in the NumPy emulation that is FP32, whose BLAS is genuinely faster;
+  half-precision storage is emulated by casts and therefore *slower* than
+  FP64 here, which is why the modeled device rates (Table I of the paper)
+  are reported next to the measured emulation rates.
+* **End-to-end density accuracy.**  ``PrecisionPolicy`` modes ``fp64`` /
+  ``fp32`` / ``fp16`` / ``auto`` drive the full density pipeline on the
+  water box.  ``fp64`` is asserted bitwise identical to the default path;
+  the reduced modes report stacks reduced, FP64 refinement passes, the
+  a-priori error bound and the measured density error against FP64.
+* **Auto stays within budget.**  With ``error_tolerance=1e-3`` the auto
+  policy engages a reduced mode, and both its reported bound and its
+  measured density error stay within the configured tolerance.
+
+Writes ``BENCH_mixed_precision.json`` at the repository root so future PRs
+can track the trajectory, plus the usual table under ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.accel import PRECISION_MODES, RTX_2080_TI, model_sign_algorithm_performance
+from repro.api import EngineConfig, PrecisionPolicy, SubmatrixContext
+from repro.backend import get_backend
+from repro.backend.mixed import REDUCED_CONVERGENCE_FACTOR
+from repro.chem import (
+    SZV,
+    HamiltonianModel,
+    build_matrices,
+    orthogonalized_ks,
+    water_box,
+)
+from repro.signfn.newton_schulz import sign_newton_schulz_batched
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from common import bench_scale, report  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ROOT_JSON = REPO_ROOT / "BENCH_mixed_precision.json"
+
+N_ELECTRONS_PER_MOLECULE = 8.0
+AUTO_TOLERANCE = 1e-3
+KERNEL_STACK_DEPTH = 8
+KERNEL_MODES = ("FP64", "FP32", "FP16'")
+
+
+def _water_pair():
+    model = HamiltonianModel(basis=SZV)
+    system = water_box(1)
+    pair = build_matrices(system, model=model)
+    return system, pair, model.homo_lumo_gap_center()
+
+
+def _kernel_stack(pair, mu):
+    """A (k, n, n) submatrix-style stack from the water Hamiltonian."""
+    ortho, _ = orthogonalized_ks(pair.K, pair.S)
+    dense = ortho.toarray()
+    n = dense.shape[0]
+    rng = np.random.default_rng(0)
+    stack = np.stack(
+        [dense - mu * np.eye(n) for _ in range(KERNEL_STACK_DEPTH)]
+    )
+    stack += 1e-6 * rng.standard_normal(stack.shape)
+    return 0.5 * (stack + np.swapaxes(stack, -1, -2))
+
+
+def _kernel_throughput(stack, repetitions):
+    k, n = stack.shape[0], stack.shape[-1]
+    measurements = {}
+    for name in KERNEL_MODES:
+        if name == "FP64":
+            xp, threshold = None, 1e-10
+        else:
+            xp = get_backend("emulated", precision=name)
+            threshold = REDUCED_CONVERGENCE_FACTOR * PRECISION_MODES[name].epsilon
+        sign_newton_schulz_batched(stack, convergence_threshold=threshold, xp=xp)
+        best = float("inf")
+        result = None
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            result = sign_newton_schulz_batched(
+                stack, convergence_threshold=threshold, xp=xp
+            )
+            best = min(best, time.perf_counter() - start)
+        iterations = int(np.max(np.asarray(result.iterations)))
+        # two n^3 products per Newton-Schulz iteration per slot
+        flops = 2.0 * 2.0 * k * float(n) ** 3 * iterations
+        modeled = model_sign_algorithm_performance(RTX_2080_TI, name)
+        measurements[name] = {
+            "convergence_threshold": threshold,
+            "iterations": iterations,
+            "converged": bool(np.all(result.converged)),
+            "best_s": best,
+            "emulated_gflops": flops / best / 1e9,
+            "modeled_device_overall_tflops": float(modeled.overall_tflops),
+            "modeled_device_gemm_tflops": float(modeled.gemm_tflops),
+        }
+    for name, measurement in measurements.items():
+        measurement["speedup_vs_fp64"] = (
+            measurements["FP64"]["best_s"] / measurement["best_s"]
+        )
+    return {
+        "stack_shape": list(stack.shape),
+        "per_mode": measurements,
+        "best_reduced_mode": max(
+            (m for m in KERNEL_MODES if m != "FP64"),
+            key=lambda m: measurements[m]["emulated_gflops"],
+        ),
+    }
+
+
+def _density(pair, mu, n_electrons, policy):
+    config = EngineConfig(engine="batched", precision=policy)
+    with SubmatrixContext(config) as context:
+        start = time.perf_counter()
+        result = context.density(
+            pair.K, pair.S, pair.blocks, mu=mu, solver="newton_schulz"
+        )
+        elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _end_to_end(pair, mu, n_electrons):
+    policies = {
+        "fp64": PrecisionPolicy(mode="fp64"),
+        "fp32": PrecisionPolicy(mode="fp32"),
+        "fp16": PrecisionPolicy(mode="fp16"),
+        "auto": PrecisionPolicy(mode="auto", error_tolerance=AUTO_TOLERANCE),
+    }
+    baseline, _ = _density(pair, mu, n_electrons, PrecisionPolicy.disabled())
+    measurements = {}
+    for name, policy in policies.items():
+        result, elapsed = _density(pair, mu, n_electrons, policy)
+        error = float(np.abs(result.density_ao - baseline.density_ao).max())
+        measurements[name] = {
+            "mode": policy.mode,
+            "wall_s": elapsed,
+            "stacks_reduced": int(result.stacks_reduced),
+            "refinement_passes": int(result.refinement_passes),
+            "precision_error_bound": result.precision_error_bound,
+            "density_max_error": error,
+            "bitwise_identical_to_fp64": bool(
+                np.array_equal(result.density_ao, baseline.density_ao)
+            ),
+        }
+    measurements["auto"]["error_tolerance"] = AUTO_TOLERANCE
+    return measurements
+
+
+def run_mixed_precision_benchmark():
+    scale = bench_scale()
+    system, pair, mu = _water_pair()
+    n_electrons = N_ELECTRONS_PER_MOLECULE * system.n_molecules
+
+    kernel = _kernel_throughput(
+        _kernel_stack(pair, mu), repetitions=max(3, int(round(5 * scale)))
+    )
+    density = _end_to_end(pair, mu, n_electrons)
+
+    payload = {
+        "benchmark": "mixed_precision",
+        "system": {
+            "molecules": int(system.n_molecules),
+            "n_basis": int(pair.K.shape[0]),
+            "mu": float(mu),
+        },
+        "kernel_throughput": kernel,
+        "end_to_end": density,
+    }
+    rows = []
+    for name in KERNEL_MODES:
+        measurement = kernel["per_mode"][name]
+        rows.append(
+            [
+                f"kernel {name}",
+                measurement["best_s"],
+                f"{measurement['emulated_gflops']:.1f} GFLOP/s emulated, "
+                f"{measurement['modeled_device_overall_tflops']:.1f} TFLOP/s modeled",
+                f"{measurement['speedup_vs_fp64']:.2f}x",
+            ]
+        )
+    for name, measurement in density.items():
+        note = (
+            "bitwise = fp64"
+            if measurement["bitwise_identical_to_fp64"]
+            else f"err {measurement['density_max_error']:.2e}, "
+            f"{measurement['stacks_reduced']} stacks reduced"
+        )
+        rows.append([f"density {name}", measurement["wall_s"], note, "-"])
+    with open(ROOT_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return rows, payload
+
+
+def _report(rows, payload):
+    system = payload["system"]
+    report(
+        "mixed_precision",
+        ["path", "seconds", "throughput / accuracy", "speedup"],
+        rows,
+        f"Mixed-precision execution ({system['molecules']} molecules / "
+        f"{system['n_basis']} basis functions, mu = {system['mu']:.2f})",
+    )
+
+
+def _assert_acceptance(payload):
+    kernel = payload["kernel_throughput"]
+    best = kernel["per_mode"][kernel["best_reduced_mode"]]
+    fp64 = kernel["per_mode"]["FP64"]
+    assert best["converged"] and fp64["converged"]
+    # the best reduced mode beats fp64 throughput on the water stack
+    assert best["emulated_gflops"] > fp64["emulated_gflops"], kernel
+    density = payload["end_to_end"]
+    assert density["fp64"]["bitwise_identical_to_fp64"]
+    assert density["fp32"]["stacks_reduced"] > 0
+    assert density["fp32"]["density_max_error"] < 1e-5
+    # auto engages a reduced mode and its refined error stays within budget
+    auto = density["auto"]
+    assert auto["stacks_reduced"] > 0, auto
+    assert auto["precision_error_bound"] <= AUTO_TOLERANCE, auto
+    assert auto["density_max_error"] <= AUTO_TOLERANCE, auto
+
+
+@pytest.mark.benchmark(group="core")
+def test_mixed_precision(benchmark):
+    rows, payload = benchmark.pedantic(
+        run_mixed_precision_benchmark, rounds=1, iterations=1
+    )
+    _report(rows, payload)
+    _assert_acceptance(payload)
+
+
+if __name__ == "__main__":
+    table_rows, result_payload = run_mixed_precision_benchmark()
+    _report(table_rows, result_payload)
+    _assert_acceptance(result_payload)
+    best_mode = result_payload["kernel_throughput"]["best_reduced_mode"]
+    print(f"best reduced kernel mode: {best_mode}")
+    print(f"wrote {ROOT_JSON}")

@@ -24,6 +24,8 @@ from repro.api.config import (
     EIGENSOLVE_FLOP_CONSTANT,
     ENGINES,
     EngineConfig,
+    PRECISION_POLICY_MODES,
+    PrecisionPolicy,
     ResiliencePolicy,
 )
 from repro.api.checkpoint import CheckpointError, TrajectoryCheckpoint
@@ -63,6 +65,8 @@ __all__ = [
     "BALANCE_STRATEGIES",
     "EIGENSOLVE_FLOP_CONSTANT",
     "ResiliencePolicy",
+    "PrecisionPolicy",
+    "PRECISION_POLICY_MODES",
     "TrajectoryCheckpoint",
     "CheckpointError",
     "KernelConvergenceError",

@@ -51,6 +51,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.api.results import DecomposedSubmatrix, SubmatrixDFTResult
+from repro.backend.mixed import PrecisionReport, solve_reduced_sign
 from repro.chem.density import band_structure_energy, electron_count, fermi_occupation
 from repro.core.batch import MAX_BATCH_ELEMENTS, make_stack_tasks
 from repro.core.combination import ColumnGrouping, single_column_groups
@@ -160,6 +161,8 @@ def compute_density(
     start = time.perf_counter()
     policy = config.resilience if config.resilience.active else None
     report = ResilienceReport() if policy is not None else None
+    precision = config.precision if config.precision.active else None
+    precision_report = PrecisionReport() if precision is not None else None
     if (mu is None) == (n_electrons is None):
         raise ValueError("specify exactly one of mu and n_electrons")
     canonical = n_electrons is not None
@@ -271,6 +274,8 @@ def compute_density(
             replan,
             policy=policy,
             report=report,
+            precision=precision,
+            precision_report=precision_report,
         )
         mu_iterations = 0
 
@@ -287,6 +292,7 @@ def compute_density(
         ranks=ranks,
         pipeline=pipeline,
         report=report,
+        precision_report=precision_report,
     )
 
 
@@ -303,6 +309,7 @@ def assemble_result(
     ranks: int = 1,
     pipeline=None,
     report=None,
+    precision_report=None,
 ) -> SubmatrixDFTResult:
     """Finalize a density calculation from its scattered occupation matrix.
 
@@ -352,6 +359,19 @@ def assemble_result(
         degraded=report.degraded if report is not None else False,
         overlap_seconds=overlap_seconds,
         exchange_hidden_fraction=exchange_hidden_fraction,
+        stacks_reduced=(
+            precision_report.stacks_reduced if precision_report is not None else 0
+        ),
+        refinement_passes=(
+            precision_report.refinement_passes
+            if precision_report is not None
+            else 0
+        ),
+        precision_error_bound=(
+            precision_report.error_bound
+            if precision_report is not None and precision_report.stacks_reduced
+            else None
+        ),
     )
 
 
@@ -630,7 +650,15 @@ def _scatter_occupations(
 # --------------------------------------------------------------------------- #
 # iterative path (grand-canonical only, used for the solver ablation)
 # --------------------------------------------------------------------------- #
-def _occupation_stack_solver(kernel, bound, mu: float, policy=None, report=None):
+def _occupation_stack_solver(
+    kernel,
+    bound,
+    mu: float,
+    policy=None,
+    report=None,
+    precision=None,
+    precision_report=None,
+):
     """Per-stack occupation solver 1/2·(I − sign(A − μI)) for ``kernel``.
 
     Both the single-process bucket loop and the rank-sharded pipeline map
@@ -648,12 +676,24 @@ def _occupation_stack_solver(kernel, bound, mu: float, policy=None, report=None)
     ``report``, not raised.  A retried matrix restarts from its original
     shifted values, so a recovered solve is bitwise identical to a
     fault-free converged one.
+
+    With an active ``precision`` policy and a kernel that declares
+    ``supports_reduced_precision``, a reduced-precision sign solve with an
+    FP64 refinement pass (:func:`~repro.backend.mixed.solve_reduced_sign`)
+    is attempted *first*; whenever it declines or fails (mode gate,
+    non-finite reduced estimate, refinement non-convergence) the stack
+    silently falls through to the ordinary FP64 chain below — including
+    its resilience ladder.
     """
     resilient = resilient_stack_solver(kernel, policy, report)
 
     def solve(stack: np.ndarray) -> np.ndarray:
         identity = np.eye(stack.shape[-1])
         shifted = stack - mu * identity
+        if precision is not None:
+            signs = solve_reduced_sign(kernel, shifted, precision, precision_report)
+            if signs is not None:
+                return 0.5 * (identity - signs)
         if resilient is not None:
             signs = np.asarray(resilient(shifted), dtype=float)
         elif bound.batch_function is not None:
@@ -686,6 +726,8 @@ def _iterative_occupations(
     replan: str = "full",
     policy=None,
     report=None,
+    precision=None,
+    precision_report=None,
 ) -> Tuple[BlockSparseMatrix, List[int]]:
     """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
 
@@ -731,7 +773,9 @@ def _iterative_occupations(
             scatter_block_submatrix_result(result, occupation, submatrix, coo)
         return result, dimensions
 
-    solve_stack = _occupation_stack_solver(kernel, bound, mu, policy, report)
+    solve_stack = _occupation_stack_solver(
+        kernel, bound, mu, policy, report, precision, precision_report
+    )
     pad_value = kernel.padding_value(mu)
 
     if pipeline is not None:

@@ -125,6 +125,17 @@ class SubmatrixDFTResult:
     exchange_hidden_fraction:
         Fraction of the modeled initialization exchange that the overlap
         hid (``None`` when the run did not execute arrival-driven).
+    stacks_reduced:
+        Bucketed stacks whose iterative sign solve ran in a reduced
+        precision mode under the session's
+        :class:`~repro.api.config.PrecisionPolicy` (0 for the default FP64
+        policy or non-participating kernels).
+    refinement_passes:
+        FP64 Newton–Schulz refinement passes that polished a reduced sign
+        estimate back to target accuracy.
+    precision_error_bound:
+        Max over the reduced stacks of the a-priori density error bound
+        ``ε_mode · κ_estimate`` (``None`` when nothing ran reduced).
     """
 
     density_ao: np.ndarray
@@ -146,6 +157,9 @@ class SubmatrixDFTResult:
     degraded: bool = False
     overlap_seconds: float = 0.0
     exchange_hidden_fraction: Optional[float] = None
+    stacks_reduced: int = 0
+    refinement_passes: int = 0
+    precision_error_bound: Optional[float] = None
 
     @property
     def n_submatrices(self) -> int:

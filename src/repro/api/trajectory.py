@@ -143,6 +143,10 @@ class TrajectoryStepRecord:
         Whether this step's pure preparation (orthogonalization, block
         conversion, pattern extraction) was computed on the prefetch
         thread while the previous step was still evaluating.
+    stacks_reduced / refinement_passes / precision_error_bound:
+        Mixed-precision accounting of the step's density calculation
+        (see :class:`~repro.api.results.SubmatrixDFTResult`; all 0/None
+        for the default FP64 :class:`~repro.api.config.PrecisionPolicy`).
     """
 
     step: int
@@ -168,6 +172,9 @@ class TrajectoryStepRecord:
     overlap_seconds: float = 0.0
     exchange_hidden_fraction: Optional[float] = None
     prefetched: bool = False
+    stacks_reduced: int = 0
+    refinement_passes: int = 0
+    precision_error_bound: Optional[float] = None
 
 
 @dataclasses.dataclass
@@ -213,6 +220,9 @@ class TrajectoryStats:
     steps_prefetched:
         Steps whose pure preparation ran on the prefetch thread while the
         previous step was still evaluating.
+    stacks_reduced / refinement_passes:
+        Totals of the per-step mixed-precision counters (0 for the
+        default FP64 :class:`~repro.api.config.PrecisionPolicy`).
 
     All ratio properties are well-defined for empty trajectories (they
     return 0.0 instead of dividing by zero).
@@ -235,6 +245,19 @@ class TrajectoryStats:
     steps_resumed: int = 0
     overlap_seconds: float = 0.0
     steps_prefetched: int = 0
+    stacks_reduced: int = 0
+    refinement_passes: int = 0
+
+    @property
+    def precision_error_bound(self) -> Optional[float]:
+        """Max per-step a-priori mixed-precision error bound (``None``
+        when no step ran any stack reduced)."""
+        bounds = [
+            r.precision_error_bound
+            for r in self.steps
+            if r.precision_error_bound is not None
+        ]
+        return max(bounds) if bounds else None
 
     @property
     def exchange_hidden_fraction(self) -> float:
@@ -623,6 +646,9 @@ def run_trajectory(
                     overlap_seconds=float(result.overlap_seconds),
                     exchange_hidden_fraction=result.exchange_hidden_fraction,
                     prefetched=prepared is not None and not resumed,
+                    stacks_reduced=result.stacks_reduced,
+                    refinement_passes=result.refinement_passes,
+                    precision_error_bound=result.precision_error_bound,
                 )
             )
             results.append(result)
@@ -655,5 +681,7 @@ def run_trajectory(
         steps_resumed=sum(1 for r in records if r.resumed),
         overlap_seconds=float(sum(r.overlap_seconds for r in records)),
         steps_prefetched=sum(1 for r in records if r.prefetched),
+        stacks_reduced=sum(r.stacks_reduced for r in records),
+        refinement_passes=sum(r.refinement_passes for r in records),
     )
     return TrajectoryResult(results=results, stats=stats)

@@ -1,0 +1,50 @@
+"""Array-backend seam + mixed-precision execution (Sec. VI of the paper).
+
+The ``repro.backend`` package isolates *where arrays live and how GEMMs and
+eigensolves execute* from the rest of the engine:
+
+* :mod:`repro.backend.base` — the :class:`ArrayBackend` protocol, the
+  default :class:`NumpyBackend` (bitwise identical to the pre-seam code)
+  and the :func:`get_backend`/:func:`register_backend` registry that lets a
+  cupy/torch backend drop in later;
+* :mod:`repro.backend.emulated` — the ``"emulated"`` reduced-precision
+  backend built on :mod:`repro.accel.precision` (the paper's
+  FP16/FP16'/FP32 tensor-core modes, emulated with NumPy dtype rounding);
+* :mod:`repro.backend.mixed` — the execution side of
+  :class:`~repro.api.config.PrecisionPolicy`: per-stack mode selection from
+  the :mod:`repro.accel.perf_model` throughput model and a cheap submatrix
+  condition estimate, reduced batched sign solves, and the warm-started
+  FP64 Newton–Schulz refinement pass.
+"""
+
+from repro.backend.base import (
+    NUMPY_BACKEND,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.backend.emulated import EmulatedPrecisionBackend
+from repro.backend.mixed import (
+    REDUCED_CONVERGENCE_FACTOR,
+    PrecisionReport,
+    estimate_stack_condition,
+    select_stack_mode,
+    solve_reduced_sign,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "EmulatedPrecisionBackend",
+    "NUMPY_BACKEND",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "PrecisionReport",
+    "estimate_stack_condition",
+    "select_stack_mode",
+    "solve_reduced_sign",
+    "REDUCED_CONVERGENCE_FACTOR",
+]

@@ -1,0 +1,90 @@
+"""Reduced-precision array backend emulated on CPU.
+
+Implements the :class:`~repro.backend.base.ArrayBackend` protocol on top of
+:mod:`repro.accel.precision`: arrays live in the mode's *storage* dtype and
+every GEMM goes through :func:`repro.accel.precision.gemm` (storage-cast →
+accumulate-dtype product → rounded back to storage), reproducing the
+rounding behaviour of the paper's tensor-core modes (Sec. VI-A) without the
+hardware.  This is the backend the
+:class:`~repro.api.config.PrecisionPolicy` uses for its reduced sign solves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.accel.precision import PRECISION_MODES, PrecisionMode, convert, gemm
+from repro.backend.base import ArrayBackend, register_backend
+
+__all__ = ["EmulatedPrecisionBackend"]
+
+
+class EmulatedPrecisionBackend(ArrayBackend):
+    """Emulated reduced/mixed-precision execution (``"emulated"``).
+
+    Parameters
+    ----------
+    mode:
+        The :class:`~repro.accel.precision.PrecisionMode` to emulate.  The
+        default is ``FP32``; ``FP16'`` (half storage, single accumulation)
+        is the tensor-core mixed mode the paper favours for the sign
+        iteration.
+    """
+
+    name = "emulated"
+
+    def __init__(self, mode: PrecisionMode = PRECISION_MODES["FP32"]):
+        self.precision = mode
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.precision.storage_dtype
+
+    def asarray(self, a) -> np.ndarray:
+        return convert(a, self.precision)
+
+    def array(self, a) -> np.ndarray:
+        return np.array(a, dtype=self.precision.storage_dtype)
+
+    def empty(self, shape, dtype=None) -> np.ndarray:
+        return np.empty(
+            shape, dtype=self.precision.storage_dtype if dtype is None else dtype
+        )
+
+    def eye(self, n: int) -> np.ndarray:
+        return np.eye(n, dtype=self.precision.storage_dtype)
+
+    def matmul(self, a, b) -> np.ndarray:
+        return gemm(a, b, self.precision)
+
+    def eigh(self, a) -> Tuple[np.ndarray, np.ndarray]:
+        # LAPACK has no half-precision drivers: float16 inputs are promoted
+        # to float32 for the decomposition and the factors rounded back to
+        # storage, mirroring how a device would stage an eigensolve
+        compute = np.asarray(a)
+        if compute.dtype == np.float16:
+            compute = compute.astype(np.float32)
+        eigenvalues, eigenvectors = np.linalg.eigh(compute)
+        return (
+            convert(eigenvalues, self.precision),
+            convert(eigenvectors, self.precision),
+        )
+
+    def to_numpy(self, a) -> np.ndarray:
+        return np.asarray(a, dtype=float)
+
+
+def _emulated_factory(precision: Optional[str]) -> EmulatedPrecisionBackend:
+    name = "FP32" if precision is None else precision
+    mode = PRECISION_MODES.get(name)
+    if mode is None:
+        raise ValueError(
+            f"unknown precision mode {precision!r}; available: "
+            f"{', '.join(PRECISION_MODES)}"
+        )
+    return EmulatedPrecisionBackend(mode)
+
+
+register_backend("emulated", _emulated_factory)

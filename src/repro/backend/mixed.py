@@ -1,0 +1,207 @@
+"""Mixed-precision stack execution for the density driver.
+
+This module implements the execution side of
+:class:`~repro.api.config.PrecisionPolicy`: given a μ-shifted bucketed
+``(k, d, d)`` stack, decide the precision mode (fixed, or per-stack for
+``"auto"``), run the registered kernel's reduced-precision batched sign
+solve through the ``"emulated"`` array backend, and recover the target
+accuracy with a warm-started FP64 Newton–Schulz refinement pass.
+
+**Why refinement works (and what it recovers).**  The Newton–Schulz map
+``X ← ½·X(3I − X²)`` contracts toward the involutory manifold, so an FP64
+continuation started from the reduced-precision iterate removes the
+reduced mode's *involutority* noise floor (Fig. 13) in a few quadratically
+convergent iterations — the refined density is a clean projector to FP64
+working accuracy.  What refinement cannot undo is the invariant-subspace
+perturbation the reduced rounding introduced, which is bounded by
+``ε_mode · κ`` with κ the sign-problem conditioning of the stack.  That
+bound is exactly what the ``"auto"`` policy checks against the configured
+``error_tolerance`` before choosing a mode, and what lands on results as
+``precision_error_bound``.
+
+**Mode selection** (``"auto"``): candidate modes are ranked by the
+:mod:`repro.accel.perf_model` end-to-end throughput model for the stack's
+submatrix dimension, and the fastest mode whose ``ε_mode · κ`` fits the
+error budget wins; when none fits, the stack runs in FP64.  κ comes from a
+cheap per-submatrix estimate — the spectral-radius upper bound over a
+Gershgorin lower bound on ``|λ|min`` of the shifted matrix, with a
+configurable assumed gap floor when the Gershgorin bound is uninformative
+(μ sits inside a cluster of discs for most Kohn–Sham matrices).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.accel.perf_model import (
+    RTX_2080_TI,
+    DeviceSpec,
+    model_sign_algorithm_performance,
+)
+from repro.accel.precision import PRECISION_MODES, PrecisionMode
+from repro.backend.base import get_backend
+
+__all__ = [
+    "PrecisionReport",
+    "estimate_stack_condition",
+    "select_stack_mode",
+    "solve_reduced_sign",
+    "REDUCED_CONVERGENCE_FACTOR",
+]
+
+#: Convergence threshold of a reduced-precision sign solve, as a multiple of
+#: the mode's unit roundoff: the iteration stops at its attainable noise
+#: floor instead of burning iterations chasing an FP64 threshold it can
+#: never reach (the refinement pass takes over from there).
+REDUCED_CONVERGENCE_FACTOR = 8.0
+
+#: Fixed-policy mode names → paper precision modes.  ``"fp16"`` maps to the
+#: tensor-core mixed mode FP16' (half storage, single accumulation), which
+#: the paper favours over pure FP16 for the sign iteration; pure FP16 stays
+#: reachable through ``get_backend("emulated", precision="FP16")``.
+_POLICY_MODE_OF = {"fp32": "FP32", "fp16": "FP16'"}
+
+#: Reduced modes the ``"auto"`` policy considers (FP64 is the fallback).
+_AUTO_CANDIDATES = ("FP16'", "FP32")
+
+
+@dataclasses.dataclass
+class PrecisionReport:
+    """What the mixed-precision machinery did during one density run.
+
+    Attributes
+    ----------
+    stacks_reduced:
+        Bucketed stacks whose sign solve ran in a reduced precision mode
+        (stacks the policy left in FP64 are not counted).
+    refinement_passes:
+        FP64 Newton–Schulz refinement passes run (one per reduced stack
+        whose refinement converged).
+    error_bound:
+        Max over the reduced stacks of the a-priori density error bound
+        ``ε_mode · κ_estimate`` (0.0 when nothing ran reduced).
+    modes:
+        Reduced-stack counts per precision-mode name.
+    """
+
+    stacks_reduced: int = 0
+    refinement_passes: int = 0
+    error_bound: float = 0.0
+    modes: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+def estimate_stack_condition(shifted: np.ndarray, gap_floor: float) -> float:
+    """Cheap sign-problem conditioning estimate of a μ-shifted stack.
+
+    Per matrix, ``|λ|max`` is bounded above by the 1-/∞-norm geometric mean
+    (the same bound that prescales the sign iterations) and ``|λ|min`` below
+    by the Gershgorin disc bound ``min_i(|a_ii| − Σ_{j≠i}|a_ij|)``.  When
+    that bound is not positive — the generic case for a μ inside the
+    spectrum's Gershgorin discs — the assumed ``gap_floor`` stands in for
+    the distance of μ to the nearest eigenvalue.  Returns the worst (max)
+    κ over the stack, which is the right granularity because the policy
+    picks one mode per bucketed stack.
+    """
+    a = np.asarray(shifted, dtype=float)
+    abs_a = np.abs(a)
+    one_norm = abs_a.sum(axis=1).max(axis=1)
+    inf_norm = abs_a.sum(axis=2).max(axis=1)
+    upper = np.sqrt(one_norm * inf_norm)
+    diagonal = np.abs(np.diagonal(a, axis1=1, axis2=2))
+    radius = abs_a.sum(axis=2) - diagonal
+    gershgorin = (diagonal - radius).min(axis=1)
+    floor = float(gap_floor)
+    lam_min = np.where(gershgorin > 0.0, np.maximum(gershgorin, floor), floor)
+    kappa = np.where(upper > 0.0, upper / lam_min, 1.0)
+    return float(kappa.max()) if kappa.size else 1.0
+
+
+def select_stack_mode(
+    policy,
+    shifted: np.ndarray,
+    device: DeviceSpec = RTX_2080_TI,
+) -> Optional[Tuple[PrecisionMode, float]]:
+    """Choose the reduced precision mode (and error bound) for one stack.
+
+    Returns ``(mode, bound)`` with ``bound = ε_mode · κ_estimate``, or
+    ``None`` when the stack should run in FP64 (policy inactive, submatrix
+    below ``min_dimension``, or — for ``"auto"`` — no candidate mode fits
+    the error budget).
+    """
+    n = int(shifted.shape[-1])
+    if n < policy.min_dimension:
+        return None
+    kappa = estimate_stack_condition(shifted, policy.gap_floor)
+    fixed = _POLICY_MODE_OF.get(policy.mode)
+    if fixed is not None:
+        mode = PRECISION_MODES[fixed]
+        return mode, mode.epsilon * kappa
+    if policy.mode != "auto":
+        return None
+    candidates = [name for name in _AUTO_CANDIDATES if device.supports(name)]
+    candidates.sort(
+        key=lambda name: model_sign_algorithm_performance(
+            device, name, matrix_dimension=max(n, 1)
+        ).overall_tflops,
+        reverse=True,
+    )
+    for name in candidates:
+        mode = PRECISION_MODES[name]
+        bound = mode.epsilon * kappa
+        if bound <= policy.error_tolerance:
+            return mode, bound
+    return None
+
+
+def solve_reduced_sign(
+    kernel,
+    shifted: np.ndarray,
+    policy,
+    report: Optional[PrecisionReport] = None,
+) -> Optional[np.ndarray]:
+    """Reduced-precision sign solve of one μ-shifted stack, FP64-refined.
+
+    Runs the kernel's reduced batched sign solve through the emulated
+    backend in the policy-selected mode, then refines the FP64-cast
+    estimate with a warm-started Newton–Schulz continuation.  Returns the
+    refined float64 sign stack, or ``None`` when the stack should (or had
+    to) run the ordinary FP64 path instead: unsupported kernel, policy/
+    dimension gate, a non-finite reduced estimate (e.g. FP16 overflow), or
+    a refinement pass that failed to converge.  Accounting lands on
+    ``report`` only for successful reduced solves.
+    """
+    from repro.signfn.newton_schulz import refine_sign_newton_schulz_batched
+
+    if not getattr(kernel, "supports_reduced_precision", False):
+        return None
+    if getattr(kernel, "make_reduced_batched", None) is None:
+        return None
+    selected = select_stack_mode(policy, shifted)
+    if selected is None:
+        return None
+    mode, bound = selected
+    xp = get_backend("emulated", precision=mode.name)
+    threshold = max(
+        REDUCED_CONVERGENCE_FACTOR * mode.epsilon, policy.refinement_threshold
+    )
+    reduced_solve = kernel.make_reduced_batched(xp, threshold)
+    with np.errstate(over="ignore", invalid="ignore"):
+        estimate = np.asarray(reduced_solve(shifted), dtype=float)
+    if estimate.shape != shifted.shape or not np.all(np.isfinite(estimate)):
+        return None
+    refined = refine_sign_newton_schulz_batched(
+        estimate,
+        convergence_threshold=policy.refinement_threshold,
+        max_iterations=policy.max_refinement_iterations,
+    )
+    if not bool(np.all(refined.converged)):
+        return None
+    if report is not None:
+        report.stacks_reduced += 1
+        report.refinement_passes += 1
+        report.error_bound = max(report.error_bound, float(bound))
+        report.modes[mode.name] = report.modes.get(mode.name, 0) + 1
+    return refined.sign

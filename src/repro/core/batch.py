@@ -129,6 +129,7 @@ def evaluate_batched(
     backend: str = "serial",
     out: Optional[np.ndarray] = None,
     executor=None,
+    xp=None,
 ) -> Optional[List[np.ndarray]]:
     """Evaluate f on every planned submatrix via bucketed 3-D stacks.
 
@@ -164,6 +165,13 @@ def evaluate_batched(
         When given, every evaluated stack is scattered straight into it with
         one vectorized write per stack (zero-copy path) and the function
         returns ``None``; finalize with ``plan.finalize(out)``.
+    xp:
+        Optional :class:`~repro.backend.base.ArrayBackend` the extracted
+        stacks are moved onto before the kernel call (``xp.asarray``).
+        ``None`` (default) hands the kernels the packed NumPy stacks
+        directly — the pre-seam behaviour, bitwise unchanged.  Either way
+        the evaluated stacks are coerced back to the packed buffer's dtype
+        for validation and scatter.
 
     Returns
     -------
@@ -183,12 +191,13 @@ def evaluate_batched(
         stack = plan.extract_stack(
             packed, task.members, stack_dim, pad_value=pad_value
         )
+        kernel_stack = stack if xp is None else xp.asarray(stack)
         if batch_function is not None:
-            evaluated = np.asarray(batch_function(stack), dtype=float)
+            evaluated = np.asarray(batch_function(kernel_stack), dtype=stack.dtype)
         else:
             evaluated = np.stack(
                 [
-                    np.asarray(function(stack[slot]), dtype=float)
+                    np.asarray(function(kernel_stack[slot]), dtype=stack.dtype)
                     for slot in range(len(task.members))
                 ]
             )

@@ -330,6 +330,7 @@ class OverlappedExchange:
         packed: np.ndarray,
         consume_stack: Callable,
         pad_value: float = 1.0,
+        xp=None,
     ) -> RankOverlapReport:
         """Arrival-driven evaluation of one rank's shard.
 
@@ -347,6 +348,11 @@ class OverlappedExchange:
         retry/rebalance machinery re-invokes this method, which restarts
         the rank's exchange under a fresh attempt tag (an earlier partial
         scatter is harmlessly overwritten with identical values).
+
+        ``xp`` optionally routes the rank-local buffer allocation through
+        an :class:`~repro.backend.base.ArrayBackend`; the default ``None``
+        allocates with ``np.empty`` exactly as before (the NumPy backend's
+        ``empty`` *is* ``np.empty``, so both spellings are identical).
         """
         shard = self.sharded.shards[rank]
         schedule = self._schedules[rank]
@@ -372,7 +378,10 @@ class OverlappedExchange:
                 requests.append(
                     (chunk, self.comm.irecv(rank, tag, source=chunk.source))
                 )
-        local = np.empty(shard.n_local_values, dtype=packed.dtype)
+        if xp is None:
+            local = np.empty(shard.n_local_values, dtype=packed.dtype)
+        else:
+            local = xp.empty(shard.n_local_values, dtype=packed.dtype)
         if schedule.self_indices.size:
             local[schedule.self_indices] = packed[
                 shard.local_to_global[schedule.self_indices]

@@ -897,11 +897,13 @@ class DistributedSubmatrixPipeline:
                 def consume(bucket, stack):
                     # exactly the batched evaluator's per-task arithmetic
                     if batch_function is not None:
-                        evaluated = np.asarray(batch_function(stack), dtype=float)
+                        evaluated = np.asarray(
+                            batch_function(stack), dtype=stack.dtype
+                        )
                     else:
                         evaluated = np.stack(
                             [
-                                np.asarray(function(stack[slot]), dtype=float)
+                                np.asarray(function(stack[slot]), dtype=stack.dtype)
                                 for slot in range(len(bucket.members))
                             ]
                         )
@@ -1065,7 +1067,7 @@ class DistributedSubmatrixPipeline:
             if engine is not None:
 
                 def consume(bucket, stack):
-                    evaluated = np.asarray(solve_stack(stack), dtype=float)
+                    evaluated = np.asarray(solve_stack(stack), dtype=stack.dtype)
                     if evaluated.shape != stack.shape:
                         raise ValueError(
                             f"stack solver returned shape {evaluated.shape}, "
@@ -1086,7 +1088,7 @@ class DistributedSubmatrixPipeline:
                 stack = shard.view.extract_stack(
                     local, bucket.members, bucket.dimension, pad_value=pad_value
                 )
-                evaluated = np.asarray(solve_stack(stack), dtype=float)
+                evaluated = np.asarray(solve_stack(stack), dtype=stack.dtype)
                 if evaluated.shape != stack.shape:
                     raise ValueError(
                         f"stack solver returned shape {evaluated.shape}, "
@@ -1122,7 +1124,7 @@ class DistributedSubmatrixPipeline:
                 stack = self.plan.extract_stack(
                     packed, bucket.members, bucket.dimension, pad_value=pad_value
                 )
-                evaluated = np.asarray(solve_stack(stack), dtype=float)
+                evaluated = np.asarray(solve_stack(stack), dtype=stack.dtype)
                 if evaluated.shape != stack.shape:
                     raise ValueError(
                         f"stack solver returned shape {evaluated.shape}, "

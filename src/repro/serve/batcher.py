@@ -112,8 +112,14 @@ class DensityRequest:
 
     @property
     def batch_key(self) -> tuple:
-        """Requests merge only within one (context, solver) equivalence class."""
-        return (id(self.context), self.solver)
+        """Requests merge only within one (context, solver, precision mode)
+        equivalence class — the service never merges stacks whose
+        :class:`~repro.api.config.PrecisionPolicy` modes differ."""
+        return (
+            id(self.context),
+            self.solver,
+            self.context.config.precision.mode,
+        )
 
     @property
     def content_key(self) -> tuple:

@@ -41,6 +41,8 @@ class _TenantState:
         "bytes_out",
         "cache_hits",
         "cache_misses",
+        "stacks_reduced",
+        "refinement_passes",
         "latencies",
     )
 
@@ -55,6 +57,8 @@ class _TenantState:
         self.bytes_out = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.stacks_reduced = 0
+        self.refinement_passes = 0
         self.latencies: Deque[float] = deque(maxlen=window)
 
     def snapshot(self) -> Dict[str, object]:
@@ -74,6 +78,8 @@ class _TenantState:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
+            "stacks_reduced": self.stacks_reduced,
+            "refinement_passes": self.refinement_passes,
             "p50_latency": p50,
             "p99_latency": p99,
         }
@@ -105,6 +111,11 @@ class ServiceMetrics:
         the shared cache counters may interleave — the *global* cache stats
         on :meth:`DensityService.stats <repro.serve.server.DensityService.stats>`
         are always exact.
+    ``stacks_reduced`` / ``refinement_passes``:
+        Mixed-precision accounting of the tenant's completed requests —
+        bucketed stacks whose sign solve ran reduced under the session's
+        :class:`~repro.api.config.PrecisionPolicy`, and the FP64 refinement
+        passes that recovered them (both 0 for FP64 sessions).
     ``p50_latency`` / ``p99_latency``:
         Submit-to-completion percentiles over the most recent
         ``latency_window`` requests.
@@ -141,6 +152,8 @@ class ServiceMetrics:
         bytes_out: int = 0,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        stacks_reduced: int = 0,
+        refinement_passes: int = 0,
     ) -> None:
         with self._lock:
             state = self._tenant(tenant)
@@ -154,6 +167,8 @@ class ServiceMetrics:
             state.bytes_out += int(bytes_out)
             state.cache_hits += int(cache_hits)
             state.cache_misses += int(cache_misses)
+            state.stacks_reduced += int(stacks_reduced)
+            state.refinement_passes += int(refinement_passes)
 
     def record_failed(self, tenant: str, latency: float) -> None:
         with self._lock:
@@ -180,6 +195,8 @@ class ServiceMetrics:
                 "bytes_out",
                 "cache_hits",
                 "cache_misses",
+                "stacks_reduced",
+                "refinement_passes",
             )
         }
         for state in tenants.values():

@@ -299,6 +299,8 @@ class DensityService:
                 bytes_out=bytes_out,
                 cache_hits=request.cache_hits,
                 cache_misses=request.cache_misses,
+                stacks_reduced=result.stacks_reduced,
+                refinement_passes=result.refinement_passes,
             )
         else:
             self.metrics.record_failed(request.tenant, latency)
@@ -357,6 +359,8 @@ class DensityService:
             tenant,
             time.perf_counter() - submitted,
             bytes_out=bytes_out,
+            stacks_reduced=result.stats.stacks_reduced,
+            refinement_passes=result.stats.refinement_passes,
         )
         self.admission.enforce_memory(self.plan_cache)
         return result
