@@ -11,6 +11,14 @@ engines of :class:`repro.core.method.SubmatrixMethod`:
 * ``batched`` — the plan engine plus bucketed 3-D stack evaluation with one
   batched eigendecomposition per stack.
 
+A second phase sweeps **every registered sign kernel** (whatever
+:func:`repro.signfn.registry.available_kernels` reports — eigen,
+Newton–Schulz, Padé, Chebyshev, plus anything a plugin registered) through
+the grand-canonical density driver on the same system, reporting each
+kernel's cost and its density error against the eigendecomposition
+reference.  New kernels join the sweep by registration, not by editing
+this file.
+
 The system uses a short-decay SZV variant: at reproduction scale this stands
 in for the paper's saturated linear-scaling regime (Fig. 4 — submatrix
 dimensions stop growing once the interaction radius fits the box), which is
@@ -34,6 +42,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.api import EngineConfig, SubmatrixContext
 from repro.chem import (
     HamiltonianModel,
     build_matrices,
@@ -48,6 +57,7 @@ from repro.signfn import (
     sign_via_eigendecomposition,
     sign_via_eigendecomposition_batched,
 )
+from repro.signfn.registry import available_kernels
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 from common import bench_scale, report  # noqa: E402
@@ -79,11 +89,51 @@ def build_system():
     )
     coo = CooBlockList.from_block_matrix(blocked)
     mu = model.homo_lumo_gap_center()
-    return system, blocked, coo, mu
+    return system, pair, blocked, coo, mu
+
+
+def run_kernel_sweep(pair, mu, repeats):
+    """Every registered sign kernel through the density driver at fixed μ.
+
+    Grand-canonical on purpose: the iterative kernels do not support the
+    canonical μ-bisection (Algorithm 1 needs the cached
+    eigendecompositions), so a fixed μ is the one ensemble every kernel
+    can run.  Accuracy is measured against the eigen kernel's density.
+    """
+    sweep = {}
+    with SubmatrixContext(
+        EngineConfig(engine="batched", backend="thread", eps_filter=EPS_FILTER)
+    ) as context:
+        reference = None
+        for kernel in available_kernels():
+            run = lambda: context.density(  # noqa: E731
+                pair.K, pair.S, pair.blocks, mu=mu, solver=kernel
+            )
+            result = run()  # warm-up (plans, pipelines)
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = run()
+                samples.append(time.perf_counter() - start)
+            if kernel == "eigen":
+                reference = result
+            sweep[kernel] = {
+                "median_wall_time_s": float(np.median(samples)),
+                "result": result,
+            }
+    for kernel, entry in sweep.items():
+        result = entry.pop("result")
+        entry["max_abs_diff_vs_eigen"] = float(
+            np.max(np.abs(result.density_ao - reference.density_ao))
+        )
+        entry["cost_vs_eigen"] = (
+            entry["median_wall_time_s"] / sweep["eigen"]["median_wall_time_s"]
+        )
+    return sweep
 
 
 def run_engine_benchmark():
-    system, blocked, coo, mu = build_system()
+    system, pair, blocked, coo, mu = build_system()
     repeats = max(3, int(round(5 * bench_scale())))
     cache = PlanCache()
     method = SubmatrixMethod(
@@ -117,6 +167,8 @@ def run_engine_benchmark():
         np.max(np.abs(dense_naive - block_matrix_to_dense(results["batched"].result)))
     )
     dimensions = results["naive"].submatrix_dimensions
+    kernel_repeats = max(1, repeats // 3)
+    kernels = run_kernel_sweep(pair, mu, kernel_repeats)
     payload = {
         "benchmark": "submatrix_engine",
         "system": {
@@ -147,6 +199,8 @@ def run_engine_benchmark():
             "plan_bitwise_identical": plan_diff == 0.0,
             "batched_max_abs_diff": batched_diff,
         },
+        "kernel_repeats": kernel_repeats,
+        "kernels": kernels,
     }
     with open(ROOT_JSON, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
@@ -163,11 +217,19 @@ def run_engine_benchmark():
     return rows, payload
 
 
-@pytest.mark.benchmark(group="engine")
-def test_submatrix_engine(benchmark):
-    rows, payload = benchmark.pedantic(
-        run_engine_benchmark, rounds=1, iterations=1
-    )
+def kernel_rows(payload):
+    return [
+        [
+            kernel,
+            entry["median_wall_time_s"],
+            entry["cost_vs_eigen"],
+            entry["max_abs_diff_vs_eigen"],
+        ]
+        for kernel, entry in payload["kernels"].items()
+    ]
+
+
+def report_all(payload, rows):
     report(
         "submatrix_engine",
         ["engine", "max dim(SM)", "median seconds", "speedup", "max |diff| vs naive"],
@@ -175,6 +237,20 @@ def test_submatrix_engine(benchmark):
         "Submatrix engine: naive vs. plan vs. bucketed-batched "
         f"({payload['system']['molecules']} molecules, eps_filter={EPS_FILTER:g})",
     )
+    report(
+        "submatrix_kernels",
+        ["kernel", "median seconds", "cost vs eigen", "max |diff| vs eigen"],
+        kernel_rows(payload),
+        "Registered sign kernels through the grand-canonical density driver",
+    )
+
+
+@pytest.mark.benchmark(group="engine")
+def test_submatrix_engine(benchmark):
+    rows, payload = benchmark.pedantic(
+        run_engine_benchmark, rounds=1, iterations=1
+    )
+    report_all(payload, rows)
     # the plan engine must be an exact drop-in for the naive reference
     assert payload["equivalence"]["plan_bitwise_identical"]
     assert payload["equivalence"]["batched_max_abs_diff"] < 1e-10
@@ -183,16 +259,14 @@ def test_submatrix_engine(benchmark):
     # robust on loaded machines)
     assert payload["speedup_vs_naive"]["plan"] > 1.0
     assert payload["speedup_vs_naive"]["plan_batched"] > 1.0
+    # every registered kernel must have been swept and produced a density
+    # close to the eigen reference
+    assert set(payload["kernels"]) == set(available_kernels())
+    for entry in payload["kernels"].values():
+        assert entry["max_abs_diff_vs_eigen"] < 1e-5
 
 
 if __name__ == "__main__":
     table_rows, result_payload = run_engine_benchmark()
-    report(
-        "submatrix_engine",
-        ["engine", "max dim(SM)", "median seconds", "speedup", "max |diff| vs naive"],
-        table_rows,
-        "Submatrix engine: naive vs. plan vs. bucketed-batched "
-        f"({result_payload['system']['molecules']} molecules, "
-        f"eps_filter={EPS_FILTER:g})",
-    )
+    report_all(result_payload, table_rows)
     print(f"wrote {ROOT_JSON}")

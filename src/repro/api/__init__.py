@@ -31,6 +31,9 @@ from repro.api.config import (
 from repro.api.checkpoint import CheckpointError, TrajectoryCheckpoint
 from repro.api.results import (
     DecomposedSubmatrix,
+    EnergyWeightedDensityResult,
+    ObservableBundle,
+    PDOSResult,
     SubmatrixDFTResult,
     SubmatrixMethodResult,
 )
@@ -39,6 +42,17 @@ from repro.api.context import (
     DistributedSession,
     SubmatrixContext,
 )
+from repro.api.observables import (
+    Observable,
+    SharedEvaluation,
+    UnknownObservableError,
+    available_observables,
+    compute_observables,
+    get_observable,
+    normalize_observables,
+    register_observable,
+)
+from repro.api.scf import SCFResult, run_scf
 from repro.api.trajectory import (
     TrajectoryResult,
     TrajectoryStats,
@@ -80,6 +94,19 @@ __all__ = [
     "SubmatrixMethodResult",
     "SubmatrixDFTResult",
     "DecomposedSubmatrix",
+    "ObservableBundle",
+    "PDOSResult",
+    "EnergyWeightedDensityResult",
+    "Observable",
+    "SharedEvaluation",
+    "UnknownObservableError",
+    "available_observables",
+    "compute_observables",
+    "get_observable",
+    "normalize_observables",
+    "register_observable",
+    "SCFResult",
+    "run_scf",
     "MatrixFunction",
     "BoundKernel",
     "UnknownKernelError",

@@ -34,12 +34,18 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from repro.api.results import SubmatrixDFTResult
+from repro.api.results import ObservableBundle, SubmatrixDFTResult
 
 __all__ = ["TrajectoryCheckpoint", "CheckpointError"]
 
 _MANIFEST = "trajectory.json"
 _VERSION = 1
+
+#: Key prefix of per-observable arrays inside a step ``.npz``
+#: (``obs_<name>__<suffix>``); the density observable keeps the checkpoint's
+#: native flat layout so density-only files stay readable by older code.
+_OBS_PREFIX = "obs_"
+_OBS_SEPARATOR = "__"
 
 
 class CheckpointError(RuntimeError):
@@ -155,8 +161,21 @@ class TrajectoryCheckpoint:
             count += 1
         return count
 
-    def save_step(self, index: int, result: SubmatrixDFTResult) -> None:
-        """Persist one step's result (atomic; safe against crashes)."""
+    def save_step(self, index: int, result) -> None:
+        """Persist one step's result (atomic; safe against crashes).
+
+        Accepts a plain :class:`SubmatrixDFTResult` or an
+        :class:`~repro.api.results.ObservableBundle`.  A bundle is stored
+        in the checkpoint's native density layout plus an ``observables``
+        name array and per-observable ``obs_<name>__<suffix>`` arrays
+        (serialized through the observable's ``checkpoint_save`` hook), so
+        a density-only step file is byte-layout identical to one written
+        before multi-observable trajectories existed.
+        """
+        bundle: Optional[ObservableBundle] = None
+        if isinstance(result, ObservableBundle):
+            bundle = result
+            result = bundle.results["density"]
         ortho = sp.csr_matrix(result.density_ortho)
         arrays = {
             "density_ao": np.asarray(result.density_ao, dtype=np.float64),
@@ -195,6 +214,28 @@ class TrajectoryCheckpoint:
             ),
             "fingerprint": np.asarray(result.pattern_fingerprint or ""),
         }
+        if bundle is not None:
+            from repro.api.observables import get_observable
+
+            arrays["observables"] = np.asarray(list(bundle.observables))
+            arrays["bundle_counters"] = np.asarray(
+                [int(bundle.stack_decompositions)], dtype=np.int64
+            )
+            for name in bundle.observables:
+                if name == "density":
+                    continue
+                observable = get_observable(name)
+                if observable.checkpoint_save is None:
+                    raise CheckpointError(
+                        f"observable {name!r} has no checkpoint_save hook; "
+                        "it cannot be persisted in a trajectory checkpoint"
+                    )
+                for suffix, array in observable.checkpoint_save(
+                    bundle.results[name]
+                ).items():
+                    arrays[f"{_OBS_PREFIX}{name}{_OBS_SEPARATOR}{suffix}"] = (
+                        np.asarray(array)
+                    )
         target = self._step_path(index)
         descriptor, tmp_name = tempfile.mkstemp(
             dir=str(self.path), prefix=target.name, suffix=".tmp"
@@ -208,13 +249,24 @@ class TrajectoryCheckpoint:
                 os.unlink(tmp_name)
             raise
 
-    def load_step(self, index: int) -> SubmatrixDFTResult:
-        """Reconstruct one step's result, bit-exact to what was saved."""
+    def load_step(self, index: int):
+        """Reconstruct one step's result, bit-exact to what was saved.
+
+        Step files written with an ``observables`` name array come back as
+        :class:`~repro.api.results.ObservableBundle` objects (each
+        observable deserialized through its ``checkpoint_load`` hook);
+        files without it — every file written before multi-observable
+        trajectories existed — come back as plain
+        :class:`SubmatrixDFTResult` objects exactly as before.
+        """
         step_path = self._step_path(index)
         if not step_path.exists():
             raise CheckpointError(
                 f"checkpoint {self.path} has no saved step {index}"
             )
+        observable_names = None
+        observable_arrays: Dict[str, Dict[str, np.ndarray]] = {}
+        stack_decompositions = 0
         try:
             with np.load(step_path, allow_pickle=False) as data:
                 density_ao = np.array(data["density_ao"], dtype=np.float64)
@@ -230,11 +282,26 @@ class TrajectoryCheckpoint:
                 scalars = np.array(data["scalars"], dtype=np.float64)
                 counters = np.array(data["counters"], dtype=np.int64)
                 fingerprint = str(data["fingerprint"])
+                if "observables" in data.files:
+                    observable_names = tuple(str(n) for n in data["observables"])
+                    bundle_counters = np.array(
+                        data["bundle_counters"], dtype=np.int64
+                    )
+                    stack_decompositions = int(bundle_counters[0])
+                    for key in data.files:
+                        if not key.startswith(_OBS_PREFIX):
+                            continue
+                        name, _, suffix = key[len(_OBS_PREFIX) :].partition(
+                            _OBS_SEPARATOR
+                        )
+                        observable_arrays.setdefault(name, {})[suffix] = (
+                            np.array(data[key])
+                        )
         except (OSError, ValueError, KeyError) as error:
             raise CheckpointError(
                 f"corrupt checkpoint step file {step_path}: {error!r}"
             ) from error
-        return SubmatrixDFTResult(
+        density = SubmatrixDFTResult(
             density_ao=density_ao,
             density_ortho=ortho,
             mu=float(scalars[0]),
@@ -259,6 +326,35 @@ class TrajectoryCheckpoint:
             precision_error_bound=(
                 _nan_to_none(scalars[7]) if scalars.size > 7 else None
             ),
+        )
+        if observable_names is None:
+            return density
+        from repro.api.observables import UnknownObservableError, get_observable
+
+        results = {}
+        for name in observable_names:
+            if name == "density":
+                results[name] = density
+                continue
+            try:
+                observable = get_observable(name)
+            except UnknownObservableError as error:
+                raise CheckpointError(
+                    f"checkpoint step {step_path} holds observable {name!r}, "
+                    f"which is not registered in this process: {error}"
+                ) from error
+            if observable.checkpoint_load is None:
+                raise CheckpointError(
+                    f"observable {name!r} has no checkpoint_load hook; "
+                    f"step file {step_path} cannot be restored"
+                )
+            results[name] = observable.checkpoint_load(
+                observable_arrays.get(name, {})
+            )
+        return ObservableBundle(
+            results=results,
+            observables=observable_names,
+            stack_decompositions=stack_decompositions,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

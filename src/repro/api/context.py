@@ -745,6 +745,59 @@ class SubmatrixContext:
         )
 
     @_tracked
+    def observables(
+        self,
+        K,
+        S,
+        blocks,
+        observables=("density",),
+        mu: Optional[float] = None,
+        n_electrons: Optional[float] = None,
+        solver: str = "eigen",
+        grouping: Optional[ColumnGrouping] = None,
+        mu_tolerance: float = 1e-9,
+        max_mu_iterations: int = 200,
+        ranks: Optional[int] = None,
+        distribution=None,
+        replan: str = "full",
+        mu_bracket=None,
+        observable_params=None,
+    ):
+        """Several observables from **one** decomposition pass (Sec. IV-F/G).
+
+        ``observables`` names the registered observables to assemble
+        (:func:`repro.api.observables.available_observables`); all of them
+        share a single sharded/batched submatrix decomposition — requesting
+        ``("density", "pdos", "energy_weighted_density")`` costs one
+        eigendecomposition per stack, exactly like :meth:`density` alone.
+        ``observable_params`` optionally maps an observable name to its
+        assembly parameters (e.g. ``{"pdos": {"broadening": 0.05}}``).
+        Returns an :class:`~repro.api.results.ObservableBundle`; all other
+        arguments behave as in :meth:`density`.
+        """
+        self._check_open()
+        from repro.api.observables import compute_observables
+
+        return compute_observables(
+            self,
+            K,
+            S,
+            blocks,
+            observables=observables,
+            mu=mu,
+            n_electrons=n_electrons,
+            solver=solver,
+            grouping=grouping,
+            mu_tolerance=mu_tolerance,
+            max_mu_iterations=max_mu_iterations,
+            ranks=ranks,
+            distribution=distribution,
+            replan=replan,
+            mu_bracket=mu_bracket,
+            observable_params=observable_params,
+        )
+
+    @_tracked
     def trajectory(
         self,
         steps,
@@ -761,6 +814,10 @@ class SubmatrixContext:
         replan: str = "auto",
         warm_start_mu: bool = False,
         checkpoint=None,
+        observables=None,
+        observable_params=None,
+        on_step=None,
+        prefetch: Optional[bool] = None,
     ):
         """Density matrices along an SCF/MD trajectory through this session.
 
@@ -778,6 +835,12 @@ class SubmatrixContext:
         completed step to a directory and resumes an interrupted trajectory
         from its first unsaved step, bitwise identical to an uninterrupted
         run (see :class:`~repro.api.checkpoint.TrajectoryCheckpoint`).
+        ``observables=`` requests additional observables per step (each step
+        then yields an :class:`~repro.api.results.ObservableBundle` sharing
+        one decomposition pass), ``on_step`` is a per-completed-step callback
+        ``on_step(index, result)`` (the SCF driver's feedback hook) and
+        ``prefetch=False`` disables the overlap engine's step prefetch for
+        step sequences where step ``i+1`` depends on step ``i``'s result.
         Returns a :class:`~repro.api.trajectory.TrajectoryResult` with the
         per-step results and a :class:`~repro.api.trajectory.TrajectoryStats`
         reuse record.  See :func:`repro.api.trajectory.run_trajectory`.
@@ -801,6 +864,10 @@ class SubmatrixContext:
             replan=replan,
             warm_start_mu=warm_start_mu,
             checkpoint=checkpoint,
+            observables=observables,
+            observable_params=observable_params,
+            on_step=on_step,
+            prefetch=prefetch,
         )
 
     # ------------------------------------------------------------------ #
@@ -1022,6 +1089,19 @@ class DistributedSession:
         kwargs.setdefault("grouping", self.grouping)
         kwargs.setdefault("distribution", self.distribution)
         return self.context.density(K, S, blocks, **kwargs)
+
+    def observables(self, K, S, blocks, observables=("density",), **kwargs):
+        """Rank-sharded observables (see :meth:`SubmatrixContext.observables`).
+
+        The session's rank count, grouping and distribution are applied
+        unless overridden in ``kwargs``.
+        """
+        kwargs.setdefault("ranks", self.n_ranks)
+        kwargs.setdefault("grouping", self.grouping)
+        kwargs.setdefault("distribution", self.distribution)
+        return self.context.observables(
+            K, S, blocks, observables=observables, **kwargs
+        )
 
     def trajectory(self, steps, blocks, **kwargs):
         """Rank-sharded trajectory (see :meth:`SubmatrixContext.trajectory`).

@@ -19,100 +19,40 @@ Both ensembles of the paper are supported:
   signum to the eigenvalues (Algorithm 1 of the paper) — no sign function or
   eigendecomposition is recomputed during the search.
 
-This module is the implementation behind :meth:`SubmatrixContext.density`;
-:class:`repro.core.sign_dft.SubmatrixDFTSolver` is a thin facade over it.
-New in the session API: with ``ranks > 1`` the eigendecomposition cache is
-built **rank-sharded** through the
-:class:`~repro.core.runner.DistributedSubmatrixPipeline` — each simulated
-rank extracts and eigendecomposes only its own shard (from its rank-local
-packed buffer), and the μ-bisection runs on the shard-assembled global
-eigenvalue/weight vectors.  Because the per-submatrix decompositions are
-slice-deterministic and the cache is reassembled in global group order, the
-sharded canonical-ensemble search is bitwise identical to the
-single-process solver for any rank count.
-
-The grand-canonical **iterative** solvers (Newton–Schulz, Padé, and any
-registered iterative sign kernel) run rank-sharded through the same
-pipeline (:meth:`~repro.core.runner.DistributedSubmatrixPipeline.run_stacks`):
-they are genuine matrix functions, so the registry's pad-value metadata
-applies unchanged, and because the batched iterations freeze and prescale
-each matrix individually the per-submatrix iterates do not depend on the
-stack composition — the sharded occupation matrices are bitwise identical
-to the single-process solver for any rank count.
+Since the observable-generic refactor, the execution skeleton lives in
+:mod:`repro.api.observables` and the density matrix is one registered
+:class:`~repro.api.observables.Observable`.  :func:`compute_density` is the
+historical entry point — a thin wrapper requesting the ``density``
+observable alone, bitwise identical to the pre-refactor implementation on
+every path (batched, sharded ranks, overlap, trajectory+checkpoint,
+served).  The shared helpers (``prepare_step``, ``assemble_result``, the
+decomposition/bisection/scatter internals the serving layer's batcher
+reuses) are re-exported here so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
-import scipy.sparse as sp
-
-from repro.api.results import DecomposedSubmatrix, SubmatrixDFTResult
-from repro.backend.mixed import PrecisionReport, solve_reduced_sign
-from repro.chem.density import band_structure_energy, electron_count, fermi_occupation
-from repro.core.batch import MAX_BATCH_ELEMENTS, make_stack_tasks
-from repro.core.combination import ColumnGrouping, single_column_groups
-from repro.core.load_balance import resolve_bucket_pad
-from repro.core.plan import BlockSubmatrixPlan
-from repro.core.submatrix import (
-    Submatrix,
-    extract_block_submatrix,
-    scatter_block_submatrix_result,
+from repro.api.observables import (  # noqa: F401  (re-exports, see docstring)
+    PreparedStep,
+    _bisect_mu,
+    _decompose_naive,
+    _decompose_planned,
+    _decompose_sharded,
+    _iterative_occupations,
+    _make_entry,
+    _occupation_stack_solver,
+    _occupations,
+    _scatter_occupations,
+    assemble_result,
+    compute_observables,
+    prepare_step,
 )
-from repro.chem.orthogonalize import orthogonalized_ks
-from repro.core.runner import PipelineExecutionError, ResilienceReport
-from repro.parallel.machine import PAPER_MACHINE
-from repro.dbcsr.block_matrix import BlockSparseMatrix
-from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
-from repro.dbcsr.coo import CooBlockList
-from repro.signfn.registry import get_kernel, resilient_stack_solver
+from repro.api.results import SubmatrixDFTResult
+from repro.core.combination import ColumnGrouping
 
 __all__ = ["compute_density", "assemble_result", "prepare_step", "PreparedStep"]
-
-
-@dataclasses.dataclass
-class PreparedStep:
-    """Context-free preparation of one density calculation's inputs.
-
-    Everything here is a pure function of ``(K, S, block_sizes,
-    eps_filter)`` — orthogonalization, block conversion, the COO pattern
-    and its fingerprint — so it can be computed ahead of time on another
-    thread (the trajectory driver's step prefetch) without touching the
-    session's plan cache or pipelines.  :func:`compute_density` accepts it
-    via ``prepared=`` and skips the preparation work after verifying the
-    filter threshold and block sizes still match.
-    """
-
-    k_ortho: sp.csr_matrix
-    s_inv_sqrt: np.ndarray
-    block_k: BlockSparseMatrix
-    coo: CooBlockList
-    eps_filter: float
-    block_sizes: Tuple[int, ...]
-
-    def matches(self, blocks, eps_filter: float) -> bool:
-        return (
-            float(self.eps_filter) == float(eps_filter)
-            and self.block_sizes == tuple(int(b) for b in blocks.block_sizes)
-        )
-
-
-def prepare_step(K, S, blocks, eps_filter: float) -> PreparedStep:
-    """Precompute the pure preparation of one step (see :class:`PreparedStep`)."""
-    k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=eps_filter)
-    block_k = block_matrix_from_csr(k_ortho, blocks.block_sizes, threshold=0.0)
-    coo = CooBlockList.from_block_matrix(block_k)
-    return PreparedStep(
-        k_ortho=k_ortho,
-        s_inv_sqrt=s_inv_sqrt,
-        block_k=block_k,
-        coo=coo,
-        eps_filter=float(eps_filter),
-        block_sizes=tuple(int(b) for b in blocks.block_sizes),
-    )
 
 
 def compute_density(
@@ -156,676 +96,28 @@ def compute_density(
     (the trajectory driver's prefetch); it is used only when its filter
     threshold and block sizes match the session's, so a stale prefetch
     silently falls back to in-place preparation.
+
+    This wrapper requests the ``density`` observable alone through
+    :func:`repro.api.observables.compute_observables`; multi-observable
+    callers use that entry point (or :meth:`SubmatrixContext.observables`)
+    directly and share one decomposition pass across observables.
     """
-    config = context.config
-    start = time.perf_counter()
-    policy = config.resilience if config.resilience.active else None
-    report = ResilienceReport() if policy is not None else None
-    precision = config.precision if config.precision.active else None
-    precision_report = PrecisionReport() if precision is not None else None
-    if (mu is None) == (n_electrons is None):
-        raise ValueError("specify exactly one of mu and n_electrons")
-    canonical = n_electrons is not None
-    # the single (registry-backed) solver-string validation path; kernels
-    # with supports_mu_bisection run through the eigendecomposition cache
-    # (Algorithm 1), everything else through the iterative sign path
-    kernel = get_kernel(solver)
-    eigen_cache = kernel.supports_mu_bisection
-    if canonical and not eigen_cache:
-        raise ValueError(
-            "canonical-ensemble calculations require the eigendecomposition "
-            "solver (Algorithm 1 reuses the cached eigendecompositions)"
-        )
-    explicit_ranks = ranks is not None
-    ranks = config.n_ranks if ranks is None else int(ranks)
-    if ranks < 1:
-        raise ValueError("ranks must be positive")
-    engine = config.engine
-    if ranks > 1 and engine == "naive":
-        raise ValueError(
-            "rank-sharded density calculations require the plan engine "
-            "(engine='plan' or 'batched')"
-        )
-
-    if prepared is not None and prepared.matches(blocks, config.eps_filter):
-        # the trajectory driver prepared this step's pure pieces on a
-        # background thread while the previous step was still computing
-        k_ortho, s_inv_sqrt = prepared.k_ortho, prepared.s_inv_sqrt
-        block_k, coo = prepared.block_k, prepared.coo
-    else:
-        k_ortho, s_inv_sqrt = orthogonalized_ks(
-            K, S, eps_filter=config.eps_filter
-        )
-        block_k = block_matrix_from_csr(
-            k_ortho, blocks.block_sizes, threshold=0.0
-        )
-        coo = CooBlockList.from_block_matrix(block_k)
-    grouping = grouping or single_column_groups(block_k.n_block_cols)
-    grouping.validate(block_k.n_block_cols)
-
-    # an explicitly requested rank count exercises the sharded path even at
-    # ranks == 1 (a single shard of everything), so the bitwise-identity
-    # guarantee covers the sharding machinery itself
-    use_sharded = engine != "naive" and (
-        ranks > 1 or (explicit_ranks and ranks == 1)
-    )
-    pipeline = None
-    if use_sharded:
-        pipeline = context.pipeline(
-            coo,
-            block_k.row_block_sizes,
-            n_ranks=ranks,
-            grouping=grouping,
-            distribution=distribution,
-            replan=replan,
-            # Algorithm 1 needs exact-dimension buckets (see
-            # _decompose_planned); the iterative kernels pad safely
-            **({"bucket_pad": None} if eigen_cache else {}),
-        )
-    if eigen_cache:
-        if engine == "naive":
-            decomposed, plan = _decompose_naive(context, block_k, grouping, coo)
-        elif use_sharded:
-            try:
-                decomposed, plan = _decompose_sharded(
-                    context, block_k, pipeline, policy, report
-                )
-            except PipelineExecutionError:
-                if policy is None or not policy.degrade_to_batched:
-                    raise
-                # graceful degradation: rebuild the cache with the
-                # single-process planned path — the per-submatrix
-                # eigendecompositions are slice-deterministic, so the
-                # recovered cache (and everything downstream) is bitwise
-                # identical to the sharded run
-                assert report is not None
-                report.degraded = True
-                decomposed, plan = _decompose_planned(
-                    context, block_k, grouping, coo, replan
-                )
-        else:
-            decomposed, plan = _decompose_planned(
-                context, block_k, grouping, coo, replan
-            )
-        mu_iterations = 0
-        if canonical:
-            mu, mu_iterations = _bisect_mu(
-                config,
-                decomposed,
-                float(n_electrons),
-                mu_tolerance,
-                max_mu_iterations,
-                bracket=mu_bracket,
-            )
-        assert mu is not None
-        occupation_block = _scatter_occupations(
-            config, block_k, decomposed, coo, float(mu), plan
-        )
-        dimensions = [d.submatrix.dimension for d in decomposed]
-    else:
-        occupation_block, dimensions = _iterative_occupations(
-            context,
-            block_k,
-            grouping,
-            coo,
-            float(mu),
-            kernel,
-            pipeline,
-            replan,
-            policy=policy,
-            report=report,
-            precision=precision,
-            precision_report=precision_report,
-        )
-        mu_iterations = 0
-
-    return assemble_result(
-        config,
+    bundle = compute_observables(
+        context,
         K,
-        s_inv_sqrt,
-        occupation_block,
-        coo,
-        float(mu),
-        mu_iterations,
-        dimensions,
-        wall_time=time.perf_counter() - start,
+        S,
+        blocks,
+        observables=("density",),
+        mu=mu,
+        n_electrons=n_electrons,
+        solver=solver,
+        grouping=grouping,
+        mu_tolerance=mu_tolerance,
+        max_mu_iterations=max_mu_iterations,
         ranks=ranks,
-        pipeline=pipeline,
-        report=report,
-        precision_report=precision_report,
+        distribution=distribution,
+        replan=replan,
+        mu_bracket=mu_bracket,
+        prepared=prepared,
     )
-
-
-def assemble_result(
-    config,
-    K,
-    s_inv_sqrt: np.ndarray,
-    occupation_block: BlockSparseMatrix,
-    coo: CooBlockList,
-    mu: float,
-    mu_iterations: int,
-    dimensions: List[int],
-    wall_time: float,
-    ranks: int = 1,
-    pipeline=None,
-    report=None,
-    precision_report=None,
-) -> SubmatrixDFTResult:
-    """Finalize a density calculation from its scattered occupation matrix.
-
-    The tail shared by :func:`compute_density` and the serving layer's
-    cross-request batcher (:mod:`repro.serve.batcher`): convert the packed
-    occupation blocks to CSR, back-transform to the AO basis, evaluate the
-    band-structure energy and electron count, and collect the transfer /
-    overlap accounting of an optional sharded ``pipeline``.  Using one tail
-    for both callers is part of the served-equals-direct bitwise contract.
-    """
-    density_ortho = block_matrix_to_csr(occupation_block)
-    density_ao = s_inv_sqrt @ density_ortho.toarray() @ s_inv_sqrt
-    k_dense = K.toarray() if sp.issparse(K) else np.asarray(K, dtype=float)
-    energy = band_structure_energy(density_ao, k_dense, config.spin_degeneracy)
-    n_elec = electron_count(density_ortho, config.spin_degeneracy)
-    segment_fetch_bytes = None
-    block_fetch_bytes = None
-    overlap_seconds = 0.0
-    exchange_hidden_fraction = None
-    if pipeline is not None:
-        transfer = pipeline.transfer_plan
-        block_fetch_bytes = float(transfer.total_fetch_bytes)
-        if transfer.has_segments:
-            segment_fetch_bytes = float(transfer.total_segment_fetch_bytes)
-        if pipeline.last_overlap is not None:
-            overlap_seconds = float(pipeline.last_overlap.overlap_seconds)
-            exchange_hidden_fraction = float(
-                pipeline.last_overlap.exchange_hidden_fraction
-            )
-    return SubmatrixDFTResult(
-        density_ao=density_ao,
-        density_ortho=density_ortho,
-        mu=float(mu),
-        n_electrons=n_elec,
-        band_energy=energy,
-        submatrix_dimensions=dimensions,
-        mu_iterations=mu_iterations,
-        eps_filter=config.eps_filter,
-        wall_time=wall_time,
-        n_ranks=ranks,
-        pattern_fingerprint=coo.fingerprint(),
-        segment_fetch_bytes=segment_fetch_bytes,
-        block_fetch_bytes=block_fetch_bytes,
-        retries=report.retries if report is not None else 0,
-        reassigned_stacks=report.reassigned_stacks if report is not None else 0,
-        kernel_fallbacks=report.kernel_fallbacks if report is not None else 0,
-        degraded=report.degraded if report is not None else False,
-        overlap_seconds=overlap_seconds,
-        exchange_hidden_fraction=exchange_hidden_fraction,
-        stacks_reduced=(
-            precision_report.stacks_reduced if precision_report is not None else 0
-        ),
-        refinement_passes=(
-            precision_report.refinement_passes
-            if precision_report is not None
-            else 0
-        ),
-        precision_error_bound=(
-            precision_report.error_bound
-            if precision_report is not None and precision_report.stacks_reduced
-            else None
-        ),
-    )
-
-
-# --------------------------------------------------------------------------- #
-# eigendecomposition cache (grand-canonical and canonical)
-# --------------------------------------------------------------------------- #
-def _make_entry(
-    submatrix: Submatrix, eigenvalues: np.ndarray, eigenvectors: np.ndarray
-) -> DecomposedSubmatrix:
-    offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
-    generating_rows: List[np.ndarray] = []
-    for local_column in submatrix.local_columns:
-        generating_rows.append(
-            np.arange(offsets[local_column], offsets[local_column + 1])
-        )
-    return DecomposedSubmatrix(
-        submatrix=submatrix,
-        eigenvalues=eigenvalues,
-        eigenvectors=eigenvectors,
-        generating_function_rows=np.concatenate(generating_rows),
-    )
-
-
-def _decompose_naive(
-    context, block_k: BlockSparseMatrix, grouping: ColumnGrouping, coo: CooBlockList
-) -> Tuple[List[DecomposedSubmatrix], Optional[BlockSubmatrixPlan]]:
-    """Reference path: per-group extraction and one eigh call per submatrix."""
-
-    def decompose(group: Sequence[int]) -> DecomposedSubmatrix:
-        submatrix = extract_block_submatrix(block_k, group, coo)
-        eigenvalues, eigenvectors = np.linalg.eigh(submatrix.data)
-        return _make_entry(submatrix, eigenvalues, eigenvectors)
-
-    return context._map(decompose, list(grouping.groups)), None
-
-
-def _decompose_planned(
-    context,
-    block_k: BlockSparseMatrix,
-    grouping: ColumnGrouping,
-    coo: CooBlockList,
-    replan: str = "full",
-) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
-    """Extract and eigendecompose every submatrix (Eq. 17, first step).
-
-    Extraction runs through the cached vectorized plan and the
-    eigendecompositions are evaluated one bucket (stack of equal-dimension
-    submatrices) at a time.  Buckets stay exact-dimension: Algorithm 1
-    reuses the cached per-submatrix eigendecompositions during the
-    μ-bisection, and a padded block-diagonal embedding has a different
-    spectrum bookkeeping.
-    """
-    groups = list(grouping.groups)
-    plan = context.block_plan_for(
-        coo, block_k.row_block_sizes, groups, replan=replan
-    )
-    packed = plan.pack(block_k)
-    buckets = make_stack_tasks(plan.dimensions)
-
-    def decompose_bucket(bucket):
-        stack = plan.extract_stack(packed, bucket.members, bucket.dimension)
-        eigenvalues, eigenvectors = np.linalg.eigh(stack)
-        return [
-            _make_entry(
-                plan.groups[group_index].make_submatrix(),
-                eigenvalues[slot],
-                eigenvectors[slot],
-            )
-            for slot, group_index in enumerate(bucket.members)
-        ]
-
-    per_bucket = context._map(decompose_bucket, buckets)
-    entries: List[Optional[DecomposedSubmatrix]] = [None] * len(groups)
-    for bucket, bucket_entries in zip(buckets, per_bucket):
-        for group_index, entry in zip(bucket.members, bucket_entries):
-            entries[group_index] = entry
-    return entries, plan  # type: ignore[return-value]
-
-
-def _decompose_sharded(
-    context, block_k: BlockSparseMatrix, pipeline, policy=None, report=None
-) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
-    """Build the eigendecomposition cache rank-sharded through the pipeline.
-
-    The context-cached :class:`~repro.core.runner.DistributedSubmatrixPipeline`
-    fixes the submatrix→rank assignment (``config.balance``), the sharded
-    extraction plan and the packed-segment transfer plan; each rank then
-    gathers its local buffer and eigendecomposes its shard bucket by bucket
-    — the same per-rank execution :meth:`run` uses, with the decomposition
-    kept instead of an evaluated matrix function.  Entries are reassembled
-    in global group order, so the subsequent μ-bisection and scatter are
-    bitwise identical to the single-process path.
-
-    With an active ``policy`` the rank tasks run through
-    :meth:`~repro.core.runner.DistributedSubmatrixPipeline.execute_ranks`
-    (retry/rebalance on injected or genuine rank failures — the rank
-    closures are idempotent, so a re-execution rebuilds exactly the same
-    cache entries); a persistent failure raises
-    :class:`~repro.core.runner.PipelineExecutionError` for
-    :func:`compute_density`'s degradation logic.
-
-    With ``config.overlap`` the rank closures run arrival-driven through
-    an :class:`~repro.core.overlap.OverlappedExchange` engine — each
-    bucket is eigendecomposed the moment its segment chunks land instead
-    of after the rank's full gather — and the modeled hidden-exchange
-    accounting is published on ``pipeline.last_overlap``.  The per-bucket
-    arithmetic (extract → ``eigh`` → collect) is unchanged, so the cache
-    is bitwise identical either way.
-    """
-    plan, sharded = pipeline.prepare()
-    packed = plan.pack(block_k)
-    pipeline.last_overlap = None
-    engine = None
-    overlap_reports: List[Optional[object]] = [None] * pipeline.n_ranks
-    if context.config.overlap:
-        engine = pipeline.overlap_engine(
-            PAPER_MACHINE,
-            pad_to=None,
-            max_batch_elements=MAX_BATCH_ELEMENTS,
-            fault_injector=policy.fault_injector if policy is not None else None,
-        )
-
-    def decompose_rank(rank: int) -> List[Tuple[int, DecomposedSubmatrix]]:
-        shard = sharded.shards[rank]
-        if shard.n_groups == 0:
-            return []
-        entries: List[Tuple[int, DecomposedSubmatrix]] = []
-
-        def collect(bucket, stack):
-            eigenvalues, eigenvectors = np.linalg.eigh(stack)
-            for slot, local_index in enumerate(bucket.members):
-                group_index = int(shard.group_indices[local_index])
-                entries.append(
-                    (
-                        group_index,
-                        _make_entry(
-                            plan.groups[group_index].make_submatrix(),
-                            eigenvalues[slot],
-                            eigenvectors[slot],
-                        ),
-                    )
-                )
-
-        if engine is not None:
-            overlap_reports[rank] = engine.run_rank(rank, packed, collect)
-            return entries
-        local = shard.pack_local(packed)
-        for bucket in shard.stack_tasks():
-            stack = shard.view.extract_stack(local, bucket.members, bucket.dimension)
-            collect(bucket, stack)
-        return entries
-
-    backend, executor = context._rank_resources()
-    per_rank = pipeline.execute_ranks(
-        decompose_rank,
-        context.config.max_workers,
-        backend,
-        executor=executor,
-        policy=policy,
-        report=report,
-    )
-    if engine is not None:
-        pipeline.last_overlap = engine.report(overlap_reports)
-    entries: List[Optional[DecomposedSubmatrix]] = [None] * plan.n_groups
-    for rank_entries in per_rank:
-        for group_index, entry in rank_entries:
-            entries[group_index] = entry
-    return entries, plan  # type: ignore[return-value]
-
-
-def _occupations(config, eigenvalues: np.ndarray, mu: float) -> np.ndarray:
-    """Occupation numbers f(λ − μ) (Heaviside with f=1/2 at μ, or Fermi)."""
-    return fermi_occupation(eigenvalues, mu, config.temperature)
-
-
-def _bisect_mu(
-    config,
-    decomposed: Sequence[DecomposedSubmatrix],
-    n_electrons: float,
-    tolerance: float,
-    max_iterations: int,
-    bracket: Optional[Tuple[float, float]] = None,
-) -> Tuple[float, int]:
-    """Adjust μ by bisection on the cached eigendecompositions (Alg. 1).
-
-    Implements Algorithm 1: only the rows of Q that correspond to the
-    generating block columns contribute (only those columns enter the
-    sparse result), and the contribution of one submatrix reduces to
-    ``weights · f(λ − μ)``.  The eigenvalues and weights of all
-    submatrices are concatenated once, so every bisection step is a
-    single vectorized occupation evaluation plus a dot product.
-
-    ``bracket`` optionally warm-starts the search (SCF/MD trajectories seed
-    it from the previous step's μ): the bracket is clipped to the spectrum
-    bounds and expanded geometrically — each expansion's electron-count
-    evaluation billed as an iteration — until it encloses the target
-    electron count, so convergence never depends on the seed's quality.
-    Warm starts change the iterate sequence and therefore the exact
-    floating-point μ; without a bracket the iterates are identical to the
-    cold-start search.
-    """
-    all_eigenvalues = np.concatenate([d.eigenvalues for d in decomposed])
-    all_weights = np.concatenate([d.weights() for d in decomposed])
-    full_lo = float(all_eigenvalues.min()) - 1.0
-    full_hi = float(all_eigenvalues.max()) + 1.0
-
-    def electron_count_at(mu: float) -> float:
-        occupations = _occupations(config, all_eigenvalues, mu)
-        return config.spin_degeneracy * float(np.dot(all_weights, occupations))
-
-    lo, hi = full_lo, full_hi
-    iterations = 0
-    if bracket is not None:
-        warm_lo = max(float(bracket[0]), full_lo)
-        warm_hi = min(float(bracket[1]), full_hi)
-        if warm_lo < warm_hi:
-            width = warm_hi - warm_lo
-            # expand until count(lo) ≤ N ≤ count(hi) (occupation is
-            # nondecreasing in μ), falling back to the spectrum bounds
-            while warm_lo > full_lo and electron_count_at(warm_lo) > n_electrons:
-                iterations += 1
-                warm_lo = max(full_lo, warm_lo - width)
-                width *= 2.0
-            while warm_hi < full_hi and electron_count_at(warm_hi) < n_electrons:
-                iterations += 1
-                warm_hi = min(full_hi, warm_hi + width)
-                width *= 2.0
-            lo, hi = warm_lo, warm_hi
-    mu = 0.5 * (lo + hi)
-    while iterations < max_iterations:
-        iterations += 1
-        mu = 0.5 * (lo + hi)
-        error = electron_count_at(mu) - n_electrons
-        if abs(error) <= tolerance:
-            break
-        if error < 0:
-            lo = mu
-        else:
-            hi = mu
-    return mu, iterations
-
-
-def _scatter_occupations(
-    config,
-    block_k: BlockSparseMatrix,
-    decomposed: Sequence[DecomposedSubmatrix],
-    coo: CooBlockList,
-    mu: float,
-    plan: Optional[BlockSubmatrixPlan] = None,
-) -> BlockSparseMatrix:
-    """Form f(a − μ) per submatrix and scatter the generating columns.
-
-    With a plan, the scatter is one vectorized write per submatrix into a
-    preallocated packed output buffer and the result blocks are zero-copy
-    views into that buffer.
-    """
-    if plan is not None:
-        out = plan.new_output()
-        for group_index, entry in enumerate(decomposed):
-            occupations = _occupations(config, entry.eigenvalues, mu)
-            occupation_matrix = (
-                entry.eigenvectors * occupations
-            ) @ entry.eigenvectors.T
-            plan.scatter(out, group_index, occupation_matrix)
-        return plan.finalize(out)
-    result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
-    for entry in decomposed:
-        occupations = _occupations(config, entry.eigenvalues, mu)
-        occupation_matrix = (
-            entry.eigenvectors * occupations
-        ) @ entry.eigenvectors.T
-        scatter_block_submatrix_result(result, occupation_matrix, entry.submatrix, coo)
-    return result
-
-
-# --------------------------------------------------------------------------- #
-# iterative path (grand-canonical only, used for the solver ablation)
-# --------------------------------------------------------------------------- #
-def _occupation_stack_solver(
-    kernel,
-    bound,
-    mu: float,
-    policy=None,
-    report=None,
-    precision=None,
-    precision_report=None,
-):
-    """Per-stack occupation solver 1/2·(I − sign(A − μI)) for ``kernel``.
-
-    Both the single-process bucket loop and the rank-sharded pipeline map
-    this same closure over their ``(k, d, d)`` stacks, so the two paths
-    perform identical per-submatrix arithmetic — and because the batched
-    sign iterations prescale and freeze each matrix individually, the
-    results are independent of the stack composition (the basis of the
-    sharded path's bitwise-identity guarantee).
-
-    With an active ``policy`` and a kernel that provides a
-    convergence-checked batched variant, the sign evaluation runs through
-    :func:`~repro.signfn.registry.resilient_stack_solver`: non-converged
-    submatrices are restarted with an escalated iteration budget and
-    ultimately handed to the policy's fallback kernel — recorded on the
-    ``report``, not raised.  A retried matrix restarts from its original
-    shifted values, so a recovered solve is bitwise identical to a
-    fault-free converged one.
-
-    With an active ``precision`` policy and a kernel that declares
-    ``supports_reduced_precision``, a reduced-precision sign solve with an
-    FP64 refinement pass (:func:`~repro.backend.mixed.solve_reduced_sign`)
-    is attempted *first*; whenever it declines or fails (mode gate,
-    non-finite reduced estimate, refinement non-convergence) the stack
-    silently falls through to the ordinary FP64 chain below — including
-    its resilience ladder.
-    """
-    resilient = resilient_stack_solver(kernel, policy, report)
-
-    def solve(stack: np.ndarray) -> np.ndarray:
-        identity = np.eye(stack.shape[-1])
-        shifted = stack - mu * identity
-        if precision is not None:
-            signs = solve_reduced_sign(kernel, shifted, precision, precision_report)
-            if signs is not None:
-                return 0.5 * (identity - signs)
-        if resilient is not None:
-            signs = np.asarray(resilient(shifted), dtype=float)
-        elif bound.batch_function is not None:
-            signs = np.asarray(bound.batch_function(shifted), dtype=float)
-        else:
-            signs = np.stack(
-                [
-                    np.asarray(bound.function(shifted[slot]), dtype=float)
-                    for slot in range(shifted.shape[0])
-                ]
-            )
-        if signs.shape != shifted.shape:
-            raise ValueError(
-                f"sign kernel {kernel.name!r} returned shape {signs.shape}, "
-                f"expected {shifted.shape}"
-            )
-        return 0.5 * (identity - signs)
-
-    return solve
-
-
-def _iterative_occupations(
-    context,
-    block_k: BlockSparseMatrix,
-    grouping: ColumnGrouping,
-    coo: CooBlockList,
-    mu: float,
-    kernel,
-    pipeline=None,
-    replan: str = "full",
-    policy=None,
-    report=None,
-    precision=None,
-    precision_report=None,
-) -> Tuple[BlockSparseMatrix, List[int]]:
-    """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
-
-    ``kernel`` is any registered :class:`~repro.signfn.registry.MatrixFunction`
-    without an eigendecomposition cache — the built-in Newton–Schulz and
-    Padé iterations, or a user-registered sign kernel.  The μ-shift is
-    applied here, so parameterless kernels work unchanged; the kernel is
-    bound without parameters and receives the shifted submatrices.
-
-    With the plan engine, extraction and scatter run through the cached plan
-    and the kernel's batched variant (when it has one) iterates whole
-    equal-or-padded-dimension buckets at once.  Bucket padding embeds a
-    small submatrix block-diagonally with the kernel's
-    :meth:`~repro.signfn.registry.MatrixFunction.padding_value` (``1 + μ``
-    for the built-in sign iterations) on the padding diagonal, so after the
-    μ-shift the padding eigenvalues sit at exactly 1 (well inside the sign
-    iteration's convergence region) and the padded rows never reach the
-    scatter.
-
-    With a ``pipeline``, each simulated rank gathers its rank-local packed
-    buffer and runs the same per-stack solver over its shard's buckets
-    (:meth:`~repro.core.runner.DistributedSubmatrixPipeline.run_stacks`),
-    scattering into the shared output — bitwise identical to the
-    single-process path for any rank count.
-    """
-    config = context.config
-    bound = kernel.bind()
-    groups = list(grouping.groups)
-    if config.engine == "naive":
-
-        def solve(group: Sequence[int]):
-            submatrix = extract_block_submatrix(block_k, group, coo)
-            shifted = submatrix.data - mu * np.eye(submatrix.dimension)
-            sign = np.asarray(bound.function(shifted), dtype=float)
-            occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
-            return submatrix, occupation
-
-        solved = context._map(solve, groups)
-        result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
-        dimensions = []
-        for submatrix, occupation in solved:
-            dimensions.append(submatrix.dimension)
-            scatter_block_submatrix_result(result, occupation, submatrix, coo)
-        return result, dimensions
-
-    solve_stack = _occupation_stack_solver(
-        kernel, bound, mu, policy, report, precision, precision_report
-    )
-    pad_value = kernel.padding_value(mu)
-
-    if pipeline is not None:
-        # rank-sharded: the pipeline owns the plan, the shard layouts and
-        # the transfer plan (all cached on the context across calls)
-        if pipeline.bucket_pad is not None and not kernel.matrix_function:
-            raise ValueError(
-                f"kernel {kernel.name!r} is not a genuine matrix function; "
-                "bucket padding requires exact-dimension buckets "
-                "(bucket_pad=None)"
-            )
-        plan, _ = pipeline.prepare()
-        packed = plan.pack(block_k)
-        out = plan.new_output()
-        backend, executor = context._rank_resources()
-        pipeline.run_stacks(
-            packed,
-            solve_stack,
-            out,
-            pad_value=pad_value,
-            max_workers=config.max_workers,
-            backend=backend,
-            executor=executor,
-            policy=policy,
-            report=report,
-            overlap=config.overlap,
-        )
-        return plan.finalize(out), list(plan.dimensions)
-
-    plan = context.block_plan_for(
-        coo, block_k.row_block_sizes, groups, replan=replan
-    )
-    packed = plan.pack(block_k)
-    dimensions = plan.dimensions
-    pad = resolve_bucket_pad(config.bucket_pad, dimensions)
-    if pad is not None and not kernel.matrix_function:
-        raise ValueError(
-            f"kernel {kernel.name!r} is not a genuine matrix function; "
-            "bucket padding requires exact-dimension buckets (bucket_pad=None)"
-        )
-    buckets = make_stack_tasks(dimensions, pad_to=pad)
-
-    def solve_bucket(bucket):
-        stack = plan.extract_stack(
-            packed, bucket.members, bucket.dimension, pad_value=pad_value
-        )
-        return solve_stack(stack)
-
-    per_bucket = context._map(solve_bucket, buckets)
-    out = plan.new_output()
-    for bucket, occupations in zip(buckets, per_bucket):
-        plan.scatter_stack(out, bucket.members, occupations, bucket.dimension)
-    return plan.finalize(out), list(dimensions)
+    return bundle.results["density"]

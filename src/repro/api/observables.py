@@ -1,0 +1,1322 @@
+"""Observable-generic execution pipeline over the submatrix method.
+
+The submatrix method of the paper evaluates an *arbitrary* matrix function
+of the Hamiltonian through independent dense submatrix solves (Eq. 17).
+Historically this repo only ever asked for one observable — the ground-state
+density matrix — and the whole execution skeleton (plan lookup → sharded or
+batched stack evaluation → μ-bisection → scatter/assembly) lived inside
+``compute_density``.  This module hosts that skeleton in observable-generic
+form plus a small registry of *observables*, sibling to the
+:class:`~repro.signfn.registry.MatrixFunction` kernel registry:
+
+* an :class:`Observable` describes what a physical quantity needs from the
+  engine (the cached eigendecompositions, μ, the scatter plan) and how to
+  assemble its result from one :class:`SharedEvaluation`;
+* :func:`compute_observables` runs the shared skeleton **once** — one
+  eigendecomposition pass per submatrix stack, one μ-bisection — and then
+  assembles every requested observable from the same cached decompositions;
+* ``density`` is just one registered instance, and
+  :func:`repro.api.density.compute_density` is a thin wrapper requesting it
+  alone — bitwise identical to the historical single-observable path.
+
+Built-in observables:
+
+``density``
+    The one-particle reduced density matrix (Eq. 16) — the historical
+    result, a :class:`~repro.api.results.SubmatrixDFTResult`.
+``pdos``
+    Projected / total density of states from the generating-row spectral
+    weights of the cached decompositions (the same measure Algorithm 1's
+    electron count integrates), Gaussian-broadened on an energy grid.
+``energy_weighted_density``
+    The energy-weighted density matrix W = Q (λ·f(λ−μ)) Qᵀ (AO basis via
+    the Löwdin back-transform) and the spectral band-structure energy
+    ``g_s · Tr(W)`` — the quantity entering Pulay-force contractions.
+
+Only ``density`` is available through the diagonalization-free iterative
+kernels (Newton–Schulz, Padé, Chebyshev): the other observables need the
+spectral data that only the eigendecomposition cache carries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.api.results import (
+    DecomposedSubmatrix,
+    EnergyWeightedDensityResult,
+    ObservableBundle,
+    PDOSResult,
+    SubmatrixDFTResult,
+)
+from repro.backend.mixed import PrecisionReport, solve_reduced_sign
+from repro.chem.density import (
+    band_structure_energy,
+    electron_count,
+    fermi_occupation,
+)
+from repro.core.batch import MAX_BATCH_ELEMENTS, make_stack_tasks
+from repro.core.combination import ColumnGrouping, single_column_groups
+from repro.core.load_balance import resolve_bucket_pad
+from repro.core.plan import BlockSubmatrixPlan
+from repro.core.submatrix import (
+    Submatrix,
+    extract_block_submatrix,
+    scatter_block_submatrix_result,
+)
+from repro.chem.orthogonalize import orthogonalized_ks
+from repro.core.runner import PipelineExecutionError, ResilienceReport
+from repro.parallel.machine import PAPER_MACHINE
+from repro.dbcsr.block_matrix import BlockSparseMatrix
+from repro.dbcsr.convert import block_matrix_from_csr, block_matrix_to_csr
+from repro.dbcsr.coo import CooBlockList
+from repro.signfn.registry import get_kernel, resilient_stack_solver
+
+__all__ = [
+    "Observable",
+    "SharedEvaluation",
+    "UnknownObservableError",
+    "available_observables",
+    "compute_observables",
+    "get_observable",
+    "normalize_observables",
+    "register_observable",
+    "assemble_result",
+    "prepare_step",
+    "PreparedStep",
+]
+
+
+# --------------------------------------------------------------------------- #
+# step preparation (pure, prefetchable)
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass
+class PreparedStep:
+    """Context-free preparation of one density calculation's inputs.
+
+    Everything here is a pure function of ``(K, S, block_sizes,
+    eps_filter)`` — orthogonalization, block conversion, the COO pattern
+    and its fingerprint — so it can be computed ahead of time on another
+    thread (the trajectory driver's step prefetch) without touching the
+    session's plan cache or pipelines.  :func:`compute_observables` accepts
+    it via ``prepared=`` and skips the preparation work after verifying the
+    filter threshold and block sizes still match.
+    """
+
+    k_ortho: sp.csr_matrix
+    s_inv_sqrt: np.ndarray
+    block_k: BlockSparseMatrix
+    coo: CooBlockList
+    eps_filter: float
+    block_sizes: Tuple[int, ...]
+
+    def matches(self, blocks, eps_filter: float) -> bool:
+        return (
+            float(self.eps_filter) == float(eps_filter)
+            and self.block_sizes == tuple(int(b) for b in blocks.block_sizes)
+        )
+
+
+def prepare_step(K, S, blocks, eps_filter: float) -> PreparedStep:
+    """Precompute the pure preparation of one step (see :class:`PreparedStep`)."""
+    k_ortho, s_inv_sqrt = orthogonalized_ks(K, S, eps_filter=eps_filter)
+    block_k = block_matrix_from_csr(k_ortho, blocks.block_sizes, threshold=0.0)
+    coo = CooBlockList.from_block_matrix(block_k)
+    return PreparedStep(
+        k_ortho=k_ortho,
+        s_inv_sqrt=s_inv_sqrt,
+        block_k=block_k,
+        coo=coo,
+        eps_filter=float(eps_filter),
+        block_sizes=tuple(int(b) for b in blocks.block_sizes),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# shared evaluation state
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass
+class SharedEvaluation:
+    """Everything one pass over the engine produced, ready for assembly.
+
+    One :class:`SharedEvaluation` is built per :func:`compute_observables`
+    call (and per request by the serving layer's cross-request batcher) and
+    handed to every requested observable's ``assemble`` hook — the cached
+    per-submatrix eigendecompositions are computed exactly once no matter
+    how many observables consume them.
+    """
+
+    config: Any
+    K: Any
+    s_inv_sqrt: np.ndarray
+    block_k: BlockSparseMatrix
+    coo: CooBlockList
+    mu: float
+    mu_iterations: int
+    dimensions: List[int]
+    decomposed: Optional[Sequence[DecomposedSubmatrix]] = None
+    plan: Optional[BlockSubmatrixPlan] = None
+    pipeline: Any = None
+    ranks: int = 1
+    report: Any = None
+    precision_report: Any = None
+    # the iterative path scatters its occupation matrices during the solve;
+    # the eigen path leaves this None and density's assembly scatters from
+    # the cached decompositions
+    occupation_block: Optional[BlockSparseMatrix] = None
+    start: Optional[float] = None
+    wall_time: Optional[float] = None
+    stack_decompositions: int = 0
+
+    def elapsed(self) -> float:
+        if self.start is not None:
+            return time.perf_counter() - self.start
+        return float(self.wall_time or 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# observable registry
+# --------------------------------------------------------------------------- #
+class UnknownObservableError(ValueError):
+    """Raised for an observable name missing from the registry."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Observable:
+    """Registry entry describing one physical observable.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``observables=("density", "pdos")``).
+    assemble:
+        ``assemble(evaluation, params) -> result`` — build the observable's
+        result object from one :class:`SharedEvaluation` (cached
+        decompositions, μ, scatter plan) and the caller's per-observable
+        parameter mapping.
+    description:
+        One-line human description.
+    needs_eigendecomposition:
+        Whether assembly reads the spectral data (``evaluation.decomposed``).
+    supports_iterative:
+        Whether the observable can also be produced by the
+        diagonalization-free iterative sign kernels (only ``density``).
+    checkpoint_save / checkpoint_load:
+        Optional npz (de)serialization hooks for trajectory checkpoints:
+        ``checkpoint_save(result) -> {suffix: ndarray}`` and
+        ``checkpoint_load({suffix: ndarray}) -> result``.
+    """
+
+    name: str
+    assemble: Callable[[SharedEvaluation, Mapping[str, Any]], Any]
+    description: str = ""
+    needs_eigendecomposition: bool = True
+    supports_iterative: bool = False
+    checkpoint_save: Optional[Callable[[Any], Dict[str, np.ndarray]]] = None
+    checkpoint_load: Optional[Callable[[Dict[str, np.ndarray]], Any]] = None
+
+
+_OBSERVABLES: Dict[str, Observable] = {}
+
+
+def register_observable(observable: Observable, overwrite: bool = False) -> Observable:
+    """Register an :class:`Observable`; set ``overwrite`` to replace."""
+    if not observable.name:
+        raise ValueError("observable name must be non-empty")
+    if observable.name in _OBSERVABLES and not overwrite:
+        raise ValueError(
+            f"observable {observable.name!r} is already registered "
+            "(pass overwrite=True to replace)"
+        )
+    _OBSERVABLES[observable.name] = observable
+    return observable
+
+
+def get_observable(name: str) -> Observable:
+    """Look up a registered observable by name, with did-you-mean help."""
+    try:
+        return _OBSERVABLES[name]
+    except KeyError:
+        suggestions = difflib.get_close_matches(
+            str(name), list(_OBSERVABLES), n=1
+        )
+        hint = f" — did you mean {suggestions[0]!r}?" if suggestions else ""
+        raise UnknownObservableError(
+            f"unknown observable {name!r}; available: "
+            f"{', '.join(sorted(_OBSERVABLES))}{hint}"
+        ) from None
+
+
+def available_observables() -> Tuple[str, ...]:
+    """Names of all registered observables, sorted."""
+    return tuple(sorted(_OBSERVABLES))
+
+
+def normalize_observables(
+    observables: Union[str, Sequence[str]],
+) -> Tuple[str, ...]:
+    """Validate and canonicalize an observable request to a name tuple."""
+    if isinstance(observables, str):
+        names: Tuple[str, ...] = (observables,)
+    else:
+        names = tuple(str(name) for name in observables)
+    if not names:
+        raise ValueError("request at least one observable")
+    seen: Dict[str, None] = {}
+    for name in names:
+        get_observable(name)  # raises UnknownObservableError with a hint
+        seen.setdefault(name, None)
+    return tuple(seen)
+
+
+# --------------------------------------------------------------------------- #
+# the shared skeleton
+# --------------------------------------------------------------------------- #
+def compute_observables(
+    context,
+    K,
+    S,
+    blocks,
+    observables: Union[str, Sequence[str]] = ("density",),
+    mu: Optional[float] = None,
+    n_electrons: Optional[float] = None,
+    solver: str = "eigen",
+    grouping: Optional[ColumnGrouping] = None,
+    mu_tolerance: float = 1e-9,
+    max_mu_iterations: int = 200,
+    ranks: Optional[int] = None,
+    distribution=None,
+    replan: str = "full",
+    mu_bracket: Optional[Tuple[float, float]] = None,
+    prepared: Optional[PreparedStep] = None,
+    observable_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> ObservableBundle:
+    """Evaluate one or more observables from a single decomposition pass.
+
+    The observable-generic skeleton: prepare (or accept a prefetched
+    :class:`PreparedStep`), look up/patch the extraction plan, run exactly
+    one eigendecomposition pass over the bucketed submatrix stacks (batched
+    single-process or rank-sharded, optionally overlapped), bisect μ once
+    for canonical ensembles, then assemble every requested observable from
+    the same cached :class:`~repro.api.results.DecomposedSubmatrix` entries.
+
+    Exactly one of ``mu`` (grand-canonical) and ``n_electrons`` (canonical)
+    must be provided.  ``observables`` names registered
+    :class:`Observable` instances (order-preserving, duplicates dropped);
+    ``observable_params`` optionally maps observable name → keyword
+    parameters for its assembly (e.g. the PDOS grid).  All other parameters
+    behave exactly as documented on
+    :func:`repro.api.density.compute_density`, which is a thin wrapper for
+    ``observables=("density",)``.
+
+    Iterative sign kernels (``kernel.supports_mu_bisection == False``)
+    never build the spectral cache, so they only support observables with
+    ``supports_iterative`` (built-in: ``density`` alone).
+    """
+    config = context.config
+    start = time.perf_counter()
+    names = normalize_observables(observables)
+    params_by_name: Mapping[str, Mapping[str, Any]] = observable_params or {}
+    for key in params_by_name:
+        if key not in names:
+            raise ValueError(
+                f"observable_params given for {key!r}, which is not in the "
+                f"requested observables {names!r}"
+            )
+    policy = config.resilience if config.resilience.active else None
+    report = ResilienceReport() if policy is not None else None
+    precision = config.precision if config.precision.active else None
+    precision_report = PrecisionReport() if precision is not None else None
+    if (mu is None) == (n_electrons is None):
+        raise ValueError("specify exactly one of mu and n_electrons")
+    canonical = n_electrons is not None
+    # the single (registry-backed) solver-string validation path; kernels
+    # with supports_mu_bisection run through the eigendecomposition cache
+    # (Algorithm 1), everything else through the iterative sign path
+    kernel = get_kernel(solver)
+    eigen_cache = kernel.supports_mu_bisection
+    if canonical and not eigen_cache:
+        raise ValueError(
+            "canonical-ensemble calculations require the eigendecomposition "
+            "solver (Algorithm 1 reuses the cached eigendecompositions)"
+        )
+    if not eigen_cache:
+        unsupported = [
+            name
+            for name in names
+            if not get_observable(name).supports_iterative
+        ]
+        if unsupported:
+            raise ValueError(
+                f"observables {unsupported!r} need the spectral data of an "
+                f"eigendecomposition-cache solver; the iterative kernel "
+                f"{kernel.name!r} only supports: "
+                + ", ".join(
+                    name
+                    for name in available_observables()
+                    if get_observable(name).supports_iterative
+                )
+            )
+    explicit_ranks = ranks is not None
+    ranks = config.n_ranks if ranks is None else int(ranks)
+    if ranks < 1:
+        raise ValueError("ranks must be positive")
+    engine = config.engine
+    if ranks > 1 and engine == "naive":
+        raise ValueError(
+            "rank-sharded density calculations require the plan engine "
+            "(engine='plan' or 'batched')"
+        )
+
+    if prepared is not None and prepared.matches(blocks, config.eps_filter):
+        # the trajectory driver prepared this step's pure pieces on a
+        # background thread while the previous step was still computing
+        k_ortho, s_inv_sqrt = prepared.k_ortho, prepared.s_inv_sqrt
+        block_k, coo = prepared.block_k, prepared.coo
+    else:
+        k_ortho, s_inv_sqrt = orthogonalized_ks(
+            K, S, eps_filter=config.eps_filter
+        )
+        block_k = block_matrix_from_csr(
+            k_ortho, blocks.block_sizes, threshold=0.0
+        )
+        coo = CooBlockList.from_block_matrix(block_k)
+    grouping = grouping or single_column_groups(block_k.n_block_cols)
+    grouping.validate(block_k.n_block_cols)
+
+    # an explicitly requested rank count exercises the sharded path even at
+    # ranks == 1 (a single shard of everything), so the bitwise-identity
+    # guarantee covers the sharding machinery itself
+    use_sharded = engine != "naive" and (
+        ranks > 1 or (explicit_ranks and ranks == 1)
+    )
+    pipeline = None
+    if use_sharded:
+        pipeline = context.pipeline(
+            coo,
+            block_k.row_block_sizes,
+            n_ranks=ranks,
+            grouping=grouping,
+            distribution=distribution,
+            replan=replan,
+            # Algorithm 1 needs exact-dimension buckets (see
+            # _decompose_planned); the iterative kernels pad safely
+            **({"bucket_pad": None} if eigen_cache else {}),
+        )
+    decomposed: Optional[List[DecomposedSubmatrix]] = None
+    occupation_block: Optional[BlockSparseMatrix] = None
+    if eigen_cache:
+        if engine == "naive":
+            decomposed, plan = _decompose_naive(context, block_k, grouping, coo)
+        elif use_sharded:
+            try:
+                decomposed, plan = _decompose_sharded(
+                    context, block_k, pipeline, policy, report
+                )
+            except PipelineExecutionError:
+                if policy is None or not policy.degrade_to_batched:
+                    raise
+                # graceful degradation: rebuild the cache with the
+                # single-process planned path — the per-submatrix
+                # eigendecompositions are slice-deterministic, so the
+                # recovered cache (and everything downstream) is bitwise
+                # identical to the sharded run
+                assert report is not None
+                report.degraded = True
+                decomposed, plan = _decompose_planned(
+                    context, block_k, grouping, coo, replan
+                )
+        else:
+            decomposed, plan = _decompose_planned(
+                context, block_k, grouping, coo, replan
+            )
+        mu_iterations = 0
+        if canonical:
+            mu, mu_iterations = _bisect_mu(
+                config,
+                decomposed,
+                float(n_electrons),
+                mu_tolerance,
+                max_mu_iterations,
+                bracket=mu_bracket,
+            )
+        assert mu is not None
+        dimensions = [d.submatrix.dimension for d in decomposed]
+        n_stacks = _count_stack_decompositions(
+            context, engine, use_sharded, pipeline, plan, grouping
+        )
+    else:
+        occupation_block, dimensions = _iterative_occupations(
+            context,
+            block_k,
+            grouping,
+            coo,
+            float(mu),
+            kernel,
+            pipeline,
+            replan,
+            policy=policy,
+            report=report,
+            precision=precision,
+            precision_report=precision_report,
+        )
+        mu_iterations = 0
+        plan = None
+        n_stacks = 0
+
+    evaluation = SharedEvaluation(
+        config=config,
+        K=K,
+        s_inv_sqrt=s_inv_sqrt,
+        block_k=block_k,
+        coo=coo,
+        mu=float(mu),
+        mu_iterations=mu_iterations,
+        dimensions=dimensions,
+        decomposed=decomposed,
+        plan=plan,
+        pipeline=pipeline,
+        ranks=ranks,
+        report=report,
+        precision_report=precision_report,
+        occupation_block=occupation_block,
+        start=start,
+        stack_decompositions=n_stacks,
+    )
+    results: Dict[str, Any] = {}
+    for name in names:
+        observable = get_observable(name)
+        results[name] = observable.assemble(
+            evaluation, params_by_name.get(name, {})
+        )
+    return ObservableBundle(
+        results=results, observables=names, stack_decompositions=n_stacks
+    )
+
+
+def _count_stack_decompositions(
+    context, engine, use_sharded, pipeline, plan, grouping
+) -> int:
+    """Logical eigendecomposition passes of this evaluation, one per stack.
+
+    Deterministic bookkeeping (independent of retries/overlap): the naive
+    engine decomposes one submatrix at a time, the planned engine one
+    equal-dimension bucket at a time, the sharded pipeline one bucket per
+    shard — the number the shared-decomposition tests pin to be invariant
+    in the number of observables requested.
+    """
+    if engine == "naive":
+        return len(list(grouping.groups))
+    if use_sharded and pipeline is not None:
+        _, sharded = pipeline.prepare()
+        return sum(
+            len(list(shard.stack_tasks()))
+            for shard in sharded.shards
+            if shard.n_groups > 0
+        )
+    if plan is not None:
+        return len(make_stack_tasks(plan.dimensions))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# built-in observables
+# --------------------------------------------------------------------------- #
+def _assemble_density(
+    evaluation: SharedEvaluation, params: Mapping[str, Any]
+) -> SubmatrixDFTResult:
+    if params:
+        raise ValueError(
+            f"the density observable takes no parameters, got {dict(params)!r}"
+        )
+    occupation_block = evaluation.occupation_block
+    if occupation_block is None:
+        assert evaluation.decomposed is not None
+        occupation_block = _scatter_occupations(
+            evaluation.config,
+            evaluation.block_k,
+            evaluation.decomposed,
+            evaluation.coo,
+            evaluation.mu,
+            evaluation.plan,
+        )
+    return assemble_result(
+        evaluation.config,
+        evaluation.K,
+        evaluation.s_inv_sqrt,
+        occupation_block,
+        evaluation.coo,
+        evaluation.mu,
+        evaluation.mu_iterations,
+        evaluation.dimensions,
+        wall_time=evaluation.elapsed(),
+        ranks=evaluation.ranks,
+        pipeline=evaluation.pipeline,
+        report=evaluation.report,
+        precision_report=evaluation.precision_report,
+    )
+
+
+def _assemble_pdos(
+    evaluation: SharedEvaluation, params: Mapping[str, Any]
+) -> PDOSResult:
+    if evaluation.decomposed is None:
+        raise ValueError(
+            "the pdos observable needs the eigendecomposition cache"
+        )
+    known = {"broadening", "n_points", "energy_window"}
+    unknown = set(params) - known
+    if unknown:
+        raise ValueError(
+            f"unknown pdos parameters {sorted(unknown)!r}; known: {sorted(known)!r}"
+        )
+    config = evaluation.config
+    broadening = float(params.get("broadening", 0.1))
+    if broadening <= 0.0:
+        raise ValueError("pdos broadening must be positive")
+    n_points = int(params.get("n_points", 400))
+    if n_points < 2:
+        raise ValueError("pdos n_points must be at least 2")
+    eigenvalues = np.concatenate(
+        [entry.eigenvalues for entry in evaluation.decomposed]
+    )
+    weights = np.concatenate(
+        [entry.weights() for entry in evaluation.decomposed]
+    )
+    window = params.get("energy_window")
+    if window is None:
+        lo = float(eigenvalues.min()) - 5.0 * broadening
+        hi = float(eigenvalues.max()) + 5.0 * broadening
+    else:
+        lo, hi = float(window[0]), float(window[1])
+        if not lo < hi:
+            raise ValueError("pdos energy_window must satisfy lo < hi")
+    energies = np.linspace(lo, hi, n_points)
+    norm = config.spin_degeneracy / (broadening * np.sqrt(2.0 * np.pi))
+    projections = np.zeros((len(evaluation.decomposed), n_points))
+    for group_index, entry in enumerate(evaluation.decomposed):
+        delta = (energies[None, :] - entry.eigenvalues[:, None]) / broadening
+        projections[group_index] = norm * np.sum(
+            entry.weights()[:, None] * np.exp(-0.5 * delta * delta), axis=0
+        )
+    occupations = fermi_occupation(eigenvalues, evaluation.mu, config.temperature)
+    n_elec = config.spin_degeneracy * float(np.dot(weights, occupations))
+    return PDOSResult(
+        energies=energies,
+        dos=projections.sum(axis=0),
+        projections=projections,
+        eigenvalues=eigenvalues,
+        weights=weights,
+        mu=evaluation.mu,
+        broadening=broadening,
+        n_electrons=n_elec,
+    )
+
+
+def _assemble_energy_weighted(
+    evaluation: SharedEvaluation, params: Mapping[str, Any]
+) -> EnergyWeightedDensityResult:
+    if params:
+        raise ValueError(
+            "the energy_weighted_density observable takes no parameters, "
+            f"got {dict(params)!r}"
+        )
+    if evaluation.decomposed is None:
+        raise ValueError(
+            "the energy_weighted_density observable needs the "
+            "eigendecomposition cache"
+        )
+    config = evaluation.config
+    mu = evaluation.mu
+    if evaluation.plan is not None:
+        out = evaluation.plan.new_output()
+        for group_index, entry in enumerate(evaluation.decomposed):
+            occupations = fermi_occupation(
+                entry.eigenvalues, mu, config.temperature
+            )
+            weighted = (
+                entry.eigenvectors * (entry.eigenvalues * occupations)
+            ) @ entry.eigenvectors.T
+            evaluation.plan.scatter(out, group_index, weighted)
+        block = evaluation.plan.finalize(out)
+    else:
+        block = BlockSparseMatrix(
+            evaluation.block_k.row_block_sizes,
+            evaluation.block_k.col_block_sizes,
+        )
+        for entry in evaluation.decomposed:
+            occupations = fermi_occupation(
+                entry.eigenvalues, mu, config.temperature
+            )
+            weighted = (
+                entry.eigenvectors * (entry.eigenvalues * occupations)
+            ) @ entry.eigenvectors.T
+            scatter_block_submatrix_result(
+                block, weighted, entry.submatrix, evaluation.coo
+            )
+    ortho = block_matrix_to_csr(block)
+    ao = evaluation.s_inv_sqrt @ ortho.toarray() @ evaluation.s_inv_sqrt
+    # same g_s·trace contraction electron_count uses, applied to W:
+    # E_band = g_s Σ w·λ·f(λ−μ) = g_s Tr(W)
+    band = electron_count(ortho, config.spin_degeneracy)
+    return EnergyWeightedDensityResult(
+        energy_weighted_ao=ao,
+        energy_weighted_ortho=ortho,
+        band_energy=float(band),
+        mu=mu,
+    )
+
+
+# --- checkpoint (de)serialization hooks ------------------------------------ #
+def _save_pdos(result: PDOSResult) -> Dict[str, np.ndarray]:
+    return {
+        "energies": np.asarray(result.energies, dtype=np.float64),
+        "dos": np.asarray(result.dos, dtype=np.float64),
+        "projections": np.asarray(result.projections, dtype=np.float64),
+        "eigenvalues": np.asarray(result.eigenvalues, dtype=np.float64),
+        "weights": np.asarray(result.weights, dtype=np.float64),
+        "scalars": np.array(
+            [result.mu, result.broadening, result.n_electrons], dtype=np.float64
+        ),
+    }
+
+
+def _load_pdos(arrays: Dict[str, np.ndarray]) -> PDOSResult:
+    scalars = arrays["scalars"]
+    return PDOSResult(
+        energies=arrays["energies"],
+        dos=arrays["dos"],
+        projections=arrays["projections"],
+        eigenvalues=arrays["eigenvalues"],
+        weights=arrays["weights"],
+        mu=float(scalars[0]),
+        broadening=float(scalars[1]),
+        n_electrons=float(scalars[2]),
+    )
+
+
+def _save_energy_weighted(
+    result: EnergyWeightedDensityResult,
+) -> Dict[str, np.ndarray]:
+    ortho = result.energy_weighted_ortho
+    return {
+        "ao": np.asarray(result.energy_weighted_ao, dtype=np.float64),
+        "ortho_data": np.asarray(ortho.data, dtype=np.float64),
+        "ortho_indices": np.asarray(ortho.indices, dtype=np.int64),
+        "ortho_indptr": np.asarray(ortho.indptr, dtype=np.int64),
+        "ortho_shape": np.asarray(ortho.shape, dtype=np.int64),
+        "scalars": np.array([result.band_energy, result.mu], dtype=np.float64),
+    }
+
+
+def _load_energy_weighted(
+    arrays: Dict[str, np.ndarray],
+) -> EnergyWeightedDensityResult:
+    shape = tuple(int(n) for n in arrays["ortho_shape"])
+    ortho = sp.csr_matrix(
+        (arrays["ortho_data"], arrays["ortho_indices"], arrays["ortho_indptr"]),
+        shape=shape,
+    )
+    scalars = arrays["scalars"]
+    return EnergyWeightedDensityResult(
+        energy_weighted_ao=arrays["ao"],
+        energy_weighted_ortho=ortho,
+        band_energy=float(scalars[0]),
+        mu=float(scalars[1]),
+    )
+
+
+register_observable(
+    Observable(
+        name="density",
+        assemble=_assemble_density,
+        description=(
+            "one-particle reduced density matrix D = 1/2·(I − sign(K̃ − μI)) "
+            "(Eq. 16), AO and orthogonal basis"
+        ),
+        needs_eigendecomposition=False,
+        supports_iterative=True,
+        # density uses the checkpoint's native layout (see
+        # repro.api.checkpoint), not the per-observable hooks
+    )
+)
+register_observable(
+    Observable(
+        name="pdos",
+        assemble=_assemble_pdos,
+        description=(
+            "projected/total density of states from the generating-row "
+            "spectral weights, Gaussian-broadened"
+        ),
+        needs_eigendecomposition=True,
+        checkpoint_save=_save_pdos,
+        checkpoint_load=_load_pdos,
+    )
+)
+register_observable(
+    Observable(
+        name="energy_weighted_density",
+        assemble=_assemble_energy_weighted,
+        description=(
+            "energy-weighted density matrix W = Q(λ·f(λ−μ))Qᵀ and spectral "
+            "band-structure energy g_s·Tr(W)"
+        ),
+        needs_eigendecomposition=True,
+        checkpoint_save=_save_energy_weighted,
+        checkpoint_load=_load_energy_weighted,
+    )
+)
+
+
+# --------------------------------------------------------------------------- #
+# the assembly tail (shared with the serving layer's batcher)
+# --------------------------------------------------------------------------- #
+def assemble_result(
+    config,
+    K,
+    s_inv_sqrt: np.ndarray,
+    occupation_block: BlockSparseMatrix,
+    coo: CooBlockList,
+    mu: float,
+    mu_iterations: int,
+    dimensions: List[int],
+    wall_time: float,
+    ranks: int = 1,
+    pipeline=None,
+    report=None,
+    precision_report=None,
+) -> SubmatrixDFTResult:
+    """Finalize a density calculation from its scattered occupation matrix.
+
+    The tail shared by the ``density`` observable and the serving layer's
+    cross-request batcher (:mod:`repro.serve.batcher`): convert the packed
+    occupation blocks to CSR, back-transform to the AO basis, evaluate the
+    band-structure energy and electron count, and collect the transfer /
+    overlap accounting of an optional sharded ``pipeline``.  Using one tail
+    for both callers is part of the served-equals-direct bitwise contract.
+    """
+    density_ortho = block_matrix_to_csr(occupation_block)
+    density_ao = s_inv_sqrt @ density_ortho.toarray() @ s_inv_sqrt
+    k_dense = K.toarray() if sp.issparse(K) else np.asarray(K, dtype=float)
+    energy = band_structure_energy(density_ao, k_dense, config.spin_degeneracy)
+    n_elec = electron_count(density_ortho, config.spin_degeneracy)
+    segment_fetch_bytes = None
+    block_fetch_bytes = None
+    overlap_seconds = 0.0
+    exchange_hidden_fraction = None
+    if pipeline is not None:
+        transfer = pipeline.transfer_plan
+        block_fetch_bytes = float(transfer.total_fetch_bytes)
+        if transfer.has_segments:
+            segment_fetch_bytes = float(transfer.total_segment_fetch_bytes)
+        if pipeline.last_overlap is not None:
+            overlap_seconds = float(pipeline.last_overlap.overlap_seconds)
+            exchange_hidden_fraction = float(
+                pipeline.last_overlap.exchange_hidden_fraction
+            )
+    return SubmatrixDFTResult(
+        density_ao=density_ao,
+        density_ortho=density_ortho,
+        mu=float(mu),
+        n_electrons=n_elec,
+        band_energy=energy,
+        submatrix_dimensions=dimensions,
+        mu_iterations=mu_iterations,
+        eps_filter=config.eps_filter,
+        wall_time=wall_time,
+        n_ranks=ranks,
+        pattern_fingerprint=coo.fingerprint(),
+        segment_fetch_bytes=segment_fetch_bytes,
+        block_fetch_bytes=block_fetch_bytes,
+        retries=report.retries if report is not None else 0,
+        reassigned_stacks=report.reassigned_stacks if report is not None else 0,
+        kernel_fallbacks=report.kernel_fallbacks if report is not None else 0,
+        degraded=report.degraded if report is not None else False,
+        overlap_seconds=overlap_seconds,
+        exchange_hidden_fraction=exchange_hidden_fraction,
+        stacks_reduced=(
+            precision_report.stacks_reduced if precision_report is not None else 0
+        ),
+        refinement_passes=(
+            precision_report.refinement_passes
+            if precision_report is not None
+            else 0
+        ),
+        precision_error_bound=(
+            precision_report.error_bound
+            if precision_report is not None and precision_report.stacks_reduced
+            else None
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# eigendecomposition cache (grand-canonical and canonical)
+# --------------------------------------------------------------------------- #
+def _make_entry(
+    submatrix: Submatrix, eigenvalues: np.ndarray, eigenvectors: np.ndarray
+) -> DecomposedSubmatrix:
+    offsets = np.concatenate(([0], np.cumsum(submatrix.block_sizes)))
+    generating_rows: List[np.ndarray] = []
+    for local_column in submatrix.local_columns:
+        generating_rows.append(
+            np.arange(offsets[local_column], offsets[local_column + 1])
+        )
+    return DecomposedSubmatrix(
+        submatrix=submatrix,
+        eigenvalues=eigenvalues,
+        eigenvectors=eigenvectors,
+        generating_function_rows=np.concatenate(generating_rows),
+    )
+
+
+def _decompose_naive(
+    context, block_k: BlockSparseMatrix, grouping: ColumnGrouping, coo: CooBlockList
+) -> Tuple[List[DecomposedSubmatrix], Optional[BlockSubmatrixPlan]]:
+    """Reference path: per-group extraction and one eigh call per submatrix."""
+
+    def decompose(group: Sequence[int]) -> DecomposedSubmatrix:
+        submatrix = extract_block_submatrix(block_k, group, coo)
+        eigenvalues, eigenvectors = np.linalg.eigh(submatrix.data)
+        return _make_entry(submatrix, eigenvalues, eigenvectors)
+
+    return context._map(decompose, list(grouping.groups)), None
+
+
+def _decompose_planned(
+    context,
+    block_k: BlockSparseMatrix,
+    grouping: ColumnGrouping,
+    coo: CooBlockList,
+    replan: str = "full",
+) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
+    """Extract and eigendecompose every submatrix (Eq. 17, first step).
+
+    Extraction runs through the cached vectorized plan and the
+    eigendecompositions are evaluated one bucket (stack of equal-dimension
+    submatrices) at a time.  Buckets stay exact-dimension: Algorithm 1
+    reuses the cached per-submatrix eigendecompositions during the
+    μ-bisection, and a padded block-diagonal embedding has a different
+    spectrum bookkeeping.
+    """
+    groups = list(grouping.groups)
+    plan = context.block_plan_for(
+        coo, block_k.row_block_sizes, groups, replan=replan
+    )
+    packed = plan.pack(block_k)
+    buckets = make_stack_tasks(plan.dimensions)
+
+    def decompose_bucket(bucket):
+        stack = plan.extract_stack(packed, bucket.members, bucket.dimension)
+        eigenvalues, eigenvectors = np.linalg.eigh(stack)
+        return [
+            _make_entry(
+                plan.groups[group_index].make_submatrix(),
+                eigenvalues[slot],
+                eigenvectors[slot],
+            )
+            for slot, group_index in enumerate(bucket.members)
+        ]
+
+    per_bucket = context._map(decompose_bucket, buckets)
+    entries: List[Optional[DecomposedSubmatrix]] = [None] * len(groups)
+    for bucket, bucket_entries in zip(buckets, per_bucket):
+        for group_index, entry in zip(bucket.members, bucket_entries):
+            entries[group_index] = entry
+    return entries, plan  # type: ignore[return-value]
+
+
+def _decompose_sharded(
+    context, block_k: BlockSparseMatrix, pipeline, policy=None, report=None
+) -> Tuple[List[DecomposedSubmatrix], BlockSubmatrixPlan]:
+    """Build the eigendecomposition cache rank-sharded through the pipeline.
+
+    The context-cached :class:`~repro.core.runner.DistributedSubmatrixPipeline`
+    fixes the submatrix→rank assignment (``config.balance``), the sharded
+    extraction plan and the packed-segment transfer plan; each rank then
+    gathers its local buffer and eigendecomposes its shard bucket by bucket
+    — the same per-rank execution :meth:`run` uses, with the decomposition
+    kept instead of an evaluated matrix function.  Entries are reassembled
+    in global group order, so the subsequent μ-bisection and scatter are
+    bitwise identical to the single-process path.
+
+    With an active ``policy`` the rank tasks run through
+    :meth:`~repro.core.runner.DistributedSubmatrixPipeline.execute_ranks`
+    (retry/rebalance on injected or genuine rank failures — the rank
+    closures are idempotent, so a re-execution rebuilds exactly the same
+    cache entries); a persistent failure raises
+    :class:`~repro.core.runner.PipelineExecutionError` for
+    :func:`compute_observables`'s degradation logic.
+
+    With ``config.overlap`` the rank closures run arrival-driven through
+    an :class:`~repro.core.overlap.OverlappedExchange` engine — each
+    bucket is eigendecomposed the moment its segment chunks land instead
+    of after the rank's full gather — and the modeled hidden-exchange
+    accounting is published on ``pipeline.last_overlap``.  The per-bucket
+    arithmetic (extract → ``eigh`` → collect) is unchanged, so the cache
+    is bitwise identical either way.
+    """
+    plan, sharded = pipeline.prepare()
+    packed = plan.pack(block_k)
+    pipeline.last_overlap = None
+    engine = None
+    overlap_reports: List[Optional[object]] = [None] * pipeline.n_ranks
+    if context.config.overlap:
+        engine = pipeline.overlap_engine(
+            PAPER_MACHINE,
+            pad_to=None,
+            max_batch_elements=MAX_BATCH_ELEMENTS,
+            fault_injector=policy.fault_injector if policy is not None else None,
+        )
+
+    def decompose_rank(rank: int) -> List[Tuple[int, DecomposedSubmatrix]]:
+        shard = sharded.shards[rank]
+        if shard.n_groups == 0:
+            return []
+        entries: List[Tuple[int, DecomposedSubmatrix]] = []
+
+        def collect(bucket, stack):
+            eigenvalues, eigenvectors = np.linalg.eigh(stack)
+            for slot, local_index in enumerate(bucket.members):
+                group_index = int(shard.group_indices[local_index])
+                entries.append(
+                    (
+                        group_index,
+                        _make_entry(
+                            plan.groups[group_index].make_submatrix(),
+                            eigenvalues[slot],
+                            eigenvectors[slot],
+                        ),
+                    )
+                )
+
+        if engine is not None:
+            overlap_reports[rank] = engine.run_rank(rank, packed, collect)
+            return entries
+        local = shard.pack_local(packed)
+        for bucket in shard.stack_tasks():
+            stack = shard.view.extract_stack(local, bucket.members, bucket.dimension)
+            collect(bucket, stack)
+        return entries
+
+    backend, executor = context._rank_resources()
+    per_rank = pipeline.execute_ranks(
+        decompose_rank,
+        context.config.max_workers,
+        backend,
+        executor=executor,
+        policy=policy,
+        report=report,
+    )
+    if engine is not None:
+        pipeline.last_overlap = engine.report(overlap_reports)
+    entries: List[Optional[DecomposedSubmatrix]] = [None] * plan.n_groups
+    for rank_entries in per_rank:
+        for group_index, entry in rank_entries:
+            entries[group_index] = entry
+    return entries, plan  # type: ignore[return-value]
+
+
+def _occupations(config, eigenvalues: np.ndarray, mu: float) -> np.ndarray:
+    """Occupation numbers f(λ − μ) (Heaviside with f=1/2 at μ, or Fermi)."""
+    return fermi_occupation(eigenvalues, mu, config.temperature)
+
+
+def _bisect_mu(
+    config,
+    decomposed: Sequence[DecomposedSubmatrix],
+    n_electrons: float,
+    tolerance: float,
+    max_iterations: int,
+    bracket: Optional[Tuple[float, float]] = None,
+) -> Tuple[float, int]:
+    """Adjust μ by bisection on the cached eigendecompositions (Alg. 1).
+
+    Implements Algorithm 1: only the rows of Q that correspond to the
+    generating block columns contribute (only those columns enter the
+    sparse result), and the contribution of one submatrix reduces to
+    ``weights · f(λ − μ)``.  The eigenvalues and weights of all
+    submatrices are concatenated once, so every bisection step is a
+    single vectorized occupation evaluation plus a dot product.
+
+    ``bracket`` optionally warm-starts the search (SCF/MD trajectories seed
+    it from the previous step's μ): the bracket is clipped to the spectrum
+    bounds and expanded geometrically — each expansion's electron-count
+    evaluation billed as an iteration — until it encloses the target
+    electron count, so convergence never depends on the seed's quality.
+    Warm starts change the iterate sequence and therefore the exact
+    floating-point μ; without a bracket the iterates are identical to the
+    cold-start search.
+    """
+    all_eigenvalues = np.concatenate([d.eigenvalues for d in decomposed])
+    all_weights = np.concatenate([d.weights() for d in decomposed])
+    full_lo = float(all_eigenvalues.min()) - 1.0
+    full_hi = float(all_eigenvalues.max()) + 1.0
+
+    def electron_count_at(mu: float) -> float:
+        occupations = _occupations(config, all_eigenvalues, mu)
+        return config.spin_degeneracy * float(np.dot(all_weights, occupations))
+
+    lo, hi = full_lo, full_hi
+    iterations = 0
+    if bracket is not None:
+        warm_lo = max(float(bracket[0]), full_lo)
+        warm_hi = min(float(bracket[1]), full_hi)
+        if warm_lo < warm_hi:
+            width = warm_hi - warm_lo
+            # expand until count(lo) ≤ N ≤ count(hi) (occupation is
+            # nondecreasing in μ), falling back to the spectrum bounds
+            while warm_lo > full_lo and electron_count_at(warm_lo) > n_electrons:
+                iterations += 1
+                warm_lo = max(full_lo, warm_lo - width)
+                width *= 2.0
+            while warm_hi < full_hi and electron_count_at(warm_hi) < n_electrons:
+                iterations += 1
+                warm_hi = min(full_hi, warm_hi + width)
+                width *= 2.0
+            lo, hi = warm_lo, warm_hi
+    mu = 0.5 * (lo + hi)
+    while iterations < max_iterations:
+        iterations += 1
+        mu = 0.5 * (lo + hi)
+        error = electron_count_at(mu) - n_electrons
+        if abs(error) <= tolerance:
+            break
+        if error < 0:
+            lo = mu
+        else:
+            hi = mu
+    return mu, iterations
+
+
+def _scatter_occupations(
+    config,
+    block_k: BlockSparseMatrix,
+    decomposed: Sequence[DecomposedSubmatrix],
+    coo: CooBlockList,
+    mu: float,
+    plan: Optional[BlockSubmatrixPlan] = None,
+) -> BlockSparseMatrix:
+    """Form f(a − μ) per submatrix and scatter the generating columns.
+
+    With a plan, the scatter is one vectorized write per submatrix into a
+    preallocated packed output buffer and the result blocks are zero-copy
+    views into that buffer.
+    """
+    if plan is not None:
+        out = plan.new_output()
+        for group_index, entry in enumerate(decomposed):
+            occupations = _occupations(config, entry.eigenvalues, mu)
+            occupation_matrix = (
+                entry.eigenvectors * occupations
+            ) @ entry.eigenvectors.T
+            plan.scatter(out, group_index, occupation_matrix)
+        return plan.finalize(out)
+    result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
+    for entry in decomposed:
+        occupations = _occupations(config, entry.eigenvalues, mu)
+        occupation_matrix = (
+            entry.eigenvectors * occupations
+        ) @ entry.eigenvectors.T
+        scatter_block_submatrix_result(result, occupation_matrix, entry.submatrix, coo)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# iterative path (grand-canonical only, used for the solver ablation)
+# --------------------------------------------------------------------------- #
+def _occupation_stack_solver(
+    kernel,
+    bound,
+    mu: float,
+    policy=None,
+    report=None,
+    precision=None,
+    precision_report=None,
+):
+    """Per-stack occupation solver 1/2·(I − sign(A − μI)) for ``kernel``.
+
+    Both the single-process bucket loop and the rank-sharded pipeline map
+    this same closure over their ``(k, d, d)`` stacks, so the two paths
+    perform identical per-submatrix arithmetic — and because the batched
+    sign iterations prescale and freeze each matrix individually, the
+    results are independent of the stack composition (the basis of the
+    sharded path's bitwise-identity guarantee).
+
+    With an active ``policy`` and a kernel that provides a
+    convergence-checked batched variant, the sign evaluation runs through
+    :func:`~repro.signfn.registry.resilient_stack_solver`: non-converged
+    submatrices are restarted with an escalated iteration budget and
+    ultimately handed to the policy's fallback kernel — recorded on the
+    ``report``, not raised.  A retried matrix restarts from its original
+    shifted values, so a recovered solve is bitwise identical to a
+    fault-free converged one.
+
+    With an active ``precision`` policy and a kernel that declares
+    ``supports_reduced_precision``, a reduced-precision sign solve with an
+    FP64 refinement pass (:func:`~repro.backend.mixed.solve_reduced_sign`)
+    is attempted *first*; whenever it declines or fails (mode gate,
+    non-finite reduced estimate, refinement non-convergence) the stack
+    silently falls through to the ordinary FP64 chain below — including
+    its resilience ladder.
+    """
+    resilient = resilient_stack_solver(kernel, policy, report)
+
+    def solve(stack: np.ndarray) -> np.ndarray:
+        identity = np.eye(stack.shape[-1])
+        shifted = stack - mu * identity
+        if precision is not None:
+            signs = solve_reduced_sign(kernel, shifted, precision, precision_report)
+            if signs is not None:
+                return 0.5 * (identity - signs)
+        if resilient is not None:
+            signs = np.asarray(resilient(shifted), dtype=float)
+        elif bound.batch_function is not None:
+            signs = np.asarray(bound.batch_function(shifted), dtype=float)
+        else:
+            signs = np.stack(
+                [
+                    np.asarray(bound.function(shifted[slot]), dtype=float)
+                    for slot in range(shifted.shape[0])
+                ]
+            )
+        if signs.shape != shifted.shape:
+            raise ValueError(
+                f"sign kernel {kernel.name!r} returned shape {signs.shape}, "
+                f"expected {shifted.shape}"
+            )
+        return 0.5 * (identity - signs)
+
+    return solve
+
+
+def _iterative_occupations(
+    context,
+    block_k: BlockSparseMatrix,
+    grouping: ColumnGrouping,
+    coo: CooBlockList,
+    mu: float,
+    kernel,
+    pipeline=None,
+    replan: str = "full",
+    policy=None,
+    report=None,
+    precision=None,
+    precision_report=None,
+) -> Tuple[BlockSparseMatrix, List[int]]:
+    """Occupation matrices 1/2·(I − sign(A − μI)) via an iterative sign kernel.
+
+    ``kernel`` is any registered :class:`~repro.signfn.registry.MatrixFunction`
+    without an eigendecomposition cache — the built-in Newton–Schulz,
+    Padé and Chebyshev iterations, or a user-registered sign kernel.  The
+    μ-shift is applied here, so parameterless kernels work unchanged; the
+    kernel is bound without parameters and receives the shifted submatrices.
+
+    With the plan engine, extraction and scatter run through the cached plan
+    and the kernel's batched variant (when it has one) iterates whole
+    equal-or-padded-dimension buckets at once.  Bucket padding embeds a
+    small submatrix block-diagonally with the kernel's
+    :meth:`~repro.signfn.registry.MatrixFunction.padding_value` (``1 + μ``
+    for the built-in sign iterations) on the padding diagonal, so after the
+    μ-shift the padding eigenvalues sit at exactly 1 (well inside the sign
+    iteration's convergence region) and the padded rows never reach the
+    scatter.
+
+    With a ``pipeline``, each simulated rank gathers its rank-local packed
+    buffer and runs the same per-stack solver over its shard's buckets
+    (:meth:`~repro.core.runner.DistributedSubmatrixPipeline.run_stacks`),
+    scattering into the shared output — bitwise identical to the
+    single-process path for any rank count.
+    """
+    config = context.config
+    bound = kernel.bind()
+    groups = list(grouping.groups)
+    if config.engine == "naive":
+
+        def solve(group: Sequence[int]):
+            submatrix = extract_block_submatrix(block_k, group, coo)
+            shifted = submatrix.data - mu * np.eye(submatrix.dimension)
+            sign = np.asarray(bound.function(shifted), dtype=float)
+            occupation = 0.5 * (np.eye(submatrix.dimension) - sign)
+            return submatrix, occupation
+
+        solved = context._map(solve, groups)
+        result = BlockSparseMatrix(block_k.row_block_sizes, block_k.col_block_sizes)
+        dimensions = []
+        for submatrix, occupation in solved:
+            dimensions.append(submatrix.dimension)
+            scatter_block_submatrix_result(result, occupation, submatrix, coo)
+        return result, dimensions
+
+    solve_stack = _occupation_stack_solver(
+        kernel, bound, mu, policy, report, precision, precision_report
+    )
+    pad_value = kernel.padding_value(mu)
+
+    if pipeline is not None:
+        # rank-sharded: the pipeline owns the plan, the shard layouts and
+        # the transfer plan (all cached on the context across calls)
+        if pipeline.bucket_pad is not None and not kernel.matrix_function:
+            raise ValueError(
+                f"kernel {kernel.name!r} is not a genuine matrix function; "
+                "bucket padding requires exact-dimension buckets "
+                "(bucket_pad=None)"
+            )
+        plan, _ = pipeline.prepare()
+        packed = plan.pack(block_k)
+        out = plan.new_output()
+        backend, executor = context._rank_resources()
+        pipeline.run_stacks(
+            packed,
+            solve_stack,
+            out,
+            pad_value=pad_value,
+            max_workers=config.max_workers,
+            backend=backend,
+            executor=executor,
+            policy=policy,
+            report=report,
+            overlap=config.overlap,
+        )
+        return plan.finalize(out), list(plan.dimensions)
+
+    plan = context.block_plan_for(
+        coo, block_k.row_block_sizes, groups, replan=replan
+    )
+    packed = plan.pack(block_k)
+    dimensions = plan.dimensions
+    pad = resolve_bucket_pad(config.bucket_pad, dimensions)
+    if pad is not None and not kernel.matrix_function:
+        raise ValueError(
+            f"kernel {kernel.name!r} is not a genuine matrix function; "
+            "bucket padding requires exact-dimension buckets (bucket_pad=None)"
+        )
+    buckets = make_stack_tasks(dimensions, pad_to=pad)
+
+    def solve_bucket(bucket):
+        stack = plan.extract_stack(
+            packed, bucket.members, bucket.dimension, pad_value=pad_value
+        )
+        return solve_stack(stack)
+
+    per_bucket = context._map(solve_bucket, buckets)
+    out = plan.new_output()
+    for bucket, occupations in zip(buckets, per_bucket):
+        plan.scatter_stack(out, bucket.members, occupations, bucket.dimension)
+    return plan.finalize(out), list(dimensions)

@@ -11,7 +11,7 @@ keeps working.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -24,6 +24,9 @@ __all__ = [
     "SubmatrixMethodResult",
     "SubmatrixDFTResult",
     "DecomposedSubmatrix",
+    "PDOSResult",
+    "EnergyWeightedDensityResult",
+    "ObservableBundle",
 ]
 
 
@@ -168,6 +171,162 @@ class SubmatrixDFTResult:
     @property
     def max_submatrix_dimension(self) -> int:
         return max(self.submatrix_dimensions) if self.submatrix_dimensions else 0
+
+
+@dataclasses.dataclass
+class PDOSResult:
+    """Projected / total density of states from the cached decompositions.
+
+    The submatrix method's electron-count machinery (Eq. 18) already carries
+    a spectral measure: every decomposed submatrix contributes its
+    eigenvalues with generating-row weights ``Σ_rows Q²``.  Broadening that
+    measure with Gaussians of width ``broadening`` yields the density of
+    states; keeping the per-column-group contributions separate yields the
+    projected DOS.
+
+    Attributes
+    ----------
+    energies:
+        Uniform energy grid the DOS was sampled on.
+    dos:
+        Total broadened density of states on ``energies`` (states per unit
+        energy, including the spin degeneracy).
+    projections:
+        ``(n_groups, n_points)`` per-column-group projected DOS; rows sum to
+        ``dos``.
+    eigenvalues:
+        Concatenated submatrix eigenvalues (the raw spectral nodes).
+    weights:
+        Matching concatenated generating weights (spin degeneracy *not*
+        applied; ``Σ weights`` ≈ number of orbitals).
+    mu:
+        Chemical potential of the run (for occupation integrals).
+    broadening:
+        Gaussian σ used.
+    n_electrons:
+        ``spin_degeneracy · Σ weights · f(λ − μ)`` — identical (up to
+        summation order) to the density result's electron count.
+    """
+
+    energies: np.ndarray
+    dos: np.ndarray
+    projections: np.ndarray
+    eigenvalues: np.ndarray
+    weights: np.ndarray
+    mu: float
+    broadening: float
+    n_electrons: float
+
+    @property
+    def n_points(self) -> int:
+        return int(self.energies.size)
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.projections.shape[0])
+
+    def integrated_states(self) -> float:
+        """∫ dos dE via the trapezoid rule (≈ spin_degeneracy · n_orbitals)."""
+        return float(np.trapezoid(self.dos, self.energies))
+
+    def payload_nbytes(self) -> int:
+        return int(
+            self.energies.nbytes
+            + self.dos.nbytes
+            + self.projections.nbytes
+            + self.eigenvalues.nbytes
+            + self.weights.nbytes
+        )
+
+
+@dataclasses.dataclass
+class EnergyWeightedDensityResult:
+    """Energy-weighted density matrix W = Q (λ·f(λ−μ)) Qᵀ and band energy.
+
+    Shares the eigendecomposition pass of the density observable: instead of
+    scattering occupations ``f(λ−μ)`` per submatrix, it scatters
+    ``λ·f(λ−μ)``.  The trace of the orthogonal-basis result times the spin
+    degeneracy is the band-structure energy computed *spectrally* —
+    a cross-check of the density path's ``Tr(D K)`` (Eq. 10).
+
+    Attributes
+    ----------
+    energy_weighted_ao:
+        Energy-weighted density matrix in the AO basis
+        (``S^{-1/2} W S^{-1/2}``), the quantity entering Pulay-force
+        contractions with ``dS/dR``.
+    energy_weighted_ortho:
+        Sparse orthogonal-basis energy-weighted density matrix with the
+        pattern of the filtered orthogonalized Kohn–Sham matrix.
+    band_energy:
+        ``spin_degeneracy · Tr(W)`` — spectral band-structure energy.
+    mu:
+        Chemical potential used.
+    """
+
+    energy_weighted_ao: np.ndarray
+    energy_weighted_ortho: sp.csr_matrix
+    band_energy: float
+    mu: float
+
+    def payload_nbytes(self) -> int:
+        return int(
+            self.energy_weighted_ao.nbytes + self.energy_weighted_ortho.data.nbytes
+        )
+
+
+@dataclasses.dataclass
+class ObservableBundle:
+    """Results of one multi-observable evaluation sharing a decomposition.
+
+    Maps observable name → result.  Attribute access falls through to the
+    density result when one is present, so a bundle quacks like a
+    :class:`SubmatrixDFTResult` everywhere the trajectory/serving layers
+    only need density fields (``mu``, ``band_energy``, ``density_ao``, …).
+    """
+
+    results: Dict[str, Any]
+    observables: Tuple[str, ...]
+    stack_decompositions: int = 0
+
+    @property
+    def density(self) -> Optional[SubmatrixDFTResult]:
+        return self.results.get("density")
+
+    def __getitem__(self, name: str) -> Any:
+        return self.results[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.results
+
+    def keys(self):
+        return self.results.keys()
+
+    def __getattr__(self, name: str) -> Any:
+        # dataclass fields and methods resolve normally; anything else is
+        # delegated to the density result so bundle-producing paths stay
+        # drop-in where a plain density result used to flow
+        results = self.__dict__.get("results")
+        if results is not None:
+            density = results.get("density")
+            if density is not None:
+                try:
+                    return getattr(density, name)
+                except AttributeError:
+                    pass
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}"
+        )
+
+    def payload_nbytes(self) -> int:
+        total = 0
+        for result in self.results.values():
+            if isinstance(result, SubmatrixDFTResult):
+                total += int(result.density_ao.nbytes)
+                total += int(result.density_ortho.data.nbytes)
+            elif hasattr(result, "payload_nbytes"):
+                total += int(result.payload_nbytes())
+        return total
 
 
 @dataclasses.dataclass

@@ -284,7 +284,14 @@ class TrajectoryStats:
 
 @dataclasses.dataclass
 class TrajectoryResult:
-    """Per-step density results plus the trajectory's reuse statistics."""
+    """Per-step density results plus the trajectory's reuse statistics.
+
+    With ``observables=`` requested, the per-step entries are
+    :class:`~repro.api.results.ObservableBundle` objects instead of plain
+    :class:`~repro.api.results.SubmatrixDFTResult`; the ``mus`` /
+    ``band_energies`` accessors read the density fields through the
+    bundle's attribute delegation either way.
+    """
 
     results: List[SubmatrixDFTResult]
     stats: TrajectoryStats
@@ -392,6 +399,10 @@ def run_trajectory(
     replan: str = "auto",
     warm_start_mu: bool = False,
     checkpoint=None,
+    observables=None,
+    observable_params=None,
+    on_step=None,
+    prefetch: Optional[bool] = None,
 ) -> TrajectoryResult:
     """Drive a sequence of geometry steps through one session.
 
@@ -462,6 +473,32 @@ def run_trajectory(
         seen in one uninterrupted run.  Resuming with different trajectory
         parameters raises
         :class:`~repro.api.checkpoint.CheckpointError`.
+    observables / observable_params:
+        ``observables=None`` (default) keeps the historical behavior:
+        every step yields a plain
+        :class:`~repro.api.results.SubmatrixDFTResult`.  A non-``None``
+        sequence of observable names (which must include ``"density"`` —
+        the driver's warm-start/statistics state reads the density fields)
+        makes every step an
+        :class:`~repro.api.results.ObservableBundle` assembled from one
+        shared decomposition pass per step
+        (:meth:`SubmatrixContext.observables`); ``observable_params``
+        forwards per-observable assembly parameters.  Checkpoints persist
+        and replay the full bundle, and the checkpoint signature records
+        the observable set — a density-only checkpoint written before this
+        option existed still resumes a density-only trajectory.
+    on_step:
+        Optional callback ``on_step(index, result)`` invoked after every
+        completed step, resumed steps included — the feedback hook of the
+        SCF driver (:func:`repro.api.scf.run_scf`).  Exceptions propagate
+        and abort the trajectory.
+    prefetch:
+        ``None`` (default) prefetches step preparation whenever the
+        session runs overlapped (``EngineConfig.overlap``); ``False``
+        forces synchronous stepping even then.  Sequential drivers whose
+        step ``i+1`` depends on step ``i``'s result (SCF density mixing)
+        need ``prefetch=False``: the overlap engine would otherwise pull
+        step ``i+1`` from the callback before step ``i`` has completed.
 
     Returns
     -------
@@ -471,6 +508,7 @@ def run_trajectory(
         is enabled) and the reuse statistics.
     """
     from repro.api.density import compute_density, prepare_step
+    from repro.api.observables import compute_observables, normalize_observables
 
     context._check_open()
     if steps is None:
@@ -481,6 +519,14 @@ def run_trajectory(
     context._check_replan(replan)
     if (mu is None) == (n_electrons is None):
         raise ValueError("specify exactly one of mu and n_electrons")
+    observable_names = None
+    if observables is not None:
+        observable_names = normalize_observables(observables)
+        if "density" not in observable_names:
+            raise ValueError(
+                "trajectory observables must include 'density' (the driver's "
+                "warm-start and statistics state reads the density fields)"
+            )
 
     ckpt: Optional[TrajectoryCheckpoint] = None
     if checkpoint is not None:
@@ -489,18 +535,22 @@ def run_trajectory(
             if isinstance(checkpoint, TrajectoryCheckpoint)
             else TrajectoryCheckpoint(checkpoint)
         )
-        ckpt.ensure_signature(
-            {
-                "solver": solver,
-                "mu": _signature_value(mu),
-                "n_electrons": _signature_value(n_electrons),
-                "ranks": None if ranks is None else int(ranks),
-                "replan": replan,
-                "warm_start_mu": bool(warm_start_mu),
-                "mu_tolerance": float(mu_tolerance),
-                "max_mu_iterations": int(max_mu_iterations),
-            }
-        )
+        signature = {
+            "solver": solver,
+            "mu": _signature_value(mu),
+            "n_electrons": _signature_value(n_electrons),
+            "ranks": None if ranks is None else int(ranks),
+            "replan": replan,
+            "warm_start_mu": bool(warm_start_mu),
+            "mu_tolerance": float(mu_tolerance),
+            "max_mu_iterations": int(max_mu_iterations),
+        }
+        if observable_names is not None:
+            # only non-default requests extend the signature, so density-only
+            # checkpoint directories written before multi-observable
+            # trajectories existed keep resuming unchanged
+            signature["observables"] = sorted(observable_names)
+        ckpt.ensure_signature(signature)
 
     results: List[SubmatrixDFTResult] = []
     records: List[TrajectoryStepRecord] = []
@@ -515,7 +565,8 @@ def run_trajectory(
     step_iter = _iterate_steps(steps, n_steps)
     prefetch_pool: Optional[ThreadPoolExecutor] = None
     prepare_pool: Optional[ProcessPoolExecutor] = None
-    if context.config.overlap:
+    use_prefetch = context.config.overlap if prefetch is None else bool(prefetch)
+    if use_prefetch:
         prefetch_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="trajectory-prefetch"
         )
@@ -584,30 +635,52 @@ def run_trajectory(
                 bracket_half_width = adaptive_half_width(
                     mu_history, mu_tolerance
                 )
-                result = compute_density(
-                    context,
-                    K,
-                    S,
-                    blocks,
-                    mu=_step_value(mu, index),
-                    n_electrons=step_n_electrons,
-                    solver=solver,
-                    grouping=grouping,
-                    mu_tolerance=mu_tolerance,
-                    max_mu_iterations=max_mu_iterations,
-                    ranks=ranks,
-                    distribution=distribution,
-                    replan=replan,
-                    mu_bracket=(
-                        (
-                            previous_mu - bracket_half_width,
-                            previous_mu + bracket_half_width,
-                        )
-                        if warm
-                        else None
-                    ),
-                    prepared=prepared,
+                bracket = (
+                    (
+                        previous_mu - bracket_half_width,
+                        previous_mu + bracket_half_width,
+                    )
+                    if warm
+                    else None
                 )
+                if observable_names is None:
+                    result = compute_density(
+                        context,
+                        K,
+                        S,
+                        blocks,
+                        mu=_step_value(mu, index),
+                        n_electrons=step_n_electrons,
+                        solver=solver,
+                        grouping=grouping,
+                        mu_tolerance=mu_tolerance,
+                        max_mu_iterations=max_mu_iterations,
+                        ranks=ranks,
+                        distribution=distribution,
+                        replan=replan,
+                        mu_bracket=bracket,
+                        prepared=prepared,
+                    )
+                else:
+                    result = compute_observables(
+                        context,
+                        K,
+                        S,
+                        blocks,
+                        observables=observable_names,
+                        mu=_step_value(mu, index),
+                        n_electrons=step_n_electrons,
+                        solver=solver,
+                        grouping=grouping,
+                        mu_tolerance=mu_tolerance,
+                        max_mu_iterations=max_mu_iterations,
+                        ranks=ranks,
+                        distribution=distribution,
+                        replan=replan,
+                        mu_bracket=bracket,
+                        prepared=prepared,
+                        observable_params=observable_params,
+                    )
                 step_wall = result.wall_time
                 if ckpt is not None:
                     ckpt.save_step(index, result)
@@ -657,6 +730,8 @@ def run_trajectory(
             mu_history.append(previous_mu)
             cache_before = cache_after
             session_before = session_after
+            if on_step is not None:
+                on_step(index, result)
     finally:
         if prefetch_pool is not None:
             prefetch_pool.shutdown(wait=True, cancel_futures=True)

@@ -40,6 +40,16 @@ deduplication only ever reuses deterministic intermediates computed from
 bytewise-equal inputs.  A failing merged
 group falls back to independent per-request evaluation, so one poisoned
 request cannot take its neighbours down with it.
+
+Two extensions ride on the same identity argument.  An optional
+:class:`DecompositionCache` (short TTL, content-keyed) carries a distinct
+content's μ-independent work *across* micro-batch windows, so a hot
+request arriving in the next window skips preparation, packing and the
+eigendecomposition entirely.  And requests may ask for any registered
+observable set: the μ-dependent stage then assembles an
+:class:`~repro.api.results.ObservableBundle` from the one shared entry
+table through the same :class:`~repro.api.observables.SharedEvaluation`
+path a direct ``context.observables`` call uses.
 """
 
 from __future__ import annotations
@@ -51,6 +61,8 @@ import hashlib
 import queue
 import threading
 import time
+import weakref
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,10 +75,17 @@ from repro.api.density import (
     assemble_result,
     prepare_step,
 )
+from repro.api.observables import SharedEvaluation, get_observable
+from repro.api.results import ObservableBundle
 from repro.core.batch import MAX_BATCH_ELEMENTS, Bucket, make_stack_tasks
 from repro.core.combination import single_column_groups
 
-__all__ = ["DensityRequest", "MicroBatcher", "evaluate_merged_group"]
+__all__ = [
+    "DecompositionCache",
+    "DensityRequest",
+    "MicroBatcher",
+    "evaluate_merged_group",
+]
 
 _SHUTDOWN = object()
 
@@ -98,6 +117,8 @@ class DensityRequest:
     grouping: object = None
     ranks: Optional[int] = None
     distribution: object = None
+    observables: Tuple[str, ...] = ("density",)
+    observable_params: object = None
     submitted_at: float = 0.0
     future: concurrent.futures.Future = dataclasses.field(
         default_factory=concurrent.futures.Future
@@ -109,16 +130,20 @@ class DensityRequest:
     shared: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    decomposition_hits: int = 0
+    decomposition_misses: int = 0
 
     @property
     def batch_key(self) -> tuple:
-        """Requests merge only within one (context, solver, precision mode)
-        equivalence class — the service never merges stacks whose
-        :class:`~repro.api.config.PrecisionPolicy` modes differ."""
+        """Requests merge only within one (context, solver, precision mode,
+        observable set) equivalence class — the service never merges stacks
+        whose :class:`~repro.api.config.PrecisionPolicy` modes differ, and
+        groups stay homogeneous in the observables they assemble."""
         return (
             id(self.context),
             self.solver,
             self.context.config.precision.mode,
+            tuple(self.observables),
         )
 
     @property
@@ -169,6 +194,74 @@ def _matrix_fingerprint(matrix) -> bytes:
         digest.update(array.dtype.str.encode())
         digest.update(array.tobytes())
     return digest.digest()
+
+
+class DecompositionCache:
+    """Short-TTL content-keyed cache of μ-independent request work.
+
+    A hot request content — bytewise-identical ``K``, ``S`` and block sizes
+    arriving again within ``ttl`` seconds — reuses its preparation,
+    extraction plan and cached per-submatrix eigendecompositions *across*
+    micro-batch windows, extending the within-group content deduplication
+    of :func:`evaluate_merged_group` in time.  Only the μ-dependent stages
+    (ensemble handling, occupation scatter, observable assembly) are ever
+    recomputed, so cache hits stay bitwise identical to fresh evaluations:
+    the cached intermediates are deterministic functions of bytewise-equal
+    inputs, exactly like the within-group reuse.
+
+    Entries are bound to the session context that produced them (held by
+    weak reference — plans belong to that context's plan cache) and expire
+    after ``ttl`` seconds; the LRU bound ``max_entries`` caps the retained
+    eigendecompositions.  All methods are thread-safe, but the cache is
+    only consulted from the single micro-batcher thread in practice.
+    """
+
+    def __init__(self, ttl: float, max_entries: int = 32):
+        if ttl <= 0.0:
+            raise ValueError("ttl must be positive (omit the cache to disable)")
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.ttl = float(ttl)
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple, context) -> Optional[tuple]:
+        """The cached ``(prep, plan, buckets, entries)`` for ``key``, if
+        fresh and produced by ``context``; counts a hit or miss either way."""
+        now = time.monotonic()
+        with self._lock:
+            record = self._entries.get(key)
+            if record is not None:
+                expires, context_ref, value = record
+                if expires >= now and context_ref() is context:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value
+                del self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, context, value: tuple) -> None:
+        with self._lock:
+            self._entries[key] = (
+                time.monotonic() + self.ttl,
+                weakref.ref(context),
+                value,
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 class _BlockSizes:
@@ -226,13 +319,20 @@ def _merge_stack_tasks(
     return merged
 
 
-def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
+def evaluate_merged_group(
+    context,
+    requests: Sequence[DensityRequest],
+    decomposition_cache: Optional[DecompositionCache] = None,
+) -> list:
     """Evaluate a group of compatible requests with merged eigh stacks.
 
     All requests must share :attr:`DensityRequest.batch_key` (one context,
-    one eigen-family solver).  Returns the per-request results in order;
-    each is bitwise identical to a direct ``context.density`` call with the
-    same arguments.
+    one eigen-family solver, one observable set).  Returns the per-request
+    results in order; each is bitwise identical to a direct
+    ``context.density`` (or multi-observable ``context.observables``) call
+    with the same arguments.  ``decomposition_cache`` optionally serves a
+    distinct content's μ-independent work from a previous micro-batch
+    window (see :class:`DecompositionCache`).
     """
     config = context.config
     start = time.perf_counter()
@@ -248,7 +348,21 @@ def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
         request.shared = owner[index] != index
     representatives = [i for i, o in enumerate(owner) if o == i]
 
-    # 1. pure preparation per distinct content, in parallel through the pool
+    # 0b. distinct contents already decomposed in a previous window skip
+    #     the μ-independent stages entirely (cached[(i)] holds the same
+    #     (prep, plan, buckets, entries) tuple a fresh evaluation builds)
+    cached: Dict[int, tuple] = {}
+    if decomposition_cache is not None:
+        for i in representatives:
+            value = decomposition_cache.get(requests[i].content_key, context)
+            if value is not None:
+                cached[i] = value
+                requests[i].decomposition_hits += 1
+            else:
+                requests[i].decomposition_misses += 1
+    fresh = [i for i in representatives if i not in cached]
+
+    # 1. pure preparation per distinct uncached content, in parallel
     rep_prepared = context._map(
         _prepare_task,
         [
@@ -258,15 +372,23 @@ def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
                 tuple(int(b) for b in requests[i].blocks.block_sizes),
                 config.eps_filter,
             )
-            for i in representatives
+            for i in fresh
         ],
     )
-    prepared = dict(zip(representatives, rep_prepared))
+    prepared = dict(zip(fresh, rep_prepared))
+    for i, (prep, _, _, _) in cached.items():
+        prepared[i] = prep
 
     # 2. serial per-request plan lookups on the shared cache (exact hit
-    #    attribution); packing happens once per distinct content
+    #    attribution); packing happens once per distinct content.  Requests
+    #    whose content came from the decomposition cache skip the lookup —
+    #    their plan was resolved (and attributed) when the entry was built.
     planned: Dict[int, tuple] = {}
+    for i, (_, plan, buckets, _) in cached.items():
+        planned[i] = (plan, None, buckets)
     for index, request in enumerate(requests):
+        if owner[index] in cached:
+            continue
         prep = prepared[owner[index]]
         grouping = single_column_groups(prep.block_k.n_block_cols)
         before = context.plan_cache.stats
@@ -284,15 +406,16 @@ def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
             buckets = make_stack_tasks(plan.dimensions)
             planned[index] = (plan, packed, buckets)
 
-    # 3. merge stack tasks across distinct contents and eigendecompose each
-    #    merged stack once; eigh is slice-deterministic, so the per-slice
-    #    results do not depend on which content's submatrices share the stack
-    merged = _merge_stack_tasks([planned[i][2] for i in representatives])
+    # 3. merge stack tasks across distinct fresh contents and eigendecompose
+    #    each merged stack once; eigh is slice-deterministic, so the
+    #    per-slice results do not depend on which content's submatrices
+    #    share the stack
+    merged = _merge_stack_tasks([planned[i][2] for i in fresh])
     stacks = []
     for group in merged:
         parts = [
-            planned[representatives[position]][0].extract_stack(
-                planned[representatives[position]][1],
+            planned[fresh[position]][0].extract_stack(
+                planned[fresh[position]][1],
                 bucket.members,
                 bucket.dimension,
             )
@@ -303,12 +426,12 @@ def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
 
     # 4. route each slice back to its content's entry table
     decomposed: Dict[int, List] = {
-        i: [None] * planned[i][0].n_groups for i in representatives
+        i: [None] * planned[i][0].n_groups for i in fresh
     }
     for group, (eigenvalues, eigenvectors) in zip(merged, eigendecompositions):
         offset = 0
         for position, bucket in group:
-            representative = representatives[position]
+            representative = fresh[position]
             plan = planned[representative][0]
             for slot, group_index in enumerate(bucket.members):
                 decomposed[representative][group_index] = _make_entry(
@@ -317,13 +440,22 @@ def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
                     eigenvectors[offset + slot],
                 )
             offset += len(bucket.members)
+    for i, (_, _, _, entries) in cached.items():
+        decomposed[i] = entries
+    if decomposition_cache is not None:
+        for i in fresh:
+            decomposition_cache.put(
+                requests[i].content_key,
+                context,
+                (prepared[i], planned[i][0], planned[i][2], decomposed[i]),
+            )
 
     # 5. strictly per-request: ensemble handling, scatter, assembly (shared
     #    decomposed entries are only ever read here)
     results = []
     for index, request in enumerate(requests):
         prep = prepared[owner[index]]
-        plan = planned[owner[index]][0]
+        plan, _, buckets = planned[owner[index]]
         entries = decomposed[owner[index]]
         mu = request.mu
         mu_iterations = 0
@@ -336,21 +468,57 @@ def evaluate_merged_group(context, requests: Sequence[DensityRequest]) -> list:
                 request.max_mu_iterations,
                 bracket=request.mu_bracket,
             )
-        occupation_block = _scatter_occupations(
-            config, prep.block_k, entries, prep.coo, float(mu), plan
+        dimensions = [entry.submatrix.dimension for entry in entries]
+        wall_time = time.perf_counter() - start
+        if tuple(request.observables) == ("density",):
+            occupation_block = _scatter_occupations(
+                config, prep.block_k, entries, prep.coo, float(mu), plan
+            )
+            results.append(
+                assemble_result(
+                    config,
+                    request.K,
+                    prep.s_inv_sqrt,
+                    occupation_block,
+                    prep.coo,
+                    float(mu),
+                    mu_iterations,
+                    dimensions,
+                    wall_time=wall_time,
+                    ranks=1,
+                )
+            )
+            continue
+        # multi-observable requests assemble every observable from the one
+        # shared entry table — the same per-request arithmetic as a direct
+        # context.observables call, so bitwise identity carries over
+        evaluation = SharedEvaluation(
+            config=config,
+            K=request.K,
+            s_inv_sqrt=prep.s_inv_sqrt,
+            block_k=prep.block_k,
+            coo=prep.coo,
+            mu=float(mu),
+            mu_iterations=mu_iterations,
+            dimensions=dimensions,
+            decomposed=entries,
+            plan=plan,
+            ranks=1,
+            wall_time=wall_time,
+            stack_decompositions=len(buckets),
         )
+        params_by_name = request.observable_params or {}
+        bundle_results = {
+            name: get_observable(name).assemble(
+                evaluation, params_by_name.get(name, {})
+            )
+            for name in request.observables
+        }
         results.append(
-            assemble_result(
-                config,
-                request.K,
-                prep.s_inv_sqrt,
-                occupation_block,
-                prep.coo,
-                float(mu),
-                mu_iterations,
-                [entry.submatrix.dimension for entry in entries],
-                wall_time=time.perf_counter() - start,
-                ranks=1,
+            ObservableBundle(
+                results=bundle_results,
+                observables=tuple(request.observables),
+                stack_decompositions=len(buckets),
             )
         )
     return results
@@ -366,13 +534,19 @@ class MicroBatcher:
     isolated request is delayed by at most the wait window.
     """
 
-    def __init__(self, max_batch: int = 8, max_wait: float = 0.002):
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        decomposition_cache: Optional[DecompositionCache] = None,
+    ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.decomposition_cache = decomposition_cache
         self._queue: "queue.Queue" = queue.Queue()
         self._deferred: List[DensityRequest] = []
         self._closed = False
@@ -487,6 +661,8 @@ class MicroBatcher:
         for request in group:
             request.batched = len(group) > 1
             request.n_coalesced = len(group)
-        results = evaluate_merged_group(context, group)
+        results = evaluate_merged_group(
+            context, group, decomposition_cache=self.decomposition_cache
+        )
         for request, result in zip(group, results):
             request.finish(result)

@@ -41,6 +41,8 @@ class _TenantState:
         "bytes_out",
         "cache_hits",
         "cache_misses",
+        "decomposition_hits",
+        "decomposition_misses",
         "stacks_reduced",
         "refinement_passes",
         "latencies",
@@ -57,6 +59,8 @@ class _TenantState:
         self.bytes_out = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.decomposition_hits = 0
+        self.decomposition_misses = 0
         self.stacks_reduced = 0
         self.refinement_passes = 0
         self.latencies: Deque[float] = deque(maxlen=window)
@@ -78,6 +82,8 @@ class _TenantState:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": (self.cache_hits / lookups) if lookups else 0.0,
+            "decomposition_hits": self.decomposition_hits,
+            "decomposition_misses": self.decomposition_misses,
             "stacks_reduced": self.stacks_reduced,
             "refinement_passes": self.refinement_passes,
             "p50_latency": p50,
@@ -111,6 +117,13 @@ class ServiceMetrics:
         the shared cache counters may interleave — the *global* cache stats
         on :meth:`DensityService.stats <repro.serve.server.DensityService.stats>`
         are always exact.
+    ``decomposition_hits`` / ``decomposition_misses``:
+        Short-TTL decomposition-cache traffic of the tenant's micro-batched
+        requests: distinct request contents whose μ-independent work
+        (preparation, packing, eigendecomposition) was served from the
+        :class:`~repro.serve.batcher.DecompositionCache` of a *previous*
+        micro-batch window vs. computed fresh (both 0 when the cache is
+        disabled, the default).
     ``stacks_reduced`` / ``refinement_passes``:
         Mixed-precision accounting of the tenant's completed requests —
         bucketed stacks whose sign solve ran reduced under the session's
@@ -152,6 +165,8 @@ class ServiceMetrics:
         bytes_out: int = 0,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        decomposition_hits: int = 0,
+        decomposition_misses: int = 0,
         stacks_reduced: int = 0,
         refinement_passes: int = 0,
     ) -> None:
@@ -167,6 +182,8 @@ class ServiceMetrics:
             state.bytes_out += int(bytes_out)
             state.cache_hits += int(cache_hits)
             state.cache_misses += int(cache_misses)
+            state.decomposition_hits += int(decomposition_hits)
+            state.decomposition_misses += int(decomposition_misses)
             state.stacks_reduced += int(stacks_reduced)
             state.refinement_passes += int(refinement_passes)
 
@@ -195,6 +212,8 @@ class ServiceMetrics:
                 "bytes_out",
                 "cache_hits",
                 "cache_misses",
+                "decomposition_hits",
+                "decomposition_misses",
                 "stacks_reduced",
                 "refinement_passes",
             )

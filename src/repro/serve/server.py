@@ -43,9 +43,10 @@ from typing import Dict, Optional, Tuple
 
 from repro.api.config import EngineConfig
 from repro.api.context import SubmatrixContext
+from repro.api.observables import normalize_observables
 from repro.core.plan import PlanCache
 from repro.serve.admission import AdmissionController, AdmissionPolicy
-from repro.serve.batcher import DensityRequest, MicroBatcher
+from repro.serve.batcher import DecompositionCache, DensityRequest, MicroBatcher
 from repro.serve.metrics import ServiceMetrics
 from repro.signfn.registry import get_kernel
 
@@ -72,6 +73,13 @@ class DensityService:
         request runs directly (one ``context.density`` call each).
     max_batch / batch_wait:
         Micro-batch group-size cap and maximum coalescing wait in seconds.
+    decomposition_ttl / decomposition_cache_size:
+        Enable the content-keyed short-TTL
+        :class:`~repro.serve.batcher.DecompositionCache` on the batched
+        path: bytewise-identical hot requests arriving within
+        ``decomposition_ttl`` seconds of each other reuse the earlier
+        request's eigendecomposition *across* micro-batch windows.  The
+        default ``0.0`` disables the cache (no entries are ever held).
     dispatch_workers:
         Thread count of the direct-path dispatch pool (also used for
         trajectory requests).
@@ -90,6 +98,8 @@ class DensityService:
         batching: bool = True,
         max_batch: int = 8,
         batch_wait: float = 0.002,
+        decomposition_ttl: float = 0.0,
+        decomposition_cache_size: int = 32,
         dispatch_workers: int = 8,
         latency_window: int = 4096,
     ):
@@ -97,6 +107,8 @@ class DensityService:
             raise ValueError("max_contexts must be at least 1")
         if dispatch_workers < 1:
             raise ValueError("dispatch_workers must be at least 1")
+        if decomposition_ttl < 0:
+            raise ValueError("decomposition_ttl must be non-negative")
         self.config = (config if config is not None else EngineConfig()).validate()
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.plan_cache = PlanCache(
@@ -111,8 +123,19 @@ class DensityService:
         )
         self._lock = threading.RLock()
         self._closed = False
+        self._decomposition_cache = (
+            DecompositionCache(
+                ttl=decomposition_ttl, max_entries=decomposition_cache_size
+            )
+            if batching and decomposition_ttl > 0
+            else None
+        )
         self._batcher = (
-            MicroBatcher(max_batch=max_batch, max_wait=batch_wait)
+            MicroBatcher(
+                max_batch=max_batch,
+                max_wait=batch_wait,
+                decomposition_cache=self._decomposition_cache,
+            )
             if batching
             else None
         )
@@ -181,13 +204,20 @@ class DensityService:
         distribution=None,
         replan: str = "full",
         mu_bracket: Optional[Tuple[float, float]] = None,
+        observables=("density",),
+        observable_params=None,
     ) -> Future:
-        """Submit one density request; returns a future of the result.
+        """Submit one observable-keyed request; returns a future of the result.
 
-        Arguments mirror :meth:`SubmatrixContext.density
-        <repro.api.context.SubmatrixContext.density>`; ``tenant`` selects
-        the accounting bucket and ``config`` the pooled session (the
-        service default when omitted).  Raises
+        Arguments mirror :meth:`SubmatrixContext.observables
+        <repro.api.context.SubmatrixContext.observables>`; ``tenant``
+        selects the accounting bucket and ``config`` the pooled session
+        (the service default when omitted).  With the default
+        ``observables=("density",)`` the future resolves to the familiar
+        :class:`~repro.api.results.SubmatrixDFTResult`; any other
+        observable set resolves to an
+        :class:`~repro.api.results.ObservableBundle` sharing one
+        decomposition pass.  Raises
         :class:`~repro.serve.admission.ServiceOverloadError` when admission
         control refuses the request.
         """
@@ -202,6 +232,7 @@ class DensityService:
                 "eigendecomposition solver (Algorithm 1 reuses the cached "
                 "eigendecompositions)"
             )
+        observable_names = normalize_observables(observables)
         context = self._context_for(config)
         try:
             self.admission.admit(tenant)
@@ -225,6 +256,8 @@ class DensityService:
             grouping=grouping,
             ranks=ranks,
             distribution=distribution,
+            observables=observable_names,
+            observable_params=observable_params,
             submitted_at=time.perf_counter(),
             on_done=self._on_done,
         )
@@ -254,24 +287,37 @@ class DensityService:
         return get_kernel(request.solver).supports_mu_bisection
 
     def _run_direct(self, request: DensityRequest) -> None:
-        """Direct path: one tracked ``context.density`` call per request."""
+        """Direct path: one tracked session call per request."""
         before = self.plan_cache.stats
+        shared_kwargs = dict(
+            mu=request.mu,
+            n_electrons=request.n_electrons,
+            solver=request.solver,
+            grouping=request.grouping,
+            mu_tolerance=request.mu_tolerance,
+            max_mu_iterations=request.max_mu_iterations,
+            ranks=request.ranks,
+            distribution=request.distribution,
+            replan=request.replan,
+            mu_bracket=request.mu_bracket,
+        )
         try:
-            result = request.context.density(
-                request.K,
-                request.S,
-                request.blocks,
-                mu=request.mu,
-                n_electrons=request.n_electrons,
-                solver=request.solver,
-                grouping=request.grouping,
-                mu_tolerance=request.mu_tolerance,
-                max_mu_iterations=request.max_mu_iterations,
-                ranks=request.ranks,
-                distribution=request.distribution,
-                replan=request.replan,
-                mu_bracket=request.mu_bracket,
-            )
+            if (
+                tuple(request.observables) == ("density",)
+                and not request.observable_params
+            ):
+                result = request.context.density(
+                    request.K, request.S, request.blocks, **shared_kwargs
+                )
+            else:
+                result = request.context.observables(
+                    request.K,
+                    request.S,
+                    request.blocks,
+                    observables=request.observables,
+                    observable_params=request.observable_params,
+                    **shared_kwargs,
+                )
         except Exception as error:
             request.fail(error)
         else:
@@ -287,9 +333,12 @@ class DensityService:
         latency = time.perf_counter() - request.submitted_at
         self.admission.release(request.tenant)
         if error is None:
-            bytes_out = int(result.density_ao.nbytes) + int(
-                result.density_ortho.data.nbytes
-            )
+            if hasattr(result, "payload_nbytes"):
+                bytes_out = int(result.payload_nbytes())
+            else:
+                bytes_out = int(result.density_ao.nbytes) + int(
+                    result.density_ortho.data.nbytes
+                )
             self.metrics.record_completed(
                 request.tenant,
                 latency,
@@ -299,8 +348,12 @@ class DensityService:
                 bytes_out=bytes_out,
                 cache_hits=request.cache_hits,
                 cache_misses=request.cache_misses,
-                stacks_reduced=result.stacks_reduced,
-                refinement_passes=result.refinement_passes,
+                decomposition_hits=request.decomposition_hits,
+                decomposition_misses=request.decomposition_misses,
+                # a bundle without a density member has no precision
+                # accounting to delegate to — fall back to zero
+                stacks_reduced=getattr(result, "stacks_reduced", 0),
+                refinement_passes=getattr(result, "refinement_passes", 0),
             )
         else:
             self.metrics.record_failed(request.tenant, latency)
@@ -352,7 +405,9 @@ class DensityService:
             raise
         self.admission.release(tenant)
         bytes_out = sum(
-            int(step.density_ao.nbytes) + int(step.density_ortho.data.nbytes)
+            int(step.payload_nbytes())
+            if hasattr(step, "payload_nbytes")
+            else int(step.density_ao.nbytes) + int(step.density_ortho.data.nbytes)
             for step in result.results
         )
         self.metrics.record_completed(
@@ -384,6 +439,11 @@ class DensityService:
             "plan_cache": cache,
             "plan_cache_hit_rate": cache["hits"] / lookups if lookups else 0.0,
             "plan_cache_bytes": self.plan_cache.total_bytes,
+            "decomposition_cache": (
+                self._decomposition_cache.snapshot()
+                if self._decomposition_cache is not None
+                else None
+            ),
             "contexts": contexts,
         }
 

@@ -1,6 +1,6 @@
 """Matrix sign function algorithms and related matrix functions.
 
-Three families of algorithms are provided, matching the paper:
+Four families of algorithms are provided:
 
 * the 2nd-order Newton–Schulz iteration (Eq. 11) — CP2K's default for
   grand-canonical linear-scaling DFT and the baseline in the evaluation —
@@ -10,13 +10,24 @@ Three families of algorithms are provided, matching the paper:
 * the eigendecomposition-based evaluation with the sign(0) = 0 extension
   (Eq. 12) and its finite-temperature generalization via the Fermi function,
   which the paper found superior for the dense submatrices
-  (:mod:`repro.signfn.eigen`).
+  (:mod:`repro.signfn.eigen`);
+* a Chebyshev polynomial expansion of the erf-smoothed sign — GEMM-only
+  and diagonalization-free, a different accuracy/cost point than the sign
+  iterations and a natural reduced-precision candidate
+  (:mod:`repro.signfn.chebyshev`).
 
 :mod:`repro.signfn.inverse_root` implements the inverse p-th roots of the
 original submatrix-method publication, and :mod:`repro.signfn.utils` the
 shared spectral-scaling and convergence helpers.
 """
 
+from repro.signfn.chebyshev import (
+    BatchedChebyshevResult,
+    ChebyshevSignResult,
+    chebyshev_sign_coefficients,
+    sign_chebyshev,
+    sign_chebyshev_batched,
+)
 from repro.signfn.newton_schulz import (
     BatchedNewtonSchulzResult,
     NewtonSchulzResult,
@@ -50,6 +61,11 @@ from repro.signfn.registry import (
 )
 
 __all__ = [
+    "BatchedChebyshevResult",
+    "ChebyshevSignResult",
+    "chebyshev_sign_coefficients",
+    "sign_chebyshev",
+    "sign_chebyshev_batched",
     "NewtonSchulzResult",
     "BatchedNewtonSchulzResult",
     "sign_newton_schulz",

@@ -36,6 +36,12 @@ from repro.signfn.eigen import (
     sign_via_eigendecomposition,
     sign_via_eigendecomposition_batched,
 )
+from repro.signfn.chebyshev import (
+    DEFAULT_CHEBYSHEV_DEGREE,
+    DEFAULT_CHEBYSHEV_SMOOTHING,
+    sign_chebyshev,
+    sign_chebyshev_batched,
+)
 from repro.signfn.newton_schulz import (
     sign_newton_schulz,
     sign_newton_schulz_batched,
@@ -451,6 +457,53 @@ def _make_pade_reduced(xp, convergence_threshold: float):
     return reduced
 
 
+def _make_chebyshev(
+    mu: float = 0.0,
+    degree: int = DEFAULT_CHEBYSHEV_DEGREE,
+    smoothing: float = DEFAULT_CHEBYSHEV_SMOOTHING,
+):
+    return lambda a: sign_chebyshev(
+        _shift(a, mu), degree=degree, smoothing=smoothing
+    ).sign
+
+
+def _make_chebyshev_batched(
+    mu: float = 0.0,
+    degree: int = DEFAULT_CHEBYSHEV_DEGREE,
+    smoothing: float = DEFAULT_CHEBYSHEV_SMOOTHING,
+):
+    return lambda stack: sign_chebyshev_batched(
+        _shift(stack, mu), degree=degree, smoothing=smoothing
+    ).sign
+
+
+def _make_chebyshev_checked(
+    mu: float = 0.0, smoothing: float = DEFAULT_CHEBYSHEV_SMOOTHING
+):
+    def checked(stack, max_iterations: int = DEFAULT_SIGN_MAX_ITERATIONS):
+        # the resilience ladder's budget is an *iteration* count tuned for
+        # the sign iterations; for a polynomial expansion it maps to series
+        # terms, so the first attempt always gets the full default degree
+        # and escalated retries extend the series beyond it
+        result = sign_chebyshev_batched(
+            _shift(stack, mu),
+            degree=max(DEFAULT_CHEBYSHEV_DEGREE, int(max_iterations)),
+            smoothing=smoothing,
+        )
+        return result.sign, np.asarray(result.converged, dtype=bool)
+
+    return checked
+
+
+def _make_chebyshev_reduced(xp, convergence_threshold: float):
+    def reduced(stack):
+        return sign_chebyshev_batched(
+            stack, convergence_threshold=convergence_threshold, xp=xp
+        ).sign
+
+    return reduced
+
+
 def _make_occupation(mu: float = 0.0, temperature: float = 0.0):
     return lambda a: occupation_function_via_eigendecomposition(
         a, mu=mu, temperature=temperature
@@ -493,6 +546,21 @@ register_kernel(
         make_checked_batched=_make_pade_checked,
         supports_reduced_precision=True,
         make_reduced_batched=_make_pade_reduced,
+    )
+)
+register_kernel(
+    MatrixFunction(
+        name="chebyshev",
+        make=_make_chebyshev,
+        make_batched=_make_chebyshev_batched,
+        iterative=True,
+        description=(
+            "sign(A − μI) via Chebyshev expansion of the erf-smoothed sign "
+            "(GEMM-only, diagonalization-free)"
+        ),
+        make_checked_batched=_make_chebyshev_checked,
+        supports_reduced_precision=True,
+        make_reduced_batched=_make_chebyshev_reduced,
     )
 )
 register_kernel(

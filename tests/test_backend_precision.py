@@ -597,8 +597,8 @@ class TestServingPrecision:
 
             assert request(fp64).batch_key != request(fp32).batch_key
             assert request(fp64).batch_key == request(fp64).batch_key
-            assert request(fp64).batch_key[-1] == "fp64"
-            assert request(fp32).batch_key[-1] == "fp32"
+            assert "fp64" in request(fp64).batch_key
+            assert "fp32" in request(fp32).batch_key
         finally:
             fp64.close()
             fp32.close()
